@@ -1,0 +1,71 @@
+// Command bench runs the paper's full evaluation and prints every table
+// and figure: Table 1 (dataset and sizes), Figure 3 (Query 1/2 cold/hot
+// under Ei and ALi), the up-front ingestion comparison, and the
+// ablations (selectivity sweep, cache granularity, merge strategy,
+// derived metadata). EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+import "repro/internal/benchutil"
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "small", "dataset scale: tiny, small or medium")
+		exp       = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived")
+		runs      = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
+		keep      = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
+	)
+	flag.Parse()
+	sc := benchutil.ScaleByName(*scaleName)
+
+	base := *keep
+	if base == "" {
+		dir, err := os.MkdirTemp("", "repro-bench-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		base = dir
+	}
+	fmt.Printf("== reproduction benchmarks: scale %s (%d files, %d samples) ==\n\n",
+		sc.Name, sc.Files(), sc.Samples())
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Print(out.String())
+		fmt.Printf("  [experiment wall time: %v]\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (fmt.Stringer, error) { return benchutil.ExperimentTable1(base, sc) })
+	run("ingest", func() (fmt.Stringer, error) { return benchutil.ExperimentIngestion(base, sc) })
+	run("figure3", func() (fmt.Stringer, error) { return benchutil.ExperimentFigure3(base, sc, *runs) })
+	run("sweep", func() (fmt.Stringer, error) {
+		steps := []int{1, 2, 4, 7, sc.Days}
+		return benchutil.ExperimentSweep(base, sc, steps)
+	})
+	run("cache", func() (fmt.Stringer, error) { return benchutil.ExperimentCacheGranularity(base, sc) })
+	run("strategy", func() (fmt.Stringer, error) { return benchutil.ExperimentMergeStrategy(base, sc) })
+	run("derived", func() (fmt.Stringer, error) { return benchutil.ExperimentDerived(base, sc) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,250 @@
+// Command explorer is an interactive SQL shell over a scientific file
+// repository with two-stage query execution and ALi — the "data
+// management tool that makes these file repositories accessible" the
+// paper's introduction calls for.
+//
+// Usage:
+//
+//	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
+//
+// Shell commands:
+//
+//	\plan <sql>   show the optimized two-stage plan without executing
+//	\stage <sql>  run only the first stage and show the breakpoint
+//	\multi <sql>  multi-stage execution: ingest file-by-file, show partials
+//	\tables       list catalog tables
+//	\stats        show session statistics
+//	\quit         exit
+//
+// Any other input is executed as SQL.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func main() {
+	var (
+		repoDir  = flag.String("repo", "", "repository directory (required)")
+		dbDir    = flag.String("db", "", "database directory (default: temp)")
+		mode     = flag.String("mode", "ali", "ingestion mode: ali or ei")
+		cacheCfg = flag.String("cache", "off", "ingestion cache: off, file or tuple")
+		budget   = flag.Duration("budget", 0, "abort queries whose estimated cost exceeds this (0 = off)")
+	)
+	flag.Parse()
+	if *repoDir == "" {
+		fmt.Fprintln(os.Stderr, "explorer: -repo is required")
+		os.Exit(2)
+	}
+	if *dbDir == "" {
+		d, err := os.MkdirTemp("", "explorer-db-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "explorer:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(d)
+		*dbDir = d
+	}
+	opts := core.Options{RepoDir: *repoDir, DBDir: *dbDir}
+	switch *mode {
+	case "ali":
+		opts.Mode = core.ModeALi
+	case "ei":
+		opts.Mode = core.ModeEi
+	default:
+		fmt.Fprintln(os.Stderr, "explorer: -mode must be ali or ei")
+		os.Exit(2)
+	}
+	switch *cacheCfg {
+	case "file":
+		opts.Cache = cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+	case "tuple":
+		opts.Cache = cache.Config{Policy: cache.LRU, Granularity: cache.TupleGranular}
+	case "off":
+	default:
+		fmt.Fprintln(os.Stderr, "explorer: -cache must be off, file or tuple")
+		os.Exit(2)
+	}
+
+	fmt.Printf("opening %s repository (%s mode)...\n", *repoDir, opts.Mode)
+	eng, err := core.Open(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "explorer:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+	rep := eng.Report()
+	fmt.Printf("ready in %v (wall) + %v (modeled I/O): %d files, %d records of metadata\n",
+		rep.Wall.Round(time.Millisecond), rep.ModeledIO.Round(time.Millisecond),
+		rep.Metadata.Files, rep.Metadata.Records)
+
+	var policy explore.BudgetPolicy
+	if *budget > 0 {
+		policy = explore.MaxCost(*budget)
+		fmt.Printf("budget policy: abort when estimated cost exceeds %v\n", *budget)
+	}
+	session := explore.NewSession(policy)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	fmt.Print("explorer> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, name := range eng.Catalog().Tables() {
+				def, _ := eng.Catalog().Table(name)
+				cols := make([]string, len(def.Columns))
+				for i, c := range def.Columns {
+					cols[i] = c.Name + " " + c.Kind.String()
+				}
+				fmt.Printf("  %s (%s): %s\n", name, def.Kind, strings.Join(cols, ", "))
+			}
+		case line == `\stats`:
+			fmt.Print(session.Summary())
+			cs := eng.Cache().Stats()
+			fmt.Printf("cache: %d entries, %d hits, %d misses, %d evictions\n",
+				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+		case strings.HasPrefix(line, `\plan `):
+			showPlan(eng, strings.TrimPrefix(line, `\plan `))
+		case strings.HasPrefix(line, `\stage `):
+			showStage(eng, strings.TrimPrefix(line, `\stage `))
+		case strings.HasPrefix(line, `\multi `):
+			runMulti(eng, strings.TrimPrefix(line, `\multi `))
+		default:
+			runSQL(eng, session, line)
+		}
+		fmt.Print("explorer> ")
+	}
+}
+
+func showPlan(eng *core.Engine, sql string) {
+	p, err := eng.Prepare(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(p.PlanString())
+}
+
+func showStage(eng *core.Engine, sql string) {
+	p, err := eng.Prepare(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	bp, err := p.Stage1()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if bp.Done() {
+		fmt.Println("answered entirely in the first stage:")
+		fmt.Print(bp.Result().Format(10))
+		return
+	}
+	fmt.Println("breakpoint reached; files of interest:")
+	for _, f := range bp.FilesOfInterest() {
+		mark := ""
+		if f.Cached {
+			mark = " (cached)"
+		}
+		fmt.Printf("  %s%s\n", f.URI, mark)
+	}
+	fmt.Println("estimate:", bp.Est.String())
+	fmt.Println("(not proceeding; run the query without \\stage to execute both stages)")
+}
+
+func runSQL(eng *core.Engine, session *explore.Session, sql string) {
+	rec := explore.Record{SQL: sql, At: time.Now()}
+	p, err := eng.Prepare(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		rec.Err = err
+		session.Log(rec)
+		return
+	}
+	start := time.Now()
+	bp, err := p.Stage1()
+	if err != nil {
+		fmt.Println("error:", err)
+		rec.Err = err
+		session.Log(rec)
+		return
+	}
+	var res *core.Result
+	if bp.Done() {
+		res = bp.Result()
+	} else {
+		rec.Estimate = bp.Est
+		if session.Decide(bp.Est) == explore.Abort {
+			rec.Decision = explore.Abort
+			session.Log(rec)
+			fmt.Println("aborted at breakpoint:", bp.Est.String())
+			return
+		}
+		res, err = bp.Proceed()
+		if err != nil {
+			fmt.Println("error:", err)
+			rec.Err = err
+			session.Log(rec)
+			return
+		}
+	}
+	rec.Rows = res.Rows()
+	rec.Wall = time.Since(start)
+	session.Log(rec)
+	fmt.Print(res.Format(20))
+	st := res.Stats
+	fmt.Printf("%d rows; stage1 %v, stage2 %v (modeled %v); %d files of interest, %d mounted, %d cache hits\n",
+		res.Rows(), st.Stage1Wall.Round(time.Microsecond), st.Stage2Wall.Round(time.Microsecond),
+		st.Modeled().Round(time.Microsecond),
+		st.FilesOfInterest, st.Mounts.FilesMounted, st.Mounts.CacheHits)
+}
+
+// runMulti executes a query with multi-stage ingestion, printing the
+// partial answer after every ingestion round.
+func runMulti(eng *core.Engine, sql string) {
+	p, err := eng.Prepare(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	bp, err := p.Stage1()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if bp.Done() {
+		fmt.Println("answered in the first stage:")
+		fmt.Print(bp.Result().Format(10))
+		return
+	}
+	res, err := bp.ProceedIncremental(1, func(pt core.Partial) bool {
+		vals := make([]string, len(pt.Values))
+		for i, v := range pt.Values {
+			vals[i] = v.String()
+		}
+		fmt.Printf("  after %d/%d files: %s  [%v]\n",
+			pt.FilesProcessed, pt.FilesTotal, strings.Join(vals, ", "),
+			pt.Elapsed.Round(time.Millisecond))
+		return true
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(res.Format(10))
+}

@@ -1,0 +1,101 @@
+// Caching policies: the paper leaves open "when and how one cache
+// granularity is better than the other for explorative scientific
+// workloads". This example runs two canonical exploration sessions —
+// zooming in on an event, and panning across time — under no caching,
+// file-granular and tuple-granular caching, and shows where each
+// granularity wins.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/repo"
+)
+
+func window(lo, hi string) string {
+	return fmt.Sprintf(`SELECT AVG(D.sample_value)
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK' AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '%s' AND D.sample_time < '%s'`, lo, hi)
+}
+
+func main() {
+	work, err := os.MkdirTemp("", "caching-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	spec := repo.DefaultSpec(work + "/repo")
+	spec.Stations = spec.Stations[:2]
+	spec.Days = 13
+	m, err := repo.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	zoom := []string{ // narrowing windows: later queries ⊂ earlier ones
+		window("2010-01-12T22:10:00.000", "2010-01-12T22:16:00.000"),
+		window("2010-01-12T22:14:00.000", "2010-01-12T22:16:00.000"),
+		window("2010-01-12T22:15:00.000", "2010-01-12T22:15:30.000"),
+		window("2010-01-12T22:15:00.000", "2010-01-12T22:15:02.000"),
+	}
+	pan := []string{ // sliding windows: each needs tuples the last one lacked
+		window("2010-01-12T22:15:00.000", "2010-01-12T22:15:02.000"),
+		window("2010-01-12T22:15:02.000", "2010-01-12T22:15:04.000"),
+		window("2010-01-12T22:15:04.000", "2010-01-12T22:15:06.000"),
+		window("2010-01-12T22:15:06.000", "2010-01-12T22:15:08.000"),
+	}
+
+	configs := []struct {
+		name string
+		cfg  cache.Config
+	}{
+		{"no cache (paper's preliminary setup)", cache.Config{Policy: cache.NeverCache}},
+		{"file-granular LRU", cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}},
+		{"tuple-granular LRU", cache.Config{Policy: cache.LRU, Granularity: cache.TupleGranular}},
+	}
+	for _, session := range []struct {
+		name    string
+		queries []string
+	}{{"ZOOM-IN", zoom}, {"PAN", pan}} {
+		fmt.Printf("== %s session (4 queries on the same file) ==\n", session.name)
+		for _, c := range configs {
+			eng, err := core.Open(core.Options{
+				Mode: core.ModeALi, RepoDir: m.Dir,
+				DBDir: fmt.Sprintf("%s/db-%s-%p", work, session.name, &c),
+				Cache: c.cfg,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			var mounts, hits int
+			ioBefore := eng.Clock().Elapsed()
+			start := time.Now()
+			for _, q := range session.queries {
+				res, err := eng.Query(q)
+				if err != nil {
+					log.Fatal(err)
+				}
+				mounts += res.Stats.Mounts.FilesMounted
+				hits += res.Stats.Mounts.CacheHits
+			}
+			elapsed := time.Since(start) + eng.Clock().Elapsed() - ioBefore
+			fmt.Printf("  %-38s mounts=%d cache-hits=%d modeled=%v\n",
+				c.name, mounts, hits, elapsed.Round(time.Millisecond))
+			eng.Close()
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading the results:")
+	fmt.Println("  - zooming in: both granularities avoid re-mounting (later windows are contained)")
+	fmt.Println("  - panning: tuple-granular caching keeps re-mounting the whole file, because")
+	fmt.Println("    \"we need to mount the whole file even if there is one required tuple missing\"")
+}

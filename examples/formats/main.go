@@ -1,0 +1,108 @@
+// Generalization: "different scientific domains usually have different
+// formats" (paper §5). The exact same two-stage engine explores a CSV
+// sensor-log repository through a second format adapter — no engine code
+// knows about either format; only the adapter does.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/csvfmt"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "formats-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+	repoDir := filepath.Join(work, "repo")
+	if err := os.MkdirAll(repoDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	// A small sensor network: temperature loggers at three sites, two
+	// segments (deployment periods) each.
+	base := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	hour := int64(time.Hour)
+	sensors := []struct {
+		file, sensor, site string
+		level              float64
+	}{
+		{"t-alpha-01.csv", "TMP01", "alpha", 14},
+		{"t-alpha-02.csv", "TMP02", "alpha", 15},
+		{"t-delta-01.csv", "TMP03", "delta", 21},
+	}
+	for _, s := range sensors {
+		segs := map[int64][]float64{}
+		starts := map[int64]int64{}
+		for seg := int64(0); seg < 2; seg++ {
+			vals := make([]float64, 48) // 48 readings per segment
+			for i := range vals {
+				vals[i] = s.level + 3*math.Sin(float64(i)/8) + float64(seg)
+			}
+			segs[seg] = vals
+			starts[seg] = base + seg*100*hour
+		}
+		err := csvfmt.WriteFile(filepath.Join(repoDir, s.file),
+			s.sensor, s.site, "temperature", hour, segs, starts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("wrote a 3-file CSV sensor repository")
+
+	// The SAME engine, different adapter.
+	eng, err := core.Open(core.Options{
+		Mode:    core.ModeALi,
+		RepoDir: repoDir,
+		DBDir:   filepath.Join(work, "db"),
+		Adapter: csvfmt.NewAdapter(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	fmt.Printf("metadata loaded: %d files, %d segments; readings not ingested\n\n",
+		eng.Report().Metadata.Files, eng.Report().Metadata.Records)
+
+	// Metadata-only: what is deployed where?
+	res, err := eng.Query(`SELECT site, COUNT(*) AS sensors FROM CSV_FILES GROUP BY site ORDER BY site`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployments by site (first stage only):")
+	fmt.Print(res.Format(0))
+
+	// Two-stage: average temperature at site alpha. Only alpha's two
+	// files are mounted.
+	res, err = eng.Query(`SELECT AVG(CSV_READINGS.reading)
+		FROM CSV_FILES JOIN CSV_SEGMENTS ON CSV_FILES.uri = CSV_SEGMENTS.uri
+		JOIN CSV_READINGS ON CSV_SEGMENTS.uri = CSV_READINGS.uri
+			AND CSV_SEGMENTS.record_id = CSV_READINGS.record_id
+		WHERE CSV_FILES.site = 'alpha'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmean temperature at site alpha: %.2f °C\n", res.Float(0, 0))
+	fmt.Printf("files of interest: %d of %d; mounted: %d\n",
+		res.Stats.FilesOfInterest, len(eng.RepoFiles()), res.Stats.Mounts.FilesMounted)
+
+	// Show the two-stage plan to prove the same machinery is at work.
+	p, err := eng.Prepare(`SELECT MAX(CSV_READINGS.reading)
+		FROM CSV_FILES JOIN CSV_SEGMENTS ON CSV_FILES.uri = CSV_SEGMENTS.uri
+		JOIN CSV_READINGS ON CSV_SEGMENTS.uri = CSV_READINGS.uri
+			AND CSV_SEGMENTS.record_id = CSV_READINGS.record_id
+		WHERE CSV_FILES.sensor = 'TMP03'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nthe decomposed plan over the CSV schema:")
+	fmt.Print(p.PlanString())
+}

@@ -1,0 +1,109 @@
+// Interactive breakpoints: the paper's answer to "why can't he have a
+// way to interfere with his own query's destiny?". Each query pauses
+// between its two stages; the explorer (here, a budget policy standing
+// in for him) inspects the informativeness estimate and decides whether
+// the second stage is worth its cost. The worst-case query — everything,
+// everywhere — is refused before a single byte is ingested; the refined
+// query proceeds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/repo"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "interactive-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	spec := repo.DefaultSpec(work + "/repo")
+	spec.Days = 14
+	m, err := repo.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.Open(core.Options{Mode: core.ModeALi, RepoDir: m.Dir, DBDir: work + "/db"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// The "one-minute database kernel": abort anything estimated beyond
+	// 250ms of modeled work (our repository is small; scale the idea down).
+	session := explore.NewSession(explore.MaxCost(250 * time.Millisecond))
+
+	run := func(label, sql string) {
+		fmt.Printf("== %s ==\n", label)
+		p, err := eng.Prepare(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bp, err := p.Stage1()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bp.Done() {
+			fmt.Println("answered in the first stage (metadata only)")
+			fmt.Print(bp.Result().Format(5))
+			fmt.Println()
+			return
+		}
+		fmt.Println("breakpoint:", bp.Est.String())
+		if session.Decide(bp.Est) == explore.Abort {
+			session.Log(explore.Record{SQL: label, Estimate: bp.Est, Decision: explore.Abort})
+			fmt.Println("decision: ABORT — not worth the time; refine the query instead")
+			fmt.Println()
+			return
+		}
+		start := time.Now()
+		res, err := bp.Proceed()
+		if err != nil {
+			log.Fatal(err)
+		}
+		session.Log(explore.Record{SQL: label, Estimate: bp.Est, Rows: res.Rows(), Wall: time.Since(start)})
+		fmt.Printf("decision: PROCEED — %d rows in %v (estimate was %v)\n\n",
+			res.Rows(), res.Stats.Modeled().Round(time.Millisecond),
+			bp.Est.EstCost.Round(time.Millisecond))
+	}
+
+	// 1. The naive first query: average over EVERYTHING. The paper's worst
+	// case — data of interest is the entire repository.
+	run("naive: average the whole repository", `SELECT AVG(D.sample_value)
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		WHERE R.start_time > '2010-01-01T00:00:00.000'`)
+
+	// 2. Refine with metadata first: which station-days even exist?
+	run("refine: metadata browse", `SELECT station, channel, COUNT(*) AS files
+		FROM F GROUP BY station, channel ORDER BY station, channel LIMIT 6`)
+
+	// 3. The informed query: one station, one channel, one two-second
+	// window. Cheap, precise, proceeds.
+	run("informed: Query 1", `SELECT AVG(D.sample_value)
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		WHERE F.station = 'ISK' AND F.channel = 'BHE'
+		AND R.start_time > '2010-01-12T00:00:00.000'
+		AND R.start_time < '2010-01-12T23:59:59.999'
+		AND D.sample_time > '2010-01-12T22:15:00.000'
+		AND D.sample_time < '2010-01-12T22:15:02.000'`)
+
+	// 4. A provably empty query: the estimate says so at the breakpoint,
+	// and the second stage is skipped outright.
+	run("empty: station that does not exist", `SELECT AVG(D.sample_value)
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		WHERE F.station = 'XXXX'`)
+
+	fmt.Println("== session history ==")
+	fmt.Print(session.Summary())
+}

@@ -1,0 +1,164 @@
+// Seismic event hunt: the exploration loop the paper's introduction
+// motivates. The explorer browses metadata to pick a promising station,
+// retrieves a waveform window with Query-2-style retrieval, runs an
+// STA/LTA detector over it, and zooms into the trigger — each step a
+// query, each query ingesting only its files of interest.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/repo"
+	"repro/internal/vector"
+	"repro/internal/waveform"
+)
+
+func main() {
+	work, err := os.MkdirTemp("", "seismic-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(work)
+
+	spec := repo.DefaultSpec(work + "/repo")
+	spec.Days = 13
+	spec.Wave.EventRate = 40 // make events likely inside the coverage window
+	m, err := repo.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := core.Open(core.Options{Mode: core.ModeALi, RepoDir: m.Dir, DBDir: work + "/db"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Step 1 — metadata browsing: which stations have data on 2010-01-12,
+	// and how much? Answered without touching a single waveform.
+	fmt.Println("== step 1: browse metadata (first stage only) ==")
+	res, err := eng.Query(`SELECT station, COUNT(*) AS files, SUM(size_bytes) AS bytes
+		FROM F WHERE day_of_year = 12 GROUP BY station ORDER BY station`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Format(0))
+	fmt.Printf("(metadata-only: %v, zero files mounted)\n\n", res.Stats.Modeled().Round(time.Millisecond))
+
+	// Step 2 — retrieve a waveform window from the vertical channel of ISK.
+	fmt.Println("== step 2: retrieve a waveform window (Query 2 shape) ==")
+	wave, err := eng.Query(`SELECT D.sample_time, D.sample_value
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		WHERE F.station = 'ISK' AND F.channel = 'BHZ'
+		AND R.start_time > '2010-01-12T00:00:00.000'
+		AND R.start_time < '2010-01-12T23:59:59.999'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("retrieved %d samples from %d mounted file(s) in %v\n\n",
+		wave.Rows(), wave.Stats.Mounts.FilesMounted, wave.Stats.Modeled().Round(time.Millisecond))
+
+	// Step 3 — run the STA/LTA detector over the retrieved samples.
+	fmt.Println("== step 3: STA/LTA event detection on the retrieved window ==")
+	samples := make([]int32, 0, wave.Rows())
+	times := make([]int64, 0, wave.Rows())
+	for _, b := range wave.Mat.Batches {
+		for i := 0; i < b.Len(); i++ {
+			times = append(times, b.Cols[0].Int64s()[i])
+			samples = append(samples, int32(b.Cols[1].Float64s()[i]))
+		}
+	}
+	triggers := waveform.Detect(samples, waveform.DefaultSTALTA(40))
+	if len(triggers) == 0 {
+		fmt.Println("no events in this window — the explorer would move on to another day")
+		return
+	}
+	for i, tr := range triggers {
+		fmt.Printf("trigger %d: %s .. %s (peak STA/LTA %.1f)\n", i+1,
+			vector.FormatTime(times[tr.Start]), vector.FormatTime(times[tr.End]), tr.PeakRatio)
+	}
+
+	// Step 4 — zoom into the strongest trigger with a tight Query 1.
+	best := triggers[0]
+	for _, tr := range triggers {
+		if tr.PeakRatio > best.PeakRatio {
+			best = tr
+		}
+	}
+	lo := vector.FormatTime(times[best.Start] - int64(2*time.Second))
+	hi := vector.FormatTime(times[best.End] + int64(2*time.Second))
+	fmt.Printf("\n== step 4: zoom into the event (%s .. %s) across all channels ==\n", lo, hi)
+	zoom, err := eng.Query(fmt.Sprintf(`SELECT F.channel, COUNT(*) AS n, AVG(D.sample_value) AS mean,
+		MIN(D.sample_value) AS lo, MAX(D.sample_value) AS hi
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		WHERE F.station = 'ISK'
+		AND R.start_time > '2010-01-12T00:00:00.000'
+		AND R.start_time < '2010-01-12T23:59:59.999'
+		AND D.sample_time > '%s' AND D.sample_time < '%s'
+		GROUP BY F.channel ORDER BY F.channel`, lo, hi))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(zoom.Format(0))
+	fmt.Printf("(%d files of interest, %d mounted)\n",
+		zoom.Stats.FilesOfInterest, zoom.Stats.Mounts.FilesMounted)
+
+	// A tiny ASCII seismogram of the event on the channel we analysed.
+	fmt.Println("\nevent seismogram (BHZ, 60 columns):")
+	fmt.Println(sparkline(samples[max(0, best.Start-80):min(len(samples), best.End+80)], 60))
+}
+
+// sparkline renders samples as a coarse ASCII amplitude plot.
+func sparkline(xs []int32, width int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	glyphs := []rune("_.-~^*#")
+	step := len(xs)/width + 1
+	var peak float64 = 1
+	for _, x := range xs {
+		if f := abs(float64(x)); f > peak {
+			peak = f
+		}
+	}
+	var sb strings.Builder
+	for i := 0; i < len(xs); i += step {
+		hi := min(i+step, len(xs))
+		var m float64
+		for _, x := range xs[i:hi] {
+			if f := abs(float64(x)); f > m {
+				m = f
+			}
+		}
+		idx := int(m / peak * float64(len(glyphs)-1))
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,262 @@
+// Package cache implements the ingestion cache for data mounted by ALi:
+// "data of the mounted files might be cached depending on the cache
+// policy" (paper §3). Two granularities are supported, mirroring the
+// paper's open question:
+//
+//   - File granularity: the whole mounted file is cached; any later query
+//     touching the file is served from memory.
+//   - Tuple granularity: only the tuples that satisfied the mounting
+//     query's selection are cached, together with the span they cover;
+//     a later query is served from cache only if its span is contained —
+//     otherwise the whole file must be mounted again (exactly the
+//     trade-off the paper describes).
+//
+// Policies control retention: NeverCache reproduces the paper's
+// preliminary setup ("ingested data is discarded as soon as the query
+// has been evaluated"), LRU and FIFO bound memory use.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/vector"
+)
+
+// Policy selects the retention strategy.
+type Policy int
+
+// Retention policies.
+const (
+	// NeverCache discards mounted data after every query (the paper's
+	// preliminary evaluation setting: inherently up-to-date data).
+	NeverCache Policy = iota
+	// LRU keeps the most recently used entries within the byte budget.
+	LRU
+	// FIFO evicts in insertion order.
+	FIFO
+)
+
+func (p Policy) String() string {
+	return [...]string{"never", "lru", "fifo"}[p]
+}
+
+// Granularity selects what is stored per entry.
+type Granularity int
+
+// Cache granularities (paper §3, run-time optimization discussion).
+const (
+	FileGranular Granularity = iota
+	TupleGranular
+)
+
+func (g Granularity) String() string {
+	if g == FileGranular {
+		return "file"
+	}
+	return "tuple"
+}
+
+// Span is the closed interval of the data-span column covered by an
+// entry or required by a query. Full means "the whole file".
+type Span struct {
+	Lo, Hi int64
+	Full   bool
+}
+
+// FullSpan covers everything.
+func FullSpan() Span { return Span{Full: true} }
+
+// Contains reports whether s covers need.
+func (s Span) Contains(need Span) bool {
+	if s.Full {
+		return true
+	}
+	if need.Full {
+		return false
+	}
+	return s.Lo <= need.Lo && need.Hi <= s.Hi
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	Policy      Policy
+	Granularity Granularity
+	// MaxBytes bounds resident cache size; <=0 means unlimited (only
+	// meaningful with LRU/FIFO).
+	MaxBytes int64
+}
+
+// Stats reports cache activity.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	BytesResident int64
+	Entries       int
+}
+
+// Manager is the ingestion cache. It is safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recent (LRU) / newest (FIFO)
+	bytes   int64
+	hits    int64
+	misses  int64
+	evicted int64
+}
+
+type entry struct {
+	uri   string
+	batch *vector.Batch
+	span  Span
+	bytes int64
+}
+
+// New returns a manager with the given configuration.
+func New(cfg Config) *Manager {
+	return &Manager{
+		cfg:     cfg,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Contains reports whether a query needing the given span of uri can be
+// served from cache. This drives rewrite rule (1)'s f ∈ C test.
+func (m *Manager) Contains(uri string, need Span) bool {
+	if m == nil || m.cfg.Policy == NeverCache {
+		return false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[uri]
+	return ok && el.Value.(*entry).span.Contains(need)
+}
+
+// Get returns the cached batch for uri if it covers the needed span.
+func (m *Manager) Get(uri string, need Span) (*vector.Batch, bool) {
+	if m == nil || m.cfg.Policy == NeverCache {
+		return nil, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[uri]
+	if !ok || !el.Value.(*entry).span.Contains(need) {
+		m.misses++
+		return nil, false
+	}
+	if m.cfg.Policy == LRU {
+		m.order.MoveToFront(el)
+	}
+	m.hits++
+	return el.Value.(*entry).batch, true
+}
+
+// Put stores mounted data. With FileGranular configuration the span is
+// forced to Full (callers pass the whole mounted file); TupleGranular
+// callers pass the filtered batch and the span its tuples cover. A
+// NeverCache manager ignores Put.
+func (m *Manager) Put(uri string, b *vector.Batch, span Span) {
+	if m == nil || m.cfg.Policy == NeverCache || b == nil {
+		return
+	}
+	if m.cfg.Granularity == FileGranular {
+		span = FullSpan()
+	}
+	size := BatchBytes(b)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[uri]; ok {
+		old := el.Value.(*entry)
+		m.bytes -= old.bytes
+		m.order.Remove(el)
+		delete(m.entries, uri)
+	}
+	e := &entry{uri: uri, batch: b, span: span, bytes: size}
+	m.entries[uri] = m.order.PushFront(e)
+	m.bytes += size
+	m.evict()
+}
+
+// Drop removes one entry (e.g. when the underlying file changed).
+func (m *Manager) Drop(uri string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[uri]; ok {
+		m.bytes -= el.Value.(*entry).bytes
+		m.order.Remove(el)
+		delete(m.entries, uri)
+	}
+}
+
+// Clear empties the cache.
+func (m *Manager) Clear() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[string]*list.Element)
+	m.order = list.New()
+	m.bytes = 0
+}
+
+// Stats returns a snapshot of cache counters.
+func (m *Manager) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Hits: m.hits, Misses: m.misses, Evictions: m.evicted,
+		BytesResident: m.bytes, Entries: len(m.entries),
+	}
+}
+
+// evict enforces the byte budget; callers hold the lock.
+func (m *Manager) evict() {
+	if m.cfg.MaxBytes <= 0 {
+		return
+	}
+	for m.bytes > m.cfg.MaxBytes && m.order.Len() > 1 {
+		oldest := m.order.Back()
+		e := oldest.Value.(*entry)
+		m.order.Remove(oldest)
+		delete(m.entries, e.uri)
+		m.bytes -= e.bytes
+		m.evicted++
+	}
+}
+
+// BatchBytes estimates the resident size of a batch.
+func BatchBytes(b *vector.Batch) int64 {
+	if b == nil {
+		return 0
+	}
+	var total int64
+	n := int64(b.Len())
+	for _, c := range b.Cols {
+		switch c.Kind() {
+		case vector.KindBool:
+			total += n
+		case vector.KindString:
+			for _, s := range c.Strings() {
+				total += int64(len(s)) + 16
+			}
+		default:
+			total += n * 8
+		}
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestConcurrentQueries runs a mixed workload of metadata-only and
+// two-stage queries concurrently against one ALi engine: shared state
+// (buffer pool, ingestion cache, derived store, qf-name counter) must
+// tolerate parallel explorers.
+func TestConcurrentQueries(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi, EnableDerived: true})
+
+	// Ground truth once, sequentially.
+	want, err := e.Query(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := want.Float(0, 0)
+
+	queries := []string{
+		query1,
+		query2,
+		`SELECT station, COUNT(*) AS n FROM F GROUP BY station ORDER BY station`,
+		`SELECT COUNT(*) FROM R`,
+	}
+	const workers = 8
+	const iters = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := queries[(w+i)%len(queries)]
+				res, err := e.Query(q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if q == query1 && math.Abs(res.Float(0, 0)-wantAvg) > 1e-9 {
+					errs <- errWrongAnswer
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errWrongAnswer = &queryError{"concurrent query returned a different answer"}
+
+type queryError struct{ msg string }
+
+func (e *queryError) Error() string { return e.msg }
+
+// TestConcurrentQueriesWithCache stresses the ingestion cache: parallel
+// mounts and cache-scans of the same files under an LRU budget small
+// enough to force evictions mid-flight (the cache-scan fallback path).
+func TestConcurrentQueriesWithCache(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{
+		Mode:  ModeALi,
+		Cache: cacheConfigTinyLRU(),
+	})
+	want, err := e.Query(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := want.Float(0, 0)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				res, err := e.Query(query1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if math.Abs(res.Float(0, 0)-wantAvg) > 1e-9 {
+					errs <- errWrongAnswer
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// cacheConfigTinyLRU is a deliberately tiny cache so concurrent queries
+// evict each other's entries.
+func cacheConfigTinyLRU() cache.Config {
+	return cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular, MaxBytes: 64 << 10}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// TestDifferentialALiVsEi generates random exploration queries and
+// asserts that lazy and eager ingestion produce identical answers — the
+// paper's core correctness requirement: "the queries are the same as in
+// the case where the database is eagerly loaded with all data up-front".
+func TestDifferentialALiVsEi(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential test is slow")
+	}
+	m := testRepo(t)
+	ali := openEngine(t, m.Dir, Options{Mode: ModeALi})
+	ei := openEngine(t, m.Dir, Options{Mode: ModeEi})
+
+	rng := rand.New(rand.NewSource(20130623)) // the symposium's date
+	stations := []string{"ISK", "ANTO", "APE", "NOPE"}
+	channels := []string{"BHE", "BHN", "BHZ"}
+
+	for trial := 0; trial < 30; trial++ {
+		q := randomAggQuery(rng, stations, channels)
+		aliRes, err := ali.Query(q)
+		if err != nil {
+			t.Fatalf("trial %d ALi: %v\nquery: %s", trial, err, q)
+		}
+		eiRes, err := ei.Query(q)
+		if err != nil {
+			t.Fatalf("trial %d Ei: %v\nquery: %s", trial, err, q)
+		}
+		if aliRes.Rows() != eiRes.Rows() {
+			t.Fatalf("trial %d: row counts differ (%d vs %d)\nquery: %s",
+				trial, aliRes.Rows(), eiRes.Rows(), q)
+		}
+		for row := 0; row < aliRes.Rows(); row++ {
+			for col := range aliRes.Columns {
+				a, b := aliRes.Value(row, col), eiRes.Value(row, col)
+				if !valuesClose(a, b) {
+					t.Fatalf("trial %d: (%d,%d) differs: ALi=%v Ei=%v\nquery: %s",
+						trial, row, col, a, b, q)
+				}
+			}
+		}
+	}
+}
+
+// randomAggQuery builds a deterministic-output aggregate query with
+// random predicates over the seismic schema.
+func randomAggQuery(rng *rand.Rand, stations, channels []string) string {
+	var preds []string
+	if rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("F.station = '%s'", stations[rng.Intn(len(stations))]))
+	} else {
+		a := stations[rng.Intn(len(stations))]
+		b := stations[rng.Intn(len(stations))]
+		preds = append(preds, fmt.Sprintf("F.station IN ('%s', '%s')", a, b))
+	}
+	if rng.Intn(2) == 0 {
+		preds = append(preds, fmt.Sprintf("F.channel = '%s'", channels[rng.Intn(len(channels))]))
+	}
+	day := 10 + rng.Intn(3)
+	preds = append(preds,
+		fmt.Sprintf("R.start_time > '2010-01-%02dT00:00:00.000'", day),
+		fmt.Sprintf("R.start_time < '2010-01-%02dT23:59:59.999'", day+rng.Intn(2)))
+	if rng.Intn(2) == 0 {
+		// A window that may or may not intersect coverage.
+		sec := rng.Intn(120)
+		preds = append(preds,
+			fmt.Sprintf("D.sample_time > '2010-01-%02dT22:14:%02d.000'", day, sec%60),
+			fmt.Sprintf("D.sample_time < '2010-01-%02dT22:15:%02d.000'", day, (sec+30)%60))
+	}
+	if rng.Intn(3) == 0 {
+		preds = append(preds, fmt.Sprintf("D.sample_value > %d", rng.Intn(100)-50))
+	}
+	where := ""
+	for i, p := range preds {
+		if i == 0 {
+			where = "WHERE " + p
+		} else {
+			where += " AND " + p
+		}
+	}
+	return fmt.Sprintf(`SELECT COUNT(*) AS n, SUM(D.sample_value) AS s,
+		MIN(D.sample_value) AS lo, MAX(D.sample_value) AS hi
+		FROM F JOIN R ON F.uri = R.uri
+		JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+		%s`, where)
+}
+
+func valuesClose(a, b vector.Value) bool {
+	if a.Kind == vector.KindFloat64 || b.Kind == vector.KindFloat64 {
+		af, bf := a.AsFloat(), b.AsFloat()
+		if af == bf {
+			return true
+		}
+		diff := math.Abs(af - bf)
+		scale := math.Max(math.Abs(af), math.Abs(bf))
+		return diff <= 1e-9*math.Max(scale, 1)
+	}
+	return vector.Equal(a, b)
+}
+
+// TestDifferentialMetadataQueries compares grouped metadata-only queries.
+func TestDifferentialMetadataQueries(t *testing.T) {
+	m := testRepo(t)
+	ali := openEngine(t, m.Dir, Options{Mode: ModeALi})
+	ei := openEngine(t, m.Dir, Options{Mode: ModeEi})
+	queries := []string{
+		`SELECT station, channel, COUNT(*) AS n FROM F GROUP BY station, channel ORDER BY station, channel`,
+		`SELECT COUNT(DISTINCT uri) FROM R`,
+		`SELECT station, SUM(size_bytes) AS b FROM F GROUP BY station ORDER BY b DESC, station`,
+		`SELECT MIN(start_time) AS first, MAX(end_time) AS last FROM R`,
+		`SELECT uri, nsamples FROM R WHERE record_id = 0 ORDER BY uri LIMIT 7`,
+	}
+	for _, q := range queries {
+		a, err := ali.Query(q)
+		if err != nil {
+			t.Fatalf("ALi %q: %v", q, err)
+		}
+		b, err := ei.Query(q)
+		if err != nil {
+			t.Fatalf("Ei %q: %v", q, err)
+		}
+		if a.Format(0) != b.Format(0) {
+			t.Errorf("results differ for %q:\nALi:\n%s\nEi:\n%s", q, a.Format(0), b.Format(0))
+		}
+	}
+}
+
+// TestMountCorruptFileFails injects corruption between metadata load and
+// query time: the mount must fail loudly, never silently return wrong
+// data (the Steim reverse-integration check).
+func TestMountCorruptFileFails(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi})
+
+	// Identify the file Query 1 will mount and corrupt its payload.
+	p, _ := e.Prepare(query1)
+	bp, err := p.Stage1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := bp.FilesOfInterest()
+	if len(files) != 1 {
+		t.Fatalf("files of interest = %d", len(files))
+	}
+	path := filepath.Join(m.Dir, files[0].URI)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := make([]byte, len(data))
+	copy(orig, data)
+	data[len(data)/2] ^= 0xFF // flip a bit mid-payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.WriteFile(path, orig, 0o644)
+
+	if _, err := bp.Proceed(); err == nil {
+		t.Fatal("mount of corrupted file succeeded; corruption must not pass silently")
+	}
+}
+
+// TestMountDeletedFileFails covers the file vanishing between the two
+// stages (repositories are live; files may be rotated away).
+func TestMountDeletedFileFails(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi})
+	p, _ := e.Prepare(query1)
+	bp, err := p.Stage1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := bp.FilesOfInterest()
+	path := filepath.Join(m.Dir, files[0].URI)
+	data, _ := os.ReadFile(path)
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	defer os.WriteFile(path, data, 0o644)
+	if _, err := bp.Proceed(); err == nil {
+		t.Fatal("mount of deleted file succeeded")
+	}
+}
+
+// TestOpenErrors covers engine-open misconfiguration.
+func TestOpenErrors(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("Open without dirs succeeded")
+	}
+	if _, err := Open(Options{RepoDir: "/nonexistent-repo-xyz", DBDir: t.TempDir()}); err == nil {
+		t.Error("Open of missing repository succeeded")
+	}
+}
+
+// TestQueryErrors covers user mistakes reaching the engine.
+func TestQueryErrors(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi})
+	for _, q := range []string{
+		`SELECT nope FROM F`,
+		`SELECT * FROM GHOST`,
+		`this is not sql`,
+		`SELECT AVG(F.station) FROM F`, // AVG over VARCHAR
+	} {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded, want error", q)
+		}
+	}
+}

@@ -1,0 +1,305 @@
+// Package core implements the paper's primary contribution: a database
+// engine with two-stage query execution and automated lazy ingestion
+// (ALi) over scientific file repositories.
+//
+// An Engine owns a column store, a catalog whose tables are split into
+// metadata (M) and actual data (A), a format-adapter registry, an
+// ingestion cache and (optionally) a derived-metadata store. In ALi mode
+// only metadata is loaded up-front; every query is decomposed as
+// Q = Qf ⋈ Qs, the metadata branch Qf runs first, the run-time
+// optimization phase applies rewrite rule (1), and the second stage
+// mounts exactly the files of interest. In Ei mode (the baseline) the
+// whole repository is ingested eagerly and primary/foreign-key indexes
+// are built before the first query.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/derived"
+	"repro/internal/exec"
+	"repro/internal/ingest"
+	"repro/internal/seismic"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Mode selects the ingestion approach.
+type Mode int
+
+// Ingestion modes (the two systems compared in the paper's evaluation).
+const (
+	// ModeALi loads metadata only; actual data is ingested lazily per
+	// query by the second execution stage.
+	ModeALi Mode = iota
+	// ModeEi ingests the entire repository eagerly up-front and builds
+	// key indexes, like a conventional warehouse.
+	ModeEi
+)
+
+func (m Mode) String() string {
+	if m == ModeALi {
+		return "ALi"
+	}
+	return "Ei"
+}
+
+// MergeStrategy selects how the second stage combines per-file data —
+// the paper's run-time optimization question (a) vs (b).
+type MergeStrategy int
+
+// Merge strategies.
+const (
+	// StrategyBulk merges mounted data into one stream and runs the
+	// higher operators once (paper's option (a)).
+	StrategyBulk MergeStrategy = iota
+	// StrategyPerFile runs the higher operators per file and merges the
+	// partial results (paper's option (b); applies to global aggregates,
+	// falling back to bulk otherwise).
+	StrategyPerFile
+)
+
+func (s MergeStrategy) String() string {
+	if s == StrategyBulk {
+		return "bulk"
+	}
+	return "per-file"
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Mode is ALi (default) or Ei.
+	Mode Mode
+	// DBDir holds column storage and indexes; RepoDir is the scientific
+	// file repository being explored.
+	DBDir   string
+	RepoDir string
+	// Adapter maps the repository's format onto the schema (defaults to
+	// the seismic mSEED adapter).
+	Adapter catalog.FormatAdapter
+	// Disk is the modeled storage device (defaults to HDD7200).
+	Disk *storage.DiskModel
+	// PoolPages sizes the buffer pool (defaults to 16384 pages = 1 GiB).
+	PoolPages int
+	// Cache configures the ingestion cache (defaults to NeverCache, the
+	// paper's preliminary setting).
+	Cache cache.Config
+	// BatchSize overrides the execution batch size.
+	BatchSize int
+	// EnableDerived turns on derived-metadata collection and answering.
+	EnableDerived bool
+	// Strategy selects the second-stage merge strategy.
+	Strategy MergeStrategy
+	// SkipIndexes disables Ei's index build (for ablation benchmarks).
+	SkipIndexes bool
+}
+
+// IngestReport records what Open ingested.
+type IngestReport struct {
+	Mode     Mode
+	Metadata ingest.MetadataResult
+	Eager    *ingest.EagerResult
+	// Wall and ModeledIO cover the whole up-front ingestion (the
+	// data-to-insight time the paper measures).
+	Wall      time.Duration
+	ModeledIO time.Duration
+}
+
+// Engine is the two-stage query engine.
+type Engine struct {
+	opts    Options
+	clock   *storage.Clock
+	pool    *storage.BufferPool
+	store   *storage.Store
+	cat     *catalog.Catalog
+	reg     *catalog.AdapterRegistry
+	adapter catalog.FormatAdapter
+	indexes []exec.IndexInfo
+	cache   *cache.Manager
+	derived *derived.Store
+	report  IngestReport
+	allURIs []string
+	qfSeq   atomic.Int64
+
+	// data-table column positions for the derived-metadata hook
+	dataRIDCol, dataSpanCol, dataValCol int
+}
+
+// Open creates (or reopens) an engine over a repository and performs the
+// mode's up-front ingestion.
+func Open(opts Options) (*Engine, error) {
+	if opts.RepoDir == "" || opts.DBDir == "" {
+		return nil, fmt.Errorf("core: Options needs RepoDir and DBDir")
+	}
+	if opts.Adapter == nil {
+		opts.Adapter = seismic.NewAdapter()
+	}
+	disk := storage.HDD7200()
+	if opts.Disk != nil {
+		disk = *opts.Disk
+	}
+	if opts.PoolPages == 0 {
+		opts.PoolPages = 16384
+	}
+	clock := &storage.Clock{}
+	pool := storage.NewBufferPool(opts.PoolPages, disk, clock)
+	store, err := storage.Open(opts.DBDir, pool)
+	if err != nil {
+		return nil, err
+	}
+	cat := catalog.New()
+	reg := catalog.NewRegistry()
+	if err := reg.Register(opts.Adapter); err != nil {
+		return nil, err
+	}
+	if err := ingest.EnsureTables(store, cat, opts.Adapter); err != nil {
+		return nil, err
+	}
+
+	e := &Engine{
+		opts: opts, clock: clock, pool: pool, store: store,
+		cat: cat, reg: reg, adapter: opts.Adapter,
+		cache: cache.New(opts.Cache),
+	}
+	if opts.EnableDerived {
+		e.derived = derived.NewStore()
+	}
+	if err := e.locateDataColumns(); err != nil {
+		return nil, err
+	}
+	uris, err := listRepoFiles(opts.RepoDir)
+	if err != nil {
+		return nil, err
+	}
+	e.allURIs = uris
+
+	// Up-front ingestion, unless the database already holds the data.
+	fileDef, _, _ := opts.Adapter.Tables()
+	fileTbl := store.MustTable(fileDef.Name)
+	start := time.Now()
+	ioStart := clock.Elapsed()
+	e.report.Mode = opts.Mode
+	if fileTbl.Rows() == 0 {
+		switch opts.Mode {
+		case ModeALi:
+			meta, err := ingest.LoadMetadata(store, opts.Adapter, opts.RepoDir, uris)
+			if err != nil {
+				return nil, err
+			}
+			e.report.Metadata = meta
+		case ModeEi:
+			eager, err := ingest.LoadEager(store, opts.Adapter, opts.RepoDir, uris, !opts.SkipIndexes)
+			if err != nil {
+				return nil, err
+			}
+			e.report.Metadata = eager.Meta
+			e.report.Eager = &eager
+			e.indexes = eager.Indexes
+		}
+	} else if opts.Mode == ModeEi && !opts.SkipIndexes {
+		// Reopened eager database: reattach indexes.
+		infos, _, err := ingest.BuildKeyIndexes(store, opts.Adapter)
+		if err != nil {
+			return nil, err
+		}
+		e.indexes = infos
+	}
+	e.report.Wall = time.Since(start)
+	e.report.ModeledIO = clock.Elapsed() - ioStart
+	return e, nil
+}
+
+// locateDataColumns finds the record-id, span and value columns of the
+// data table, used by the derived-metadata hook. The value column is the
+// first DOUBLE column that is neither the span nor the record id.
+func (e *Engine) locateDataColumns() error {
+	_, _, dataDef := e.adapter.Tables()
+	e.dataRIDCol = dataDef.ColumnIndex(e.adapter.RecordIDColumn())
+	e.dataSpanCol = dataDef.ColumnIndex(e.adapter.DataSpanColumn())
+	e.dataValCol = -1
+	for i, c := range dataDef.Columns {
+		if c.Kind == vector.KindFloat64 && i != e.dataSpanCol && i != e.dataRIDCol {
+			e.dataValCol = i
+			break
+		}
+	}
+	return nil
+}
+
+// Close releases storage handles and indexes.
+func (e *Engine) Close() error {
+	for _, ix := range e.indexes {
+		ix.Index.Close()
+	}
+	return e.store.Close()
+}
+
+// Report returns the up-front ingestion report.
+func (e *Engine) Report() IngestReport { return e.report }
+
+// Mode returns the engine's ingestion mode.
+func (e *Engine) Mode() Mode { return e.opts.Mode }
+
+// Catalog exposes the schema (read-only use).
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Store exposes the column store (benchmarks measure its size).
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// Pool exposes the buffer pool (the cold/hot protocol flushes it).
+func (e *Engine) Pool() *storage.BufferPool { return e.pool }
+
+// Clock exposes the modeled-I/O clock.
+func (e *Engine) Clock() *storage.Clock { return e.clock }
+
+// Cache exposes the ingestion cache.
+func (e *Engine) Cache() *cache.Manager { return e.cache }
+
+// Derived exposes the derived-metadata store (nil unless enabled).
+func (e *Engine) Derived() *derived.Store { return e.derived }
+
+// RepoFiles returns the URIs of every repository file.
+func (e *Engine) RepoFiles() []string {
+	out := make([]string, len(e.allURIs))
+	copy(out, e.allURIs)
+	return out
+}
+
+// IndexBytes totals the on-disk size of the engine's key indexes.
+func (e *Engine) IndexBytes() int64 {
+	var total int64
+	for _, ix := range e.indexes {
+		total += ix.Index.SizeOnDisk()
+	}
+	return total
+}
+
+// FlushCold empties the buffer pool — the paper's "cold" protocol
+// ("right after restarting the server with all buffers flushed").
+func (e *Engine) FlushCold() {
+	e.pool.Flush()
+}
+
+// listRepoFiles returns the regular files of a repository directory,
+// sorted for determinism.
+func listRepoFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: list repository %s: %w", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		out = append(out, e.Name())
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/exec"
+	"repro/internal/explore"
+	"repro/internal/plan"
+	"repro/internal/sql"
+	"repro/internal/vector"
+)
+
+// Prepared is a parsed, bound and optimized query, decomposed into
+// Q = Qf ⋈ Qs when the engine runs in ALi mode.
+type Prepared struct {
+	eng  *Engine
+	SQL  string
+	Root plan.Node
+	// Dec is the two-stage decomposition; valid when HasStages.
+	Dec       plan.Decomposition
+	HasStages bool
+	// actuals are the actual-data scans rule (1) will expand.
+	actuals []plan.ActualScanInfo
+}
+
+// Prepare parses, binds, optimizes and (in ALi mode) decomposes a query.
+// This is the compile-time query optimization phase.
+func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := plan.Bind(stmt, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	optimized, err := plan.Optimize(bound, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{eng: e, SQL: sqlText, Root: optimized}
+	if e.opts.Mode == ModeALi {
+		name := fmt.Sprintf("qf%d", e.qfSeq.Add(1))
+		if dec, ok := plan.Decompose(optimized, e.cat, name); ok {
+			p.Dec = dec
+			p.HasStages = true
+			if !dec.MetadataOnly {
+				p.actuals = plan.FindActualScans(dec.Qs, e.cat)
+			}
+		} else {
+			// No metadata reference at all: rule (1) still applies, with
+			// every repository file potentially of interest (worst case).
+			p.actuals = plan.FindActualScans(optimized, e.cat)
+		}
+	}
+	return p, nil
+}
+
+// PlanString renders the optimized plan; in ALi mode the two stages are
+// shown separately.
+func (p *Prepared) PlanString() string {
+	if !p.HasStages {
+		return plan.Format(p.Root)
+	}
+	if p.Dec.MetadataOnly {
+		return "-- metadata-only: Qf answers the query --\n" + plan.Format(p.Dec.Qf)
+	}
+	return "-- Qf (first stage) --\n" + plan.Format(p.Dec.Qf) +
+		"-- Qs (second stage) --\n" + plan.Format(p.Dec.Qs)
+}
+
+// Breakpoint is the pause between the two execution stages: the files of
+// interest are known, the informativeness estimate is available, and the
+// explorer may proceed, or abort without ingesting anything.
+type Breakpoint struct {
+	pq       *Prepared
+	qfResult *exec.Materialized
+	files    []plan.MountSpec
+	// Est is the informativeness estimate for the second stage.
+	Est explore.Estimate
+	// final is non-nil when the query was fully answered in stage one
+	// (metadata-only queries, derived-metadata answers, or Ei mode).
+	final *Result
+
+	stage1Wall time.Duration
+	stage1IO   time.Duration
+	spanLo     int64
+	spanHi     int64
+	hasSpan    bool
+}
+
+// Done reports whether the query is already answered (no second stage).
+func (b *Breakpoint) Done() bool { return b.final != nil }
+
+// Result returns the final result when Done.
+func (b *Breakpoint) Result() *Result { return b.final }
+
+// FilesOfInterest lists the files the second stage would access.
+func (b *Breakpoint) FilesOfInterest() []plan.MountSpec {
+	out := make([]plan.MountSpec, len(b.files))
+	copy(out, b.files)
+	return out
+}
+
+// Stage1 runs the first execution stage. For Ei mode it simply runs the
+// whole plan (there is only one stage); for ALi it executes Qf,
+// identifies the files of interest and computes the informativeness
+// estimate — then pauses.
+func (p *Prepared) Stage1() (*Breakpoint, error) {
+	e := p.eng
+	start := time.Now()
+	ioStart := e.clock.Elapsed()
+	bp := &Breakpoint{pq: p}
+
+	finish := func(mat *exec.Materialized, st Stats) {
+		st.Stage1Wall = time.Since(start)
+		st.Stage1IO = e.clock.Elapsed() - ioStart
+		st.TotalWall = st.Stage1Wall + st.Stage2Wall
+		st.TotalIO = st.Stage1IO + st.Stage2IO
+		bp.final = &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}
+	}
+
+	if e.opts.Mode == ModeEi || !p.HasStages && len(p.actuals) == 0 {
+		// Single-stage execution: the conventional path.
+		mat, err := exec.Run(p.Root, e.newExecEnv(nil))
+		if err != nil {
+			return nil, err
+		}
+		finish(mat, Stats{})
+		return bp, nil
+	}
+
+	if p.HasStages && p.Dec.MetadataOnly {
+		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(nil))
+		if err != nil {
+			return nil, err
+		}
+		finish(mat, Stats{MetadataOnly: true})
+		return bp, nil
+	}
+
+	// ALi with actual data involved.
+	if p.HasStages {
+		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(nil))
+		if err != nil {
+			return nil, err
+		}
+		bp.qfResult = mat
+	}
+	if err := e.identifyFiles(p, bp); err != nil {
+		return nil, err
+	}
+	bp.Est = e.estimate(p, bp)
+	bp.stage1Wall = time.Since(start)
+	bp.stage1IO = e.clock.Elapsed() - ioStart
+
+	// Derived-metadata shortcut: answer summary queries without stage 2.
+	if e.derived != nil {
+		if res, ok := e.tryDerivedAnswer(p, bp); ok {
+			st := res.Stats
+			st.Stage1Wall = time.Since(start)
+			st.Stage1IO = e.clock.Elapsed() - ioStart
+			st.TotalWall = st.Stage1Wall
+			st.TotalIO = st.Stage1IO
+			st.FilesOfInterest = len(bp.files)
+			st.Estimate = bp.Est
+			st.AnsweredFromDerived = true
+			res.Stats = st
+			bp.final = res
+			return bp, nil
+		}
+	}
+	return bp, nil
+}
+
+// identifyFiles computes the files of interest from the Qf result (or
+// all repository files when the query never touches metadata) and marks
+// which are cache-resident (f ∈ C).
+func (e *Engine) identifyFiles(p *Prepared, bp *Breakpoint) error {
+	if len(p.actuals) == 0 {
+		return fmt.Errorf("core: stage 2 with no actual-data scan")
+	}
+	actual := p.actuals[0]
+	// The span σp3 places on the data-span column, for cache decisions
+	// and informativeness.
+	bp.spanLo, bp.spanHi = math.MinInt64, math.MaxInt64
+	if actual.Pred != nil {
+		if lo, hi, ok := exec.PredSpan(actual.Pred, actual.Binding, e.adapter.DataSpanColumn()); ok {
+			bp.spanLo, bp.spanHi, bp.hasSpan = lo, hi, true
+		}
+	}
+
+	var uris []string
+	if bp.qfResult == nil {
+		uris = e.allURIs // worst case: the entire repository
+	} else {
+		uriCol, err := plan.CollectURIColumn(p.Dec.Qs, p.Dec.Name, actual.Binding, e.adapter.URIColumn())
+		if err != nil {
+			return err
+		}
+		idx := bp.qfResult.Column(uriCol)
+		if idx < 0 {
+			return fmt.Errorf("core: stage-one result lacks column %s", uriCol)
+		}
+		seen := make(map[string]bool)
+		for _, b := range bp.qfResult.Batches {
+			for _, u := range b.Cols[idx].Strings() {
+				if !seen[u] {
+					seen[u] = true
+					uris = append(uris, u)
+				}
+			}
+		}
+	}
+	need := cache.FullSpan()
+	if bp.hasSpan {
+		need = cache.Span{Lo: bp.spanLo, Hi: bp.spanHi}
+	}
+	bp.files = make([]plan.MountSpec, len(uris))
+	for i, u := range uris {
+		bp.files[i] = plan.MountSpec{URI: u, Cached: e.cache.Contains(u, need)}
+	}
+	return nil
+}
+
+// Proceed runs the second execution stage: the run-time query
+// optimization phase applies rewrite rule (1), then Qs executes, mounts
+// happening wherever and whenever needed.
+func (b *Breakpoint) Proceed() (*Result, error) {
+	if b.final != nil {
+		return b.final, nil
+	}
+	e := b.pq.eng
+	start := time.Now()
+	ioStart := e.clock.Elapsed()
+
+	root := b.pq.Root
+	if b.pq.HasStages {
+		root = b.pq.Dec.Qs
+	}
+	actual := b.pq.actuals[0]
+	rewritten := plan.ApplyRule1(root, actual.Binding, e.adapter.Name(), b.files)
+	resolved, err := plan.Resolve(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	env := e.newExecEnv(b)
+
+	var mat *exec.Materialized
+	if e.opts.Strategy == StrategyPerFile {
+		mat, err = e.runPerFile(resolved, b, env)
+	} else {
+		mat, err = exec.Run(resolved, env)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	st := Stats{
+		Stage1Wall:      b.stage1Wall,
+		Stage1IO:        b.stage1IO,
+		Stage2Wall:      time.Since(start),
+		Stage2IO:        e.clock.Elapsed() - ioStart,
+		FilesOfInterest: len(b.files),
+		Mounts:          *env.Mounts,
+		Estimate:        b.Est,
+		Strategy:        e.opts.Strategy,
+	}
+	st.TotalWall = st.Stage1Wall + st.Stage2Wall
+	st.TotalIO = st.Stage1IO + st.Stage2IO
+	return &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}, nil
+}
+
+// Query runs a query end to end: both stages, no interaction.
+func (e *Engine) Query(sqlText string) (*Result, error) {
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := p.Stage1()
+	if err != nil {
+		return nil, err
+	}
+	if bp.Done() {
+		return bp.Result(), nil
+	}
+	return bp.Proceed()
+}
+
+// newExecEnv builds the execution environment, wiring the Qf result for
+// result-scans and the derived-metadata observation hook.
+func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
+	env := &exec.Env{
+		Store:     e.store,
+		Adapters:  e.reg,
+		RepoDir:   e.opts.RepoDir,
+		Cache:     e.cache,
+		Results:   make(map[string]*exec.Materialized),
+		Indexes:   e.indexes,
+		BatchSize: e.opts.BatchSize,
+		Mounts:    &exec.MountStats{},
+	}
+	if bp != nil && bp.qfResult != nil {
+		env.Results[bp.pq.Dec.Name] = bp.qfResult
+	}
+	if e.derived != nil && e.dataValCol >= 0 && e.dataRIDCol >= 0 && e.dataSpanCol >= 0 {
+		rid, span, val := e.dataRIDCol, e.dataSpanCol, e.dataValCol
+		store := e.derived
+		env.OnMount = func(uri string, full *vector.Batch) {
+			store.Observe(uri, full, rid, span, val)
+		}
+	}
+	return env
+}
+
+// estimate computes the breakpoint informativeness from the stage-one
+// result, using the adapter's estimate hints when available.
+func (e *Engine) estimate(p *Prepared, bp *Breakpoint) explore.Estimate {
+	if bp.qfResult == nil {
+		// No metadata stage: only file-level knowledge.
+		est := explore.Estimate{Files: len(bp.files)}
+		est.Empty = est.Files == 0
+		return est
+	}
+	in := explore.EstimateInput{
+		Schema: bp.qfResult.Schema,
+		Rows:   bp.qfResult.Batches,
+		SpanLo: bp.spanLo,
+		SpanHi: bp.spanHi,
+		IsCached: func(uri string) bool {
+			need := cache.FullSpan()
+			if bp.hasSpan {
+				need = cache.Span{Lo: bp.spanLo, Hi: bp.spanHi}
+			}
+			return e.cache.Contains(uri, need)
+		},
+		Disk: e.pool.Model(),
+	}
+	if len(p.actuals) > 0 {
+		if uriCol, err := plan.CollectURIColumn(p.Dec.Qs, p.Dec.Name, p.actuals[0].Binding, e.adapter.URIColumn()); err == nil {
+			in.URICol = uriCol
+		}
+	}
+	if h, ok := e.adapter.(EstimateHints); ok {
+		in.SizeCol = h.FileSizeColumn()
+		in.NSamplesCol = h.RowCountColumn()
+		lo, hi := h.RecordSpanColumns()
+		in.SpanLoCol, in.SpanHiCol = lo, hi
+	}
+	return explore.Compute(in)
+}
+
+// EstimateHints is an optional adapter extension giving the
+// informativeness model the metadata columns it needs. Without it the
+// estimate degrades to file/record counts.
+type EstimateHints interface {
+	// FileSizeColumn is the file-table column holding file bytes.
+	FileSizeColumn() string
+	// RowCountColumn is the record-table column holding per-record row
+	// counts.
+	RowCountColumn() string
+	// RecordSpanColumns are the record-table columns bounding the data
+	// span (start, end).
+	RecordSpanColumns() (lo, hi string)
+}
+
+func columnNames(schema []plan.ColInfo) []string {
+	out := make([]string, len(schema))
+	for i, c := range schema {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// runPerFile implements the paper's merge strategy (b): "run higher
+// operators on sub-tables and then merge the results". For a global
+// aggregate it executes the aggregate's input once per file of interest
+// and merges the per-file partial aggregate states; plans that are not
+// global aggregates fall back to bulk execution (strategy (a)).
+func (e *Engine) runPerFile(resolved plan.Node, bp *Breakpoint, env *exec.Env) (*exec.Materialized, error) {
+	proj, agg, union := matchGlobalAggOverUnion(resolved)
+	if agg == nil || union == nil {
+		return exec.Run(resolved, env)
+	}
+
+	states := make([]exec.AggState, len(agg.Aggs))
+	for i, spec := range agg.Aggs {
+		states[i] = exec.NewAggState(spec)
+	}
+
+	for _, input := range union.Inputs {
+		// Swap the union for a single-file union and run the aggregate's
+		// input subtree for that file only.
+		single := &plan.UnionAll{Inputs: []plan.Node{input}}
+		childPlan := plan.ReplaceNode(agg.Child, union, single)
+		mat, err := exec.Run(childPlan, env)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range mat.Batches {
+			n := b.Len()
+			for i, spec := range agg.Aggs {
+				if spec.Arg == nil {
+					for r := 0; r < n; r++ {
+						states[i].AddCount()
+					}
+					continue
+				}
+				v, err := spec.Arg.Eval(b)
+				if err != nil {
+					return nil, err
+				}
+				for r := 0; r < n; r++ {
+					states[i].Add(v.Get(r))
+				}
+			}
+		}
+	}
+
+	// Finalize: one global row, then the projection on top.
+	aggSchema := agg.Schema()
+	cols := make([]*vector.Vector, len(aggSchema))
+	for i, ci := range aggSchema {
+		cols[i] = vector.New(ci.Kind, 1)
+	}
+	for i, st := range states {
+		v := st.Result()
+		want := aggSchema[i].Kind
+		switch {
+		case v.Kind == want:
+		case want == vector.KindFloat64:
+			v = vector.Float64(v.AsFloat())
+		case want == vector.KindInt64:
+			v = vector.Int64(v.AsInt())
+		case want == vector.KindTime:
+			v = vector.Time(v.AsInt())
+		}
+		cols[i].AppendValue(v)
+	}
+	row := vector.NewBatch(cols...)
+	if proj == nil {
+		return &exec.Materialized{Schema: aggSchema, Batches: []*vector.Batch{row}}, nil
+	}
+	outCols := make([]*vector.Vector, len(proj.Exprs))
+	for i, ex := range proj.Exprs {
+		v, err := ex.Eval(row)
+		if err != nil {
+			return nil, err
+		}
+		outCols[i] = v
+	}
+	return &exec.Materialized{
+		Schema:  proj.Schema(),
+		Batches: []*vector.Batch{vector.NewBatch(outCols...)},
+	}, nil
+}
+
+// matchGlobalAggOverUnion recognizes Project?(Aggregate(subtree
+// containing one UnionAll)) with no GROUP BY.
+func matchGlobalAggOverUnion(root plan.Node) (*plan.Project, *plan.Aggregate, *plan.UnionAll) {
+	var proj *plan.Project
+	n := root
+	if p, ok := n.(*plan.Project); ok {
+		proj = p
+		n = p.Child
+	}
+	agg, ok := n.(*plan.Aggregate)
+	if !ok || len(agg.GroupBy) > 0 {
+		return nil, nil, nil
+	}
+	var union *plan.UnionAll
+	count := 0
+	plan.Walk(agg.Child, func(x plan.Node) {
+		if u, ok := x.(*plan.UnionAll); ok {
+			union = u
+			count++
+		}
+	})
+	if count != 1 {
+		return nil, nil, nil
+	}
+	return proj, agg, union
+}

@@ -1,0 +1,329 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// AggState is the partial state of one aggregate over one group. States
+// support merging, which the operate-then-merge execution strategy (the
+// paper's strategy (b)) uses to combine per-file partial aggregates.
+type AggState interface {
+	Add(v vector.Value)
+	AddCount() // for COUNT(*)
+	Merge(other AggState)
+	Result() vector.Value
+}
+
+// NewAggState constructs the state for a spec.
+func NewAggState(spec plan.AggSpec) AggState {
+	var s AggState
+	switch spec.Func {
+	case plan.AggCount:
+		s = &countState{}
+	case plan.AggSum:
+		s = &sumState{kind: argKind(spec)}
+	case plan.AggAvg:
+		s = &avgState{}
+	case plan.AggMin:
+		s = &minMaxState{min: true}
+	case plan.AggMax:
+		s = &minMaxState{}
+	default:
+		panic("exec: unknown aggregate " + spec.Func.String())
+	}
+	if spec.Distinct {
+		s = &distinctState{inner: s, seen: make(map[vector.Value]bool)}
+	}
+	return s
+}
+
+func argKind(spec plan.AggSpec) vector.Kind {
+	if spec.Arg == nil {
+		return vector.KindInt64
+	}
+	return spec.Arg.Kind()
+}
+
+type countState struct{ n int64 }
+
+func (s *countState) Add(vector.Value) { s.n++ }
+func (s *countState) AddCount()        { s.n++ }
+func (s *countState) Merge(o AggState) { s.n += o.(*countState).n }
+func (s *countState) Result() vector.Value {
+	return vector.Int64(s.n)
+}
+
+type sumState struct {
+	kind vector.Kind
+	i    int64
+	f    float64
+	any  bool
+}
+
+func (s *sumState) Add(v vector.Value) {
+	s.any = true
+	if s.kind == vector.KindFloat64 {
+		s.f += v.AsFloat()
+	} else {
+		s.i += v.AsInt()
+	}
+}
+func (s *sumState) AddCount() {}
+func (s *sumState) Merge(o AggState) {
+	ot := o.(*sumState)
+	s.i += ot.i
+	s.f += ot.f
+	s.any = s.any || ot.any
+}
+func (s *sumState) Result() vector.Value {
+	if s.kind == vector.KindFloat64 {
+		return vector.Float64(s.f)
+	}
+	return vector.Int64(s.i)
+}
+
+type avgState struct {
+	sum float64
+	n   int64
+}
+
+func (s *avgState) Add(v vector.Value) { s.sum += v.AsFloat(); s.n++ }
+func (s *avgState) AddCount()          {}
+func (s *avgState) Merge(o AggState) {
+	ot := o.(*avgState)
+	s.sum += ot.sum
+	s.n += ot.n
+}
+func (s *avgState) Result() vector.Value {
+	if s.n == 0 {
+		// The engine has no NULL; an empty average is reported as 0 (see
+		// README limitations).
+		return vector.Float64(0)
+	}
+	return vector.Float64(s.sum / float64(s.n))
+}
+
+type minMaxState struct {
+	min bool
+	val vector.Value
+	set bool
+}
+
+func (s *minMaxState) Add(v vector.Value) {
+	if !s.set {
+		s.val, s.set = v, true
+		return
+	}
+	c := vector.Compare(v, s.val)
+	if (s.min && c < 0) || (!s.min && c > 0) {
+		s.val = v
+	}
+}
+func (s *minMaxState) AddCount() {}
+func (s *minMaxState) Merge(o AggState) {
+	ot := o.(*minMaxState)
+	if ot.set {
+		s.Add(ot.val)
+	}
+}
+func (s *minMaxState) Result() vector.Value {
+	if !s.set {
+		return vector.Int64(0)
+	}
+	return s.val
+}
+
+type distinctState struct {
+	inner AggState
+	seen  map[vector.Value]bool
+}
+
+func (s *distinctState) Add(v vector.Value) {
+	if s.seen[v] {
+		return
+	}
+	s.seen[v] = true
+	s.inner.Add(v)
+}
+func (s *distinctState) AddCount() { s.inner.AddCount() }
+func (s *distinctState) Merge(o AggState) {
+	ot := o.(*distinctState)
+	for v := range ot.seen {
+		if !s.seen[v] {
+			s.seen[v] = true
+			s.inner.Add(v)
+		}
+	}
+}
+func (s *distinctState) Result() vector.Value { return s.inner.Result() }
+
+// aggregateOp is a blocking hash aggregation.
+type aggregateOp struct {
+	node     *plan.Aggregate
+	child    Operator
+	groupIdx []int
+	schema   []plan.ColInfo
+	done     bool
+}
+
+func newAggregate(n *plan.Aggregate, child Operator) (Operator, error) {
+	cs := child.Schema()
+	groupIdx := make([]int, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		idx := plan.FindColumn(cs, g)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: group-by column %s missing", g)
+		}
+		groupIdx[i] = idx
+	}
+	return &aggregateOp{node: n, child: child, groupIdx: groupIdx, schema: n.Schema()}, nil
+}
+
+// Schema implements Operator.
+func (a *aggregateOp) Schema() []plan.ColInfo { return a.schema }
+
+type aggGroup struct {
+	keys   []vector.Value
+	states []AggState
+}
+
+// Next implements Operator: it drains the child and emits one batch of
+// groups.
+func (a *aggregateOp) Next() (*vector.Batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+
+	groups := make(map[uint64][]*aggGroup)
+	var order []*aggGroup
+	global := len(a.groupIdx) == 0
+	if global {
+		g := a.newGroup(nil)
+		groups[0] = []*aggGroup{g}
+		order = append(order, g)
+	}
+
+	for {
+		b, err := a.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		// Pre-evaluate aggregate arguments over the batch.
+		argVecs := make([]*vector.Vector, len(a.node.Aggs))
+		for i, spec := range a.node.Aggs {
+			if spec.Arg != nil {
+				v, err := spec.Arg.Eval(b)
+				if err != nil {
+					return nil, err
+				}
+				argVecs[i] = v
+			}
+		}
+		var hashes []uint64
+		if !global {
+			hashes = make([]uint64, n)
+			for _, gi := range a.groupIdx {
+				vector.HashVector(b.Cols[gi], hashes)
+			}
+		}
+		for row := 0; row < n; row++ {
+			var g *aggGroup
+			if global {
+				g = order[0]
+			} else {
+				h := hashes[row]
+				for _, cand := range groups[h] {
+					if a.groupKeysEqual(cand, b, row) {
+						g = cand
+						break
+					}
+				}
+				if g == nil {
+					keys := make([]vector.Value, len(a.groupIdx))
+					for i, gi := range a.groupIdx {
+						keys[i] = b.Cols[gi].Get(row)
+					}
+					g = a.newGroup(keys)
+					groups[h] = append(groups[h], g)
+					order = append(order, g)
+				}
+			}
+			for i, spec := range a.node.Aggs {
+				if spec.Arg == nil {
+					g.states[i].AddCount()
+				} else {
+					g.states[i].Add(argVecs[i].Get(row))
+				}
+			}
+		}
+	}
+
+	// Emit groups in first-seen order.
+	cols := make([]*vector.Vector, len(a.schema))
+	for i, ci := range a.schema {
+		cols[i] = vector.New(ci.Kind, len(order))
+	}
+	for _, g := range order {
+		for i := range a.groupIdx {
+			cols[i].AppendValue(g.keys[i])
+		}
+		for i, st := range g.states {
+			cols[len(a.groupIdx)+i].AppendValue(coerceValue(st.Result(), a.schema[len(a.groupIdx)+i].Kind))
+		}
+	}
+	return vector.NewBatch(cols...), nil
+}
+
+func (a *aggregateOp) newGroup(keys []vector.Value) *aggGroup {
+	states := make([]AggState, len(a.node.Aggs))
+	for i, spec := range a.node.Aggs {
+		states[i] = NewAggState(spec)
+	}
+	return &aggGroup{keys: keys, states: states}
+}
+
+func (a *aggregateOp) groupKeysEqual(g *aggGroup, b *vector.Batch, row int) bool {
+	for i, gi := range a.groupIdx {
+		if !vector.Equal(g.keys[i], b.Cols[gi].Get(row)) {
+			return false
+		}
+	}
+	return true
+}
+
+// coerceValue aligns a state result with the declared output kind (e.g.
+// MIN over an empty TIMESTAMP column yields Int64(0), stored as TIME).
+func coerceValue(v vector.Value, want vector.Kind) vector.Value {
+	if v.Kind == want {
+		return v
+	}
+	switch want {
+	case vector.KindFloat64:
+		if v.IsNumeric() || v.Kind == vector.KindTime {
+			return vector.Float64(v.AsFloat())
+		}
+	case vector.KindInt64:
+		if v.IsNumeric() || v.Kind == vector.KindTime {
+			return vector.Int64(v.AsInt())
+		}
+	case vector.KindTime:
+		if v.Kind == vector.KindInt64 {
+			return vector.Time(v.I)
+		}
+	}
+	return v
+}
+
+// Close implements Operator.
+func (a *aggregateOp) Close() error { return a.child.Close() }

@@ -1,0 +1,214 @@
+// Package exec implements the vectorized physical operators that execute
+// logical plans: table scans, filters, projections, hash joins,
+// index-nested-loop joins (the Ei baseline's join path), aggregation,
+// sorting, unions — and the paper's three new access paths: result-scan,
+// cache-scan and mount.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/index"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Operator is a pull-based, vectorized physical operator. Next returns
+// nil at end of stream. Operators are single-use.
+type Operator interface {
+	Schema() []plan.ColInfo
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// Materialized is a fully evaluated result: the unit that result-scan
+// reads and that the engine returns to clients.
+type Materialized struct {
+	Schema  []plan.ColInfo
+	Batches []*vector.Batch
+}
+
+// Rows counts the rows across all batches.
+func (m *Materialized) Rows() int {
+	n := 0
+	for _, b := range m.Batches {
+		n += b.Len()
+	}
+	return n
+}
+
+// Flatten concatenates all batches into one.
+func (m *Materialized) Flatten() *vector.Batch {
+	if len(m.Batches) == 1 {
+		return m.Batches[0]
+	}
+	cols := make([]*vector.Vector, len(m.Schema))
+	for i, ci := range m.Schema {
+		cols[i] = vector.New(ci.Kind, m.Rows())
+	}
+	for _, b := range m.Batches {
+		for i, c := range b.Cols {
+			cols[i].AppendVector(c)
+		}
+	}
+	return vector.NewBatch(cols...)
+}
+
+// Column returns the position of a (qualified) column name, or -1.
+func (m *Materialized) Column(name string) int {
+	return plan.FindColumn(m.Schema, name)
+}
+
+// IndexInfo registers a disk-resident index over a stored table, used by
+// the Ei baseline's index-nested-loop joins. KeyColumns are bare column
+// names of the indexed table, in index key order (at most two).
+type IndexInfo struct {
+	Index      *index.Index
+	TableName  string
+	KeyColumns []string
+}
+
+// MountStats counts ALi activity during one execution.
+type MountStats struct {
+	FilesMounted   int
+	BytesRead      int64
+	RecordsPruned  int
+	RecordsMounted int
+	CacheHits      int
+}
+
+// Env is everything operators need to run: storage, adapters, the
+// repository location, the ingestion cache, materialized results for
+// result-scans, registered indexes, and the I/O cost model for charging
+// mounts.
+type Env struct {
+	Store    *storage.Store
+	Adapters *catalog.AdapterRegistry
+	RepoDir  string
+	Cache    *cache.Manager
+	Results  map[string]*Materialized
+	Indexes  []IndexInfo
+	// BatchSize caps rows per batch (defaults to vector.DefaultBatchSize).
+	BatchSize int
+	// Mounts accumulates ALi statistics (optional).
+	Mounts *MountStats
+	// OnMount, when set, observes every mounted file's full batch before
+	// predicates are applied — the hook used to derive metadata "as a
+	// side-effect of ALi, without the explorer noticing".
+	OnMount func(uri string, full *vector.Batch)
+}
+
+func (e *Env) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return vector.DefaultBatchSize
+}
+
+// lookupIndex finds a registered index on tableName whose key columns
+// match keyCols exactly.
+func (e *Env) lookupIndex(tableName string, keyCols []string) *IndexInfo {
+	for i := range e.Indexes {
+		ix := &e.Indexes[i]
+		if ix.TableName != tableName || len(ix.KeyColumns) != len(keyCols) {
+			continue
+		}
+		match := true
+		for j := range keyCols {
+			if ix.KeyColumns[j] != keyCols[j] {
+				match = false
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// Build translates a resolved logical plan into an operator tree.
+func Build(n plan.Node, env *Env) (Operator, error) {
+	switch t := n.(type) {
+	case *plan.Scan:
+		return newTableScan(t, env)
+	case *plan.Select:
+		child, err := Build(t.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{child: child, pred: t.Pred}, nil
+	case *plan.Project:
+		child, err := Build(t.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &projectOp{child: child, node: t}, nil
+	case *plan.Join:
+		return newJoin(t, env)
+	case *plan.Aggregate:
+		child, err := Build(t.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return newAggregate(t, child)
+	case *plan.Sort:
+		child, err := Build(t.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{child: child, keys: t.Keys}, nil
+	case *plan.Limit:
+		child, err := Build(t.Child, env)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{child: child, n: t.N}, nil
+	case *plan.UnionAll:
+		inputs := make([]Operator, len(t.Inputs))
+		for i, in := range t.Inputs {
+			op, err := Build(in, env)
+			if err != nil {
+				return nil, err
+			}
+			inputs[i] = op
+		}
+		return &unionOp{schema: t.Schema(), inputs: inputs}, nil
+	case *plan.ResultScan:
+		mat, ok := env.Results[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("exec: result-scan %s: no materialized result", t.Name)
+		}
+		return &resultScanOp{schema: t.Cols, mat: mat}, nil
+	case *plan.Mount:
+		return newMount(t, env)
+	case *plan.CacheScan:
+		return newCacheScan(t, env)
+	default:
+		return nil, fmt.Errorf("exec: no operator for %T", n)
+	}
+}
+
+// Run builds and drains a plan into a materialized result.
+func Run(n plan.Node, env *Env) (*Materialized, error) {
+	op, err := Build(n, env)
+	if err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := &Materialized{Schema: op.Schema()}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		if b.Len() > 0 {
+			out.Batches = append(out.Batches, b)
+		}
+	}
+}

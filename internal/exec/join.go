@@ -1,0 +1,381 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// newJoin selects a join implementation: an index-nested-loop join when
+// the left side is a base-table scan with a registered index on exactly
+// the join key columns (the Ei baseline's path — the paper's "foreign
+// key indexes ... brought into main memory to compute the joins"),
+// otherwise a hash join that builds on the right input.
+func newJoin(n *plan.Join, env *Env) (Operator, error) {
+	if op, ok, err := tryIndexJoin(n, env); err != nil {
+		return nil, err
+	} else if ok {
+		return op, nil
+	}
+	left, err := Build(n.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(n.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, err := resolveKeys(n)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoin{
+		schema: n.Schema(), left: left, right: right,
+		leftKeys: lk, rightKeys: rk, batchSize: env.batchSize(),
+	}, nil
+}
+
+func resolveKeys(n *plan.Join) (lk, rk []int, err error) {
+	ls, rs := n.Left.Schema(), n.Right.Schema()
+	for i := range n.LeftKeys {
+		li := plan.FindColumn(ls, n.LeftKeys[i])
+		ri := plan.FindColumn(rs, n.RightKeys[i])
+		if li < 0 || ri < 0 {
+			return nil, nil, fmt.Errorf("exec: join key %s = %s unresolvable", n.LeftKeys[i], n.RightKeys[i])
+		}
+		lk = append(lk, li)
+		rk = append(rk, ri)
+	}
+	return lk, rk, nil
+}
+
+// hashJoin builds a hash table over the right input and probes with the
+// left input's batches. With no keys it degenerates to a cross product.
+type hashJoin struct {
+	schema    []plan.ColInfo
+	left      Operator
+	right     Operator
+	leftKeys  []int
+	rightKeys []int
+	batchSize int
+
+	built    bool
+	rightAll *vector.Batch
+	table    map[uint64][]int32
+
+	pending *vector.Batch
+}
+
+// Schema implements Operator.
+func (j *hashJoin) Schema() []plan.ColInfo { return j.schema }
+
+func (j *hashJoin) build() error {
+	mat := &Materialized{Schema: j.right.Schema()}
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			mat.Batches = append(mat.Batches, b)
+		}
+	}
+	j.rightAll = mat.Flatten()
+	if len(j.rightKeys) > 0 {
+		n := j.rightAll.Len()
+		hashes := make([]uint64, n)
+		for _, k := range j.rightKeys {
+			vector.HashVector(j.rightAll.Cols[k], hashes)
+		}
+		j.table = make(map[uint64][]int32, n)
+		for i := 0; i < n; i++ {
+			j.table[hashes[i]] = append(j.table[hashes[i]], int32(i))
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *hashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	if j.pending != nil {
+		b := j.pending
+		j.pending = nil
+		return b, nil
+	}
+	for {
+		lb, err := j.left.Next()
+		if err != nil || lb == nil {
+			return nil, err
+		}
+		if lb.Len() == 0 {
+			continue
+		}
+		var out *vector.Batch
+		if len(j.leftKeys) == 0 {
+			out = j.cross(lb)
+		} else {
+			out = j.probe(lb)
+		}
+		if out != nil && out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// probe matches one left batch against the hash table.
+func (j *hashJoin) probe(lb *vector.Batch) *vector.Batch {
+	n := lb.Len()
+	hashes := make([]uint64, n)
+	for _, k := range j.leftKeys {
+		vector.HashVector(lb.Cols[k], hashes)
+	}
+	var lsel []int
+	var rsel []int
+	for i := 0; i < n; i++ {
+		for _, rrow := range j.table[hashes[i]] {
+			if j.keysEqual(lb, i, int(rrow)) {
+				lsel = append(lsel, i)
+				rsel = append(rsel, int(rrow))
+			}
+		}
+	}
+	if len(lsel) == 0 {
+		return nil
+	}
+	return concatBatches(lb.Gather(lsel), j.rightAll.Gather(rsel))
+}
+
+func (j *hashJoin) keysEqual(lb *vector.Batch, lrow, rrow int) bool {
+	for i := range j.leftKeys {
+		lv := lb.Cols[j.leftKeys[i]].Get(lrow)
+		rv := j.rightAll.Cols[j.rightKeys[i]].Get(rrow)
+		if !vector.Equal(lv, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// cross produces the cartesian product of one left batch with the whole
+// right side.
+func (j *hashJoin) cross(lb *vector.Batch) *vector.Batch {
+	rn := j.rightAll.Len()
+	if rn == 0 {
+		return nil
+	}
+	ln := lb.Len()
+	lsel := make([]int, 0, ln*rn)
+	rsel := make([]int, 0, ln*rn)
+	for i := 0; i < ln; i++ {
+		for r := 0; r < rn; r++ {
+			lsel = append(lsel, i)
+			rsel = append(rsel, r)
+		}
+	}
+	return concatBatches(lb.Gather(lsel), j.rightAll.Gather(rsel))
+}
+
+// Close implements Operator.
+func (j *hashJoin) Close() error {
+	lerr := j.left.Close()
+	rerr := j.right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
+}
+
+func concatBatches(l, r *vector.Batch) *vector.Batch {
+	cols := make([]*vector.Vector, 0, l.NumCols()+r.NumCols())
+	cols = append(cols, l.Cols...)
+	cols = append(cols, r.Cols...)
+	return vector.NewBatch(cols...)
+}
+
+// tryIndexJoin recognizes Join(Scan(a)[+σ], right) where table a carries
+// an index on exactly the left join keys, and builds an
+// index-nested-loop join: for every right row, the index supplies the
+// matching rowIDs of a, which are fetched point-wise through the buffer
+// pool. Cold runs pay random I/O for both index probes and row fetches —
+// the Figure 3 cold-run behaviour of Ei.
+func tryIndexJoin(n *plan.Join, env *Env) (Operator, bool, error) {
+	type scanWithPred struct {
+		scan *plan.Scan
+		pred evaler
+	}
+	var sw scanWithPred
+	switch t := n.Left.(type) {
+	case *plan.Scan:
+		sw.scan = t
+	case *plan.Select:
+		if inner, ok := t.Child.(*plan.Scan); ok {
+			sw.scan = inner
+			sw.pred = t.Pred
+		}
+	}
+	if sw.scan == nil || len(n.LeftKeys) == 0 || len(n.LeftKeys) > 2 {
+		return nil, false, nil
+	}
+	bare := make([]string, len(n.LeftKeys))
+	ls := sw.scan.Schema()
+	for i, qk := range n.LeftKeys {
+		idx := plan.FindColumn(ls, qk)
+		if idx < 0 {
+			return nil, false, nil
+		}
+		bare[i] = sw.scan.Def.Columns[idx].Name
+	}
+	info := env.lookupIndex(sw.scan.TableName, bare)
+	if info == nil {
+		return nil, false, nil
+	}
+	right, err := Build(n.Right, env)
+	if err != nil {
+		return nil, false, err
+	}
+	tbl, ok := env.Store.Table(sw.scan.TableName)
+	if !ok {
+		right.Close()
+		return nil, false, fmt.Errorf("exec: index join over missing table %s", sw.scan.TableName)
+	}
+	_, rk, err := resolveKeys(n)
+	if err != nil {
+		right.Close()
+		return nil, false, err
+	}
+	cols := make([]int, len(sw.scan.Def.Columns))
+	for i, c := range sw.scan.Def.Columns {
+		cols[i] = tbl.ColumnIndex(c.Name)
+	}
+	keyCols := make([]int, len(bare))
+	for i, b := range bare {
+		keyCols[i] = tbl.ColumnIndex(b)
+	}
+	return &indexJoin{
+		schema: n.Schema(), info: info, table: tbl, right: right,
+		rightKeys: rk, tableCols: cols, keyCols: keyCols,
+		pred: sw.pred, batchSize: env.batchSize(),
+	}, true, nil
+}
+
+type evaler interface {
+	Eval(*vector.Batch) (*vector.Vector, error)
+}
+
+// indexJoin is the Ei baseline's physical join.
+type indexJoin struct {
+	schema    []plan.ColInfo
+	info      *IndexInfo
+	table     *storage.Table
+	right     Operator
+	rightKeys []int
+	tableCols []int // storage positions of the scan's output columns
+	keyCols   []int // storage positions of the indexed key columns
+	pred      evaler
+	batchSize int
+
+	rightAll *vector.Batch
+	rpos     int
+	done     bool
+}
+
+// Schema implements Operator.
+func (j *indexJoin) Schema() []plan.ColInfo { return j.schema }
+
+// Next implements Operator.
+func (j *indexJoin) Next() (*vector.Batch, error) {
+	if j.rightAll == nil {
+		mat := &Materialized{Schema: j.right.Schema()}
+		for {
+			b, err := j.right.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if b.Len() > 0 {
+				mat.Batches = append(mat.Batches, b)
+			}
+		}
+		j.rightAll = mat.Flatten()
+	}
+	for !j.done {
+		if j.rpos >= j.rightAll.Len() {
+			j.done = true
+			return nil, nil
+		}
+		rrow := j.rpos
+		j.rpos++
+		rowIDs, err := j.lookupRow(rrow)
+		if err != nil {
+			return nil, err
+		}
+		if len(rowIDs) == 0 {
+			continue
+		}
+		lb, err := j.table.ReadRowsAt(j.tableCols, rowIDs)
+		if err != nil {
+			return nil, err
+		}
+		if j.pred != nil {
+			pv, err := j.pred.Eval(lb)
+			if err != nil {
+				return nil, err
+			}
+			sel := vector.SelFromBools(pv)
+			if len(sel) == 0 {
+				continue
+			}
+			lb = lb.Gather(sel)
+		}
+		rsel := make([]int, lb.Len())
+		for i := range rsel {
+			rsel[i] = rrow
+		}
+		return concatBatches(lb, j.rightAll.Gather(rsel)), nil
+	}
+	return nil, nil
+}
+
+// lookupRow probes the index with the key values of one right row.
+func (j *indexJoin) lookupRow(rrow int) ([]int64, error) {
+	keys := make([]int64, 2)
+	for i, rk := range j.rightKeys {
+		v := j.rightAll.Cols[rk].Get(rrow)
+		switch v.Kind {
+		case vector.KindString:
+			dict := j.table.Dict(j.keyCols[i])
+			if dict == nil {
+				return nil, fmt.Errorf("exec: index join over non-dictionary string column")
+			}
+			code, ok := dict.CodeIfPresent(v.S)
+			if !ok {
+				return nil, nil // value never stored: no matches
+			}
+			keys[i] = code
+		case vector.KindInt64, vector.KindTime:
+			keys[i] = v.I
+		default:
+			return nil, fmt.Errorf("exec: unsupported index key kind %s", v.Kind)
+		}
+	}
+	if len(j.rightKeys) == 1 {
+		return j.info.Index.LookupA(keys[0])
+	}
+	return j.info.Index.Lookup(keys[0], keys[1])
+}
+
+// Close implements Operator.
+func (j *indexJoin) Close() error { return j.right.Close() }

@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// mountOp performs ALi for one file: extract, transform and ingest its
+// actual data as a dangling partial table, never touching table storage.
+// A fused selection (σ∘mount) both prunes whole records before
+// decompression (via the adapter's record span) and filters the decoded
+// rows. Depending on the cache policy the mounted data is retained for
+// later cache-scans; otherwise it is discarded when the query ends.
+type mountOp struct {
+	node    *plan.Mount
+	env     *Env
+	adapter catalog.FormatAdapter
+	schema  []plan.ColInfo
+
+	out  *vector.Batch
+	pos  int
+	done bool
+}
+
+func newMount(n *plan.Mount, env *Env) (Operator, error) {
+	ad, ok := env.Adapters.Get(n.Adapter)
+	if !ok {
+		return nil, fmt.Errorf("exec: mount with unknown adapter %s", n.Adapter)
+	}
+	return &mountOp{node: n, env: env, adapter: ad, schema: n.Schema()}, nil
+}
+
+// Schema implements Operator.
+func (m *mountOp) Schema() []plan.ColInfo { return m.schema }
+
+// Next implements Operator.
+func (m *mountOp) Next() (*vector.Batch, error) {
+	if !m.done {
+		if err := m.mount(); err != nil {
+			return nil, err
+		}
+		m.done = true
+	}
+	return emitChunk(m.out, &m.pos, m.env.batchSize()), nil
+}
+
+func (m *mountOp) mount() error {
+	path := filepath.Join(m.env.RepoDir, m.node.URI)
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("exec: mount %s: %w", m.node.URI, err)
+	}
+	// Model the cost of reading the external file by pulling its pages
+	// through the buffer pool: a cold mount pays seek+transfer, a hot
+	// repeat is free (the paper's hot protocol has the file in the OS
+	// page cache).
+	pool := m.env.Store.Pool()
+	if f, err := os.Open(path); err == nil {
+		touchErr := pool.Touch(path, f, st.Size())
+		f.Close()
+		if touchErr != nil {
+			return fmt.Errorf("exec: mount %s: %w", m.node.URI, touchErr)
+		}
+	}
+
+	// Record pruning from the fused selection: only when the cache policy
+	// does not require the whole file to be retained.
+	fileGranularCaching := m.env.Cache != nil &&
+		m.env.Cache.Config().Policy != cache.NeverCache &&
+		m.env.Cache.Config().Granularity == cache.FileGranular
+	var keep func(catalog.RecordMeta) bool
+	pruned := 0
+	if m.node.Pred != nil && !fileGranularCaching {
+		if sp, ok := predSpan(m.node.Pred, m.node.Binding, m.adapter.DataSpanColumn()); ok {
+			keep = func(rm catalog.RecordMeta) bool {
+				lo, hi, known := m.adapter.RecordSpan(rm)
+				if !known {
+					return true
+				}
+				if hi < sp.Lo || lo > sp.Hi {
+					pruned++
+					return false
+				}
+				return true
+			}
+		}
+	}
+
+	full, err := m.adapter.Mount(path, m.node.URI, keep)
+	if err != nil {
+		return err
+	}
+	if ms := m.env.Mounts; ms != nil {
+		ms.FilesMounted++
+		ms.BytesRead += st.Size()
+		ms.RecordsPruned += pruned
+		ms.RecordsMounted += full.Len()
+	}
+	if m.env.OnMount != nil {
+		m.env.OnMount(m.node.URI, full)
+	}
+
+	filtered := full
+	if m.node.Pred != nil {
+		pv, err := m.node.Pred.Eval(full)
+		if err != nil {
+			return err
+		}
+		sel := vector.SelFromBools(pv)
+		if len(sel) != full.Len() {
+			filtered = full.Gather(sel)
+		}
+	}
+
+	// Cache retention per policy and granularity.
+	if m.env.Cache != nil {
+		switch m.env.Cache.Config().Granularity {
+		case cache.FileGranular:
+			if keep == nil { // full file was mounted
+				m.env.Cache.Put(m.node.URI, full, cache.FullSpan())
+			}
+		case cache.TupleGranular:
+			span := cache.FullSpan()
+			if m.node.Pred != nil {
+				if sp, ok := predSpan(m.node.Pred, m.node.Binding, m.adapter.DataSpanColumn()); ok {
+					span = cache.Span{Lo: sp.Lo, Hi: sp.Hi}
+				}
+			}
+			m.env.Cache.Put(m.node.URI, filtered, span)
+		}
+	}
+	m.out = filtered
+	return nil
+}
+
+// Close implements Operator.
+func (m *mountOp) Close() error {
+	m.out = nil // unmount: dangling partial tables vanish with the query
+	return nil
+}
+
+// cacheScanOp serves previously mounted data from the ingestion cache.
+// If the entry was evicted between planning and execution it falls back
+// to a fresh mount.
+type cacheScanOp struct {
+	node   *plan.CacheScan
+	env    *Env
+	schema []plan.ColInfo
+
+	out  *vector.Batch
+	pos  int
+	done bool
+}
+
+func newCacheScan(n *plan.CacheScan, env *Env) (Operator, error) {
+	if env.Cache == nil {
+		return nil, fmt.Errorf("exec: cache-scan of %s without a cache", n.URI)
+	}
+	return &cacheScanOp{node: n, env: env, schema: n.Schema()}, nil
+}
+
+// Schema implements Operator.
+func (c *cacheScanOp) Schema() []plan.ColInfo { return c.schema }
+
+// Next implements Operator.
+func (c *cacheScanOp) Next() (*vector.Batch, error) {
+	if !c.done {
+		if err := c.load(); err != nil {
+			return nil, err
+		}
+		c.done = true
+	}
+	return emitChunk(c.out, &c.pos, c.env.batchSize()), nil
+}
+
+func (c *cacheScanOp) load() error {
+	need := cache.FullSpan()
+	var spanCol string
+	if ad, ok := c.env.Adapters.Get(c.node.Adapter); ok {
+		spanCol = ad.DataSpanColumn()
+	}
+	if c.node.Pred != nil && spanCol != "" {
+		if sp, ok := predSpan(c.node.Pred, c.node.Binding, spanCol); ok {
+			need = cache.Span{Lo: sp.Lo, Hi: sp.Hi}
+		}
+	}
+	cached, ok := c.env.Cache.Get(c.node.URI, need)
+	if !ok {
+		// Evicted since rule (1) decided f ∈ C: fall back to mounting.
+		mountNode := &plan.Mount{
+			URI: c.node.URI, Adapter: c.node.Adapter,
+			Binding: c.node.Binding, Def: c.node.Def, Pred: c.node.Pred,
+		}
+		op, err := newMount(mountNode, c.env)
+		if err != nil {
+			return err
+		}
+		defer op.Close()
+		mat := &Materialized{Schema: c.schema}
+		for {
+			b, err := op.Next()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			mat.Batches = append(mat.Batches, b)
+		}
+		c.out = mat.Flatten()
+		return nil
+	}
+	if ms := c.env.Mounts; ms != nil {
+		ms.CacheHits++
+	}
+	filtered := cached
+	if c.node.Pred != nil {
+		pv, err := c.node.Pred.Eval(cached)
+		if err != nil {
+			return err
+		}
+		sel := vector.SelFromBools(pv)
+		if len(sel) != cached.Len() {
+			filtered = cached.Gather(sel)
+		}
+	}
+	c.out = filtered
+	return nil
+}
+
+// Close implements Operator.
+func (c *cacheScanOp) Close() error { return nil }
+
+// emitChunk slices the materialized batch into batch-sized outputs.
+func emitChunk(out *vector.Batch, pos *int, size int) *vector.Batch {
+	if out == nil || *pos >= out.Len() {
+		return nil
+	}
+	hi := *pos + size
+	if hi > out.Len() {
+		hi = out.Len()
+	}
+	b := out.Slice(*pos, hi)
+	*pos = hi
+	return b
+}
+
+// PredSpan exposes span extraction to the engine layer: it returns the
+// inclusive [lo, hi] restriction a conjunctive predicate places on
+// binding.spanCol, with ok=false when unconstrained.
+func PredSpan(pred expr.Expr, binding, spanCol string) (lo, hi int64, ok bool) {
+	if pred == nil {
+		return 0, 0, false
+	}
+	sp, found := predSpan(pred, binding, spanCol)
+	return sp.Lo, sp.Hi, found
+}
+
+// predBounds is a half-open numeric restriction on one column extracted
+// from a conjunction.
+type predBounds struct {
+	Lo, Hi int64
+}
+
+// predSpan extracts the [Lo, Hi] bounds that a conjunctive predicate
+// places on the named span column (e.g. D.sample_time). It returns
+// ok=false when the predicate does not constrain the column.
+func predSpan(pred expr.Expr, binding, spanCol string) (predBounds, bool) {
+	if spanCol == "" {
+		return predBounds{}, false
+	}
+	qualified := binding + "." + spanCol
+	sp := predBounds{Lo: math.MinInt64, Hi: math.MaxInt64}
+	found := false
+	for _, conj := range expr.SplitAnd(pred) {
+		cmp, ok := conj.(*expr.Compare)
+		if !ok {
+			continue
+		}
+		col, colOnLeft := cmp.L.(*expr.Col)
+		if !colOnLeft {
+			if rc, ok := cmp.R.(*expr.Col); ok {
+				col = rc
+			} else {
+				continue
+			}
+		}
+		if col == nil || (col.Name != qualified && col.Name != spanCol) {
+			continue
+		}
+		var c *expr.Const
+		if colOnLeft {
+			c, ok = cmp.R.(*expr.Const)
+		} else {
+			c, ok = cmp.L.(*expr.Const)
+		}
+		if !ok || !(c.Val.Kind == vector.KindInt64 || c.Val.Kind == vector.KindTime) {
+			continue
+		}
+		op := cmp.Op
+		if !colOnLeft {
+			op = flipOp(op)
+		}
+		v := c.Val.I
+		switch op {
+		case expr.Gt:
+			if v+1 > sp.Lo {
+				sp.Lo = v + 1
+			}
+			found = true
+		case expr.Ge:
+			if v > sp.Lo {
+				sp.Lo = v
+			}
+			found = true
+		case expr.Lt:
+			if v-1 < sp.Hi {
+				sp.Hi = v - 1
+			}
+			found = true
+		case expr.Le:
+			if v < sp.Hi {
+				sp.Hi = v
+			}
+			found = true
+		case expr.Eq:
+			if v > sp.Lo {
+				sp.Lo = v
+			}
+			if v < sp.Hi {
+				sp.Hi = v
+			}
+			found = true
+		}
+	}
+	return sp, found
+}
+
+func flipOp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}

@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/repo"
+	"repro/internal/seismic"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// mountEnv prepares a repository, adapter registry and environment for
+// direct mount-operator tests.
+func mountEnv(t *testing.T, cacheCfg cache.Config) (*Env, *repo.Manifest, catalog.TableDef) {
+	t.Helper()
+	spec := repo.DefaultSpec(t.TempDir())
+	spec.Stations = spec.Stations[:1]
+	spec.Channels = spec.Channels[:1]
+	spec.Days = 1
+	spec.RecordsPerFile = 4
+	spec.SamplesPerRecord = 250
+	m, err := repo.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := storage.NewBufferPool(256, storage.NoCost(), nil)
+	store, err := storage.Open(t.TempDir(), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	reg := catalog.NewRegistry()
+	ad := seismic.NewAdapter()
+	if err := reg.Register(ad); err != nil {
+		t.Fatal(err)
+	}
+	_, _, dataDef := ad.Tables()
+	env := &Env{
+		Store:    store,
+		Adapters: reg,
+		RepoDir:  m.Dir,
+		Cache:    cache.New(cacheCfg),
+		Results:  make(map[string]*Materialized),
+		Mounts:   &MountStats{},
+	}
+	return env, m, dataDef
+}
+
+func mountNode(m *repo.Manifest, def catalog.TableDef, pred expr.Expr) *plan.Mount {
+	return &plan.Mount{
+		URI: m.Files[0].URI, Adapter: seismic.AdapterName,
+		Binding: "D", Def: def, Pred: pred,
+	}
+}
+
+func spanPred(def catalog.TableDef, lo, hi int64) expr.Expr {
+	schema := (&plan.Mount{Binding: "D", Def: def}).Schema()
+	idx := plan.FindColumn(schema, "D.sample_time")
+	c := &expr.Col{Index: idx, Name: "D.sample_time", K: vector.KindTime}
+	return expr.JoinAnd([]expr.Expr{
+		&expr.Compare{Op: expr.Ge, L: c, R: &expr.Const{Val: vector.Time(lo)}},
+		&expr.Compare{Op: expr.Le, L: c, R: &expr.Const{Val: vector.Time(hi)}},
+	})
+}
+
+func TestMountFullFileRows(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	mat, err := Run(mountNode(m, def, nil), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Rows() != 1000 {
+		t.Fatalf("mounted %d rows, want 1000", mat.Rows())
+	}
+	if env.Mounts.FilesMounted != 1 || env.Mounts.RecordsPruned != 0 {
+		t.Errorf("stats = %+v", env.Mounts)
+	}
+}
+
+func TestMountFusedSelectionPrunes(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	f := m.Files[0]
+	// Window inside the first record only: three of four records prunable.
+	recDur := (f.EndTime - f.StartTime) / 4
+	pred := spanPred(def, f.StartTime, f.StartTime+recDur/2)
+	mat, err := Run(mountNode(m, def, pred), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Rows() == 0 || mat.Rows() >= 1000 {
+		t.Fatalf("σ∘mount returned %d rows", mat.Rows())
+	}
+	if env.Mounts.RecordsPruned == 0 {
+		t.Error("no record pruned before decompression")
+	}
+	// Every surviving row satisfies the predicate.
+	flat := mat.Flatten()
+	for _, ts := range flat.Cols[2].Int64s() {
+		if ts < f.StartTime || ts > f.StartTime+recDur/2 {
+			t.Fatal("σ∘mount leaked a row outside the window")
+		}
+	}
+}
+
+func TestMountOnMountHookSeesFullRecords(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	var hookRows int
+	env.OnMount = func(uri string, full *vector.Batch) { hookRows = full.Len() }
+	f := m.Files[0]
+	pred := spanPred(def, f.StartTime, f.StartTime+1) // ~1 row survives
+	mat, err := Run(mountNode(m, def, pred), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hook observes the decoded records BEFORE the row filter, so its
+	// derived summaries describe whole records.
+	if hookRows <= mat.Rows() {
+		t.Errorf("hook saw %d rows, result has %d; hook must see pre-filter data", hookRows, mat.Rows())
+	}
+}
+
+func TestCacheScanServesAndFallsBack(t *testing.T) {
+	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+	env, m, def := mountEnv(t, cfg)
+
+	// Mount once to populate the cache.
+	if _, err := Run(mountNode(m, def, nil), env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Cache.Stats().Entries != 1 {
+		t.Fatal("mount did not populate the cache")
+	}
+
+	cs := &plan.CacheScan{
+		URI: m.Files[0].URI, Adapter: seismic.AdapterName, Binding: "D", Def: def,
+	}
+	mat, err := Run(cs, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Rows() != 1000 || env.Mounts.CacheHits != 1 {
+		t.Errorf("cache-scan rows=%d hits=%d", mat.Rows(), env.Mounts.CacheHits)
+	}
+
+	// Evict and scan again: must fall back to mounting, same rows.
+	env.Cache.Clear()
+	before := env.Mounts.FilesMounted
+	mat, err = Run(cs, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.Rows() != 1000 {
+		t.Errorf("fallback rows = %d", mat.Rows())
+	}
+	if env.Mounts.FilesMounted != before+1 {
+		t.Error("eviction fallback did not mount")
+	}
+}
+
+func TestCacheScanWithoutCacheErrors(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	env.Cache = nil
+	cs := &plan.CacheScan{URI: m.Files[0].URI, Adapter: seismic.AdapterName, Binding: "D", Def: def}
+	if _, err := Run(cs, env); err == nil {
+		t.Error("cache-scan without a cache succeeded")
+	}
+}
+
+func TestMountUnknownAdapter(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	n := mountNode(m, def, nil)
+	n.Adapter = "bogus"
+	if _, err := Run(n, env); err == nil {
+		t.Error("mount with unknown adapter succeeded")
+	}
+}
+
+func TestMountMissingFile(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{})
+	n := mountNode(m, def, nil)
+	n.URI = "not-there.mseed"
+	if _, err := Run(n, env); err == nil {
+		t.Error("mount of missing file succeeded")
+	}
+}
+
+func TestFileGranularCachePutsWholeFile(t *testing.T) {
+	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+	env, m, def := mountEnv(t, cfg)
+	f := m.Files[0]
+	// Even a narrow σ∘mount must cache the WHOLE file under file
+	// granularity (pruning is disabled so the cached entry is complete).
+	pred := spanPred(def, f.StartTime, f.StartTime+1)
+	if _, err := Run(mountNode(m, def, pred), env); err != nil {
+		t.Fatal(err)
+	}
+	cached, ok := env.Cache.Get(f.URI, cache.FullSpan())
+	if !ok {
+		t.Fatal("file not cached")
+	}
+	if cached.Len() != 1000 {
+		t.Errorf("cached %d rows, want the full 1000", cached.Len())
+	}
+}
+
+func TestTupleGranularCachePutsFilteredSpan(t *testing.T) {
+	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.TupleGranular}
+	env, m, def := mountEnv(t, cfg)
+	f := m.Files[0]
+	hi := f.StartTime + (f.EndTime-f.StartTime)/8
+	pred := spanPred(def, f.StartTime, hi)
+	if _, err := Run(mountNode(m, def, pred), env); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.Cache.Get(f.URI, cache.Span{Lo: f.StartTime, Hi: hi}); !ok {
+		t.Error("tuple span not served")
+	}
+	if _, ok := env.Cache.Get(f.URI, cache.FullSpan()); ok {
+		t.Error("tuple entry wrongly covers the full file")
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// sortOp materializes its input and emits it ordered by the sort keys.
+type sortOp struct {
+	child Operator
+	keys  []plan.SortKey
+	out   *vector.Batch
+	done  bool
+	pos   int
+}
+
+// Schema implements Operator.
+func (s *sortOp) Schema() []plan.ColInfo { return s.child.Schema() }
+
+// Next implements Operator.
+func (s *sortOp) Next() (*vector.Batch, error) {
+	if !s.done {
+		mat := &Materialized{Schema: s.child.Schema()}
+		for {
+			b, err := s.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if b.Len() > 0 {
+				mat.Batches = append(mat.Batches, b)
+			}
+		}
+		all := mat.Flatten()
+		idx := make([]int, all.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for _, k := range s.keys {
+				c := vector.Compare(all.Cols[k.Index].Get(idx[a]), all.Cols[k.Index].Get(idx[b]))
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		s.out = all.Gather(idx)
+		s.done = true
+	}
+	if s.out == nil || s.pos >= s.out.Len() {
+		return nil, nil
+	}
+	// Emit in one batch; downstream operators slice as needed.
+	b := s.out.Slice(s.pos, s.out.Len())
+	s.pos = s.out.Len()
+	return b, nil
+}
+
+// Close implements Operator.
+func (s *sortOp) Close() error { return s.child.Close() }

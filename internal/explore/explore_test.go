@@ -1,0 +1,179 @@
+package explore
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+func stageOneResult() ([]plan.ColInfo, []*vector.Batch) {
+	schema := []plan.ColInfo{
+		{Table: "F", Name: "uri", Kind: vector.KindString},
+		{Table: "F", Name: "size_bytes", Kind: vector.KindInt64},
+		{Table: "R", Name: "uri", Kind: vector.KindString},
+		{Table: "R", Name: "start_time", Kind: vector.KindTime},
+		{Table: "R", Name: "end_time", Kind: vector.KindTime},
+		{Table: "R", Name: "nsamples", Kind: vector.KindInt64},
+	}
+	// Two files, two records each; record spans of 100 units.
+	b := vector.NewBatch(
+		vector.FromString([]string{"a", "a", "b", "b"}),
+		vector.FromInt64([]int64{4096, 4096, 8192, 8192}),
+		vector.FromString([]string{"a", "a", "b", "b"}),
+		vector.FromTime([]int64{0, 100, 0, 100}),
+		vector.FromTime([]int64{99, 199, 99, 199}),
+		vector.FromInt64([]int64{1000, 1000, 1000, 1000}),
+	)
+	return schema, []*vector.Batch{b}
+}
+
+func baseInput() EstimateInput {
+	schema, rows := stageOneResult()
+	return EstimateInput{
+		Schema: schema, Rows: rows,
+		URICol: "R.uri", SizeCol: "size_bytes", NSamplesCol: "nsamples",
+		SpanLoCol: "start_time", SpanHiCol: "end_time",
+		SpanLo: math.MinInt64, SpanHi: math.MaxInt64,
+		Disk: storage.HDD7200(),
+	}
+}
+
+func TestComputeCounts(t *testing.T) {
+	est := Compute(baseInput())
+	if est.Files != 2 || est.Records != 4 {
+		t.Errorf("files/records = %d/%d, want 2/4", est.Files, est.Records)
+	}
+	if est.BytesToMount != 4096+8192 {
+		t.Errorf("bytes = %d", est.BytesToMount)
+	}
+	if est.EstRows != 4000 {
+		t.Errorf("unbounded est rows = %d, want 4000", est.EstRows)
+	}
+	if est.EstCost <= 0 {
+		t.Error("no cost estimated")
+	}
+	if est.Empty {
+		t.Error("non-empty marked empty")
+	}
+}
+
+func TestComputeWindowedRows(t *testing.T) {
+	in := baseInput()
+	in.SpanLo, in.SpanHi = 0, 49 // half of the first record of each file
+	est := Compute(in)
+	// 2 files x 1 record x ~half of 1000 samples.
+	if est.EstRows < 800 || est.EstRows > 1200 {
+		t.Errorf("windowed est rows = %d, want ~1000", est.EstRows)
+	}
+}
+
+func TestComputeCachedFilesExcluded(t *testing.T) {
+	in := baseInput()
+	in.IsCached = func(uri string) bool { return uri == "b" }
+	est := Compute(in)
+	if est.BytesToMount != 4096 {
+		t.Errorf("cached file still counted: %d bytes", est.BytesToMount)
+	}
+}
+
+func TestComputeEmpty(t *testing.T) {
+	in := baseInput()
+	in.Rows = nil
+	est := Compute(in)
+	if !est.Empty || est.Files != 0 {
+		t.Errorf("empty input: %+v", est)
+	}
+	if !strings.Contains(est.String(), "empty result") {
+		t.Errorf("String = %q", est.String())
+	}
+}
+
+func TestComputeMissingColumnsDegrade(t *testing.T) {
+	in := baseInput()
+	in.SizeCol, in.NSamplesCol = "", ""
+	est := Compute(in)
+	if est.Files != 2 {
+		t.Error("file count should survive missing hints")
+	}
+	if est.EstRows != 0 || est.BytesToMount != 0 {
+		t.Error("estimates should degrade to zero without hint columns")
+	}
+	in.URICol = "nope"
+	if got := Compute(in); got.Files != 0 {
+		t.Error("unknown URI column should yield an empty estimate")
+	}
+}
+
+func TestExpectedRowsEdgeCases(t *testing.T) {
+	if expectedRows(100, 0, 99, 200, 300) != 0 {
+		t.Error("disjoint should be 0")
+	}
+	if expectedRows(100, 0, 99, 0, 99) != 100 {
+		t.Error("exact cover should be all")
+	}
+	if got := expectedRows(100, 0, 99, 98, 200); got < 1 || got > 5 {
+		t.Errorf("sliver overlap = %d, want >=1 and small", got)
+	}
+	if expectedRows(100, 50, 50, 0, 100) != 100 {
+		t.Error("zero-width record inside window should count fully")
+	}
+	if expectedRows(0, 0, 10, 0, 10) != 0 {
+		t.Error("empty record contributes rows")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	est := Estimate{Files: 3, Records: 12, EstRows: 480, BytesToMount: 2 << 20, EstCost: 123 * time.Millisecond}
+	s := est.String()
+	for _, want := range []string{"3 files", "12 records", "480", "2.0 MB", "123ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("estimate string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestBudgetPolicies(t *testing.T) {
+	cheap := Estimate{EstCost: time.Second, EstRows: 100}
+	pricey := Estimate{EstCost: time.Hour, EstRows: 10_000_000}
+	if MaxCost(time.Minute)(cheap) != Proceed {
+		t.Error("cheap query refused")
+	}
+	if MaxCost(time.Minute)(pricey) != Abort {
+		t.Error("one-minute kernel let an hour-long query through")
+	}
+	if MaxRows(1000)(cheap) != Proceed || MaxRows(1000)(pricey) != Abort {
+		t.Error("MaxRows policy wrong")
+	}
+	if AlwaysProceed(pricey) != Proceed {
+		t.Error("AlwaysProceed aborted")
+	}
+}
+
+func TestSessionHistory(t *testing.T) {
+	s := NewSession(MaxRows(100))
+	if s.Decide(Estimate{EstRows: 5}) != Proceed {
+		t.Error("decide wrong")
+	}
+	s.Log(Record{SQL: "SELECT 1", Rows: 1, Wall: time.Millisecond})
+	s.Log(Record{SQL: "SELECT big", Decision: Abort, Estimate: Estimate{EstRows: 1e9, Files: 9}})
+	h := s.History()
+	if len(h) != 2 || h[0].SQL != "SELECT 1" {
+		t.Fatalf("history = %+v", h)
+	}
+	sum := s.Summary()
+	if !strings.Contains(sum, "aborted at breakpoint") || !strings.Contains(sum, "SELECT 1") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestNilPolicyDefaults(t *testing.T) {
+	s := NewSession(nil)
+	if s.Decide(Estimate{EstRows: math.MaxInt64}) != Proceed {
+		t.Error("nil policy should always proceed")
+	}
+}

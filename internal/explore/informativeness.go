@@ -1,0 +1,162 @@
+// Package explore implements the exploration-support layer sketched in
+// the paper's Challenges section: quantifying a query's informativeness
+// at the breakpoint between the two execution stages, budget policies
+// that realize the "one-minute database kernel" idea, and session
+// history for a sequence of exploration queries.
+package explore
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Estimate is the informativeness model computed at the breakpoint from
+// the first stage's result: how much actual data the second stage would
+// ingest and touch, what it will cost, and how large the answer will be.
+// "We gain insight about explorer's interest and the query's
+// informativeness" (paper §1) — this is that insight, quantified.
+type Estimate struct {
+	// Files and Records of interest identified by Qf.
+	Files   int
+	Records int64
+	// EstRows estimates the rows of actual data satisfying the query's
+	// span selection (from record spans and sample counts — metadata only).
+	EstRows int64
+	// BytesToMount is the compressed repository bytes the second stage
+	// must read (cached files excluded).
+	BytesToMount int64
+	// EstCost is the modeled second-stage time: mount I/O plus per-row
+	// CPU.
+	EstCost time.Duration
+	// Empty marks a provably empty answer: zero files of interest.
+	Empty bool
+}
+
+// String renders the estimate the way the explorer sees it at the
+// breakpoint.
+func (e Estimate) String() string {
+	if e.Empty {
+		return "empty result: no files of interest, second stage skipped"
+	}
+	return fmt.Sprintf("%d files / %d records of interest; ~%d result rows; %.1f MB to ingest; est. cost %v",
+		e.Files, e.Records, e.EstRows, float64(e.BytesToMount)/(1<<20), e.EstCost.Round(time.Millisecond))
+}
+
+// PerRowCPU is the modeled per-sample decode+process cost used in
+// EstCost (Steim decode plus predicate evaluation).
+const PerRowCPU = 60 * time.Nanosecond
+
+// EstimateInput identifies the metadata columns of the stage-one result
+// needed by the model. Empty names make the corresponding part of the
+// estimate degrade gracefully.
+type EstimateInput struct {
+	Schema []plan.ColInfo
+	Rows   []*vector.Batch
+	// Column names (qualified or bare) in the stage-one result:
+	URICol      string // file identity (required)
+	SizeCol     string // file size in bytes
+	NSamplesCol string // per-record sample count
+	SpanLoCol   string // record start (time)
+	SpanHiCol   string // record end (time)
+	// Query restriction on the span column, from σp3 ([lo, hi]; use
+	// math.MinInt64/MaxInt64 when unbounded).
+	SpanLo, SpanHi int64
+	// IsCached reports whether a file is served from cache (no mount I/O).
+	IsCached func(uri string) bool
+	// Disk is the cost model for mount I/O.
+	Disk storage.DiskModel
+}
+
+// Compute builds the informativeness estimate from first-stage output.
+func Compute(in EstimateInput) Estimate {
+	est := Estimate{}
+	uriIdx := plan.FindColumn(in.Schema, in.URICol)
+	if uriIdx < 0 {
+		return est
+	}
+	sizeIdx := plan.FindColumn(in.Schema, in.SizeCol)
+	nsIdx := plan.FindColumn(in.Schema, in.NSamplesCol)
+	loIdx := plan.FindColumn(in.Schema, in.SpanLoCol)
+	hiIdx := plan.FindColumn(in.Schema, in.SpanHiCol)
+
+	type fileAgg struct {
+		size   int64
+		cached bool
+	}
+	files := make(map[string]fileAgg)
+	for _, b := range in.Rows {
+		n := b.Len()
+		uris := b.Cols[uriIdx].Strings()
+		for i := 0; i < n; i++ {
+			est.Records++
+			uri := uris[i]
+			if _, ok := files[uri]; !ok {
+				fa := fileAgg{}
+				if sizeIdx >= 0 {
+					fa.size = b.Cols[sizeIdx].Int64s()[i]
+				}
+				if in.IsCached != nil {
+					fa.cached = in.IsCached(uri)
+				}
+				files[uri] = fa
+			}
+			// Expected result rows: sample count scaled by the fraction of
+			// the record's span inside the query window.
+			if nsIdx >= 0 && loIdx >= 0 && hiIdx >= 0 {
+				ns := b.Cols[nsIdx].Int64s()[i]
+				lo := b.Cols[loIdx].Int64s()[i]
+				hi := b.Cols[hiIdx].Int64s()[i]
+				est.EstRows += expectedRows(ns, lo, hi, in.SpanLo, in.SpanHi)
+			}
+		}
+	}
+	est.Files = len(files)
+	est.Empty = est.Files == 0
+	var mountPages int64
+	var mountedBytes int64
+	seeks := 0
+	for _, fa := range files {
+		if fa.cached {
+			continue
+		}
+		est.BytesToMount += fa.size
+		mountPages += (fa.size + storage.PageSize - 1) / storage.PageSize
+		mountedBytes += fa.size
+		seeks++
+	}
+	// Cost: per-file seek + sequential transfer + per-sample CPU over the
+	// full mounted files (decompression touches whole records).
+	cost := time.Duration(seeks) * in.Disk.SeekTime
+	cost += time.Duration(mountPages) * in.Disk.TransferPerPage
+	cost += time.Duration(est.EstRows) * PerRowCPU
+	est.EstCost = cost
+	return est
+}
+
+// expectedRows scales a record's sample count by span overlap.
+func expectedRows(ns, recLo, recHi, qLo, qHi int64) int64 {
+	if recHi < qLo || recLo > qHi || ns == 0 {
+		return 0
+	}
+	lo := recLo
+	if qLo > lo {
+		lo = qLo
+	}
+	hi := recHi
+	if qHi < hi {
+		hi = qHi
+	}
+	if recHi == recLo {
+		return ns
+	}
+	frac := float64(hi-lo) / float64(recHi-recLo)
+	rows := int64(frac * float64(ns))
+	if rows == 0 {
+		rows = 1 // the window intersects the record: at least one sample
+	}
+	return rows
+}

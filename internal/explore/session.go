@@ -1,0 +1,124 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBudgetExceeded is returned when a query's breakpoint estimate
+// exceeds the session budget and the policy is to refuse rather than ask.
+var ErrBudgetExceeded = errors.New("explore: estimated cost exceeds session budget")
+
+// Decision is what the explorer (or the budget policy acting for him)
+// chooses at the breakpoint: "let him even change the destiny of his
+// query, interacting with the system" (paper §5).
+type Decision int
+
+// Breakpoint decisions.
+const (
+	// Proceed continues with the second stage.
+	Proceed Decision = iota
+	// Abort cancels the query at the breakpoint; no actual data is
+	// ingested.
+	Abort
+)
+
+// BudgetPolicy decides at the breakpoint based on the estimate. The
+// paper's "one-minute database kernel" is MaxCost(time.Minute).
+type BudgetPolicy func(Estimate) Decision
+
+// MaxCost aborts queries whose estimated second-stage cost exceeds d.
+func MaxCost(d time.Duration) BudgetPolicy {
+	return func(e Estimate) Decision {
+		if e.EstCost > d {
+			return Abort
+		}
+		return Proceed
+	}
+}
+
+// MaxRows aborts queries whose estimated result exceeds n rows —
+// guarding against "a completely incomprehensible answer of millions of
+// rows" (paper §5).
+func MaxRows(n int64) BudgetPolicy {
+	return func(e Estimate) Decision {
+		if e.EstRows > n {
+			return Abort
+		}
+		return Proceed
+	}
+}
+
+// AlwaysProceed is the identity policy.
+func AlwaysProceed(Estimate) Decision { return Proceed }
+
+// Record is one executed (or aborted) query in an exploration session.
+type Record struct {
+	SQL      string
+	At       time.Time
+	Estimate Estimate
+	Decision Decision
+	Rows     int
+	Wall     time.Duration
+	Err      error
+}
+
+// Session tracks a sequence of exploration queries — the "lengthy
+// sequence of queries" the paper's explorer fires — together with the
+// budget policy applied at every breakpoint.
+type Session struct {
+	mu      sync.Mutex
+	policy  BudgetPolicy
+	history []Record
+}
+
+// NewSession returns a session with the given policy (nil means
+// AlwaysProceed).
+func NewSession(policy BudgetPolicy) *Session {
+	if policy == nil {
+		policy = AlwaysProceed
+	}
+	return &Session{policy: policy}
+}
+
+// Decide applies the session policy to a breakpoint estimate.
+func (s *Session) Decide(e Estimate) Decision {
+	return s.policy(e)
+}
+
+// Log appends a record to the session history.
+func (s *Session) Log(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, r)
+}
+
+// History returns a copy of the session history.
+func (s *Session) History() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Summary renders the session so far: what was asked, what it cost, what
+// was refused.
+func (s *Session) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for i, r := range s.history {
+		status := fmt.Sprintf("%d rows in %v", r.Rows, r.Wall.Round(time.Millisecond))
+		if r.Decision == Abort {
+			status = "aborted at breakpoint (" + r.Estimate.String() + ")"
+		}
+		if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		}
+		out += fmt.Sprintf("%2d. %s\n    %s\n", i+1, r.SQL, status)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/vector"
+)
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+)
+
+func (op ArithOp) String() string {
+	return [...]string{"+", "-", "*", "/"}[op]
+}
+
+// Arith is a binary arithmetic expression. Integer operands produce
+// BIGINT (with SQL-style truncating division); any DOUBLE operand
+// promotes the result to DOUBLE.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (a *Arith) Kind() vector.Kind {
+	if a.L.Kind() == vector.KindFloat64 || a.R.Kind() == vector.KindFloat64 {
+		return vector.KindFloat64
+	}
+	return vector.KindInt64
+}
+
+// String implements Expr.
+func (a *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L.String(), a.Op, a.R.String())
+}
+
+// Walk implements Expr.
+func (a *Arith) Walk(fn func(Expr)) { fn(a); a.L.Walk(fn); a.R.Walk(fn) }
+
+// Eval implements Expr.
+func (a *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := a.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := a.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Len() != rv.Len() {
+		return nil, fmt.Errorf("expr: arithmetic over %d vs %d rows", lv.Len(), rv.Len())
+	}
+	numeric := func(k vector.Kind) bool {
+		return k == vector.KindInt64 || k == vector.KindFloat64 || k == vector.KindTime
+	}
+	if !numeric(lv.Kind()) || !numeric(rv.Kind()) {
+		return nil, fmt.Errorf("expr: arithmetic over %s and %s", lv.Kind(), rv.Kind())
+	}
+	n := lv.Len()
+	if a.Kind() == vector.KindInt64 && lv.Kind() != vector.KindFloat64 && rv.Kind() != vector.KindFloat64 {
+		ls, rs := lv.Int64s(), rv.Int64s()
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			switch a.Op {
+			case Add:
+				out[i] = ls[i] + rs[i]
+			case Sub:
+				out[i] = ls[i] - rs[i]
+			case Mul:
+				out[i] = ls[i] * rs[i]
+			case Div:
+				if rs[i] == 0 {
+					return nil, fmt.Errorf("expr: division by zero at row %d", i)
+				}
+				out[i] = ls[i] / rs[i]
+			}
+		}
+		return vector.FromInt64(out), nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l := lv.Get(i).AsFloat()
+		r := rv.Get(i).AsFloat()
+		switch a.Op {
+		case Add:
+			out[i] = l + r
+		case Sub:
+			out[i] = l - r
+		case Mul:
+			out[i] = l * r
+		case Div:
+			if r == 0 {
+				return nil, fmt.Errorf("expr: division by zero at row %d", i)
+			}
+			out[i] = l / r
+		}
+	}
+	return vector.FromFloat64(out), nil
+}

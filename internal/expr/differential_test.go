@@ -1,0 +1,184 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// TestRandomExprVectorizedVsRowAtATime generates random expression trees
+// and checks that vectorized evaluation agrees with a row-at-a-time
+// reference evaluator on every row — the core soundness property of the
+// expression engine.
+func TestRandomExprVectorizedVsRowAtATime(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	batch := randomBatch(rng, 64)
+	for trial := 0; trial < 200; trial++ {
+		e := randomBoolExpr(rng, 3)
+		vec, err := e.Eval(batch)
+		if err != nil {
+			// Randomly generated trees can be ill-typed in ways the
+			// generator does not prevent (none currently); fail loudly.
+			t.Fatalf("trial %d: eval error for %s: %v", trial, e, err)
+		}
+		for row := 0; row < batch.Len(); row++ {
+			want, err := evalRow(e, batch, row)
+			if err != nil {
+				t.Fatalf("trial %d row %d: reference eval: %v", trial, row, err)
+			}
+			if vec.Bools()[row] != want {
+				t.Fatalf("trial %d row %d: vectorized %v != reference %v for %s",
+					trial, row, vec.Bools()[row], want, e)
+			}
+		}
+	}
+}
+
+// randomBatch builds a batch with int, float, string and time columns.
+func randomBatch(rng *rand.Rand, n int) *vector.Batch {
+	is := make([]int64, n)
+	fs := make([]float64, n)
+	ss := make([]string, n)
+	ts := make([]int64, n)
+	words := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < n; i++ {
+		is[i] = int64(rng.Intn(21) - 10)
+		fs[i] = float64(rng.Intn(200)-100) / 4
+		ss[i] = words[rng.Intn(len(words))]
+		ts[i] = int64(rng.Intn(1000))
+	}
+	return vector.NewBatch(
+		vector.FromInt64(is), vector.FromFloat64(fs),
+		vector.FromString(ss), vector.FromTime(ts),
+	)
+}
+
+var batchKinds = []vector.Kind{
+	vector.KindInt64, vector.KindFloat64, vector.KindString, vector.KindTime,
+}
+
+// randomBoolExpr builds a random boolean expression of bounded depth.
+func randomBoolExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return randomComparison(rng)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &Logic{Op: OpAnd, L: randomBoolExpr(rng, depth-1), R: randomBoolExpr(rng, depth-1)}
+	case 1:
+		return &Logic{Op: OpOr, L: randomBoolExpr(rng, depth-1), R: randomBoolExpr(rng, depth-1)}
+	default:
+		return &Not{E: randomBoolExpr(rng, depth-1)}
+	}
+}
+
+// randomComparison compares a column (or arithmetic over numeric
+// columns) with a like-kinded constant or column.
+func randomComparison(rng *rand.Rand) Expr {
+	ops := []CmpOp{Eq, Ne, Lt, Le, Gt, Ge}
+	op := ops[rng.Intn(len(ops))]
+	col := rng.Intn(len(batchKinds))
+	kind := batchKinds[col]
+	left := Expr(&Col{Index: col, Name: "c", K: kind})
+	if kind.Numeric() && rng.Intn(3) == 0 {
+		other := rng.Intn(2) // another numeric column
+		left = &Arith{
+			Op: []ArithOp{Add, Sub, Mul}[rng.Intn(3)],
+			L:  left,
+			R:  &Col{Index: other, Name: "d", K: batchKinds[other]},
+		}
+	}
+	var right Expr
+	if rng.Intn(2) == 0 && left.Kind() == kind {
+		// column vs column of the same kind
+		right = &Col{Index: col, Name: "c2", K: kind}
+	} else {
+		switch left.Kind() {
+		case vector.KindInt64:
+			right = &Const{Val: vector.Int64(int64(rng.Intn(21) - 10))}
+		case vector.KindFloat64:
+			right = &Const{Val: vector.Float64(float64(rng.Intn(200)-100) / 4)}
+		case vector.KindString:
+			right = &Const{Val: vector.Str([]string{"alpha", "beta", "zz"}[rng.Intn(3)])}
+		case vector.KindTime:
+			right = &Const{Val: vector.Time(int64(rng.Intn(1000)))}
+		}
+	}
+	return &Compare{Op: op, L: left, R: right}
+}
+
+// evalRow is the row-at-a-time reference evaluator.
+func evalRow(e Expr, b *vector.Batch, row int) (bool, error) {
+	v, err := evalRowValue(e, b, row)
+	if err != nil {
+		return false, err
+	}
+	return v.B, nil
+}
+
+func evalRowValue(e Expr, b *vector.Batch, row int) (vector.Value, error) {
+	switch t := e.(type) {
+	case *Col:
+		return b.Cols[t.Index].Get(row), nil
+	case *Const:
+		return t.Val, nil
+	case *Compare:
+		l, err := evalRowValue(t.L, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		r, err := evalRowValue(t.R, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		return vector.Bool(t.Op.holds(vector.Compare(l, r))), nil
+	case *Logic:
+		l, err := evalRowValue(t.L, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		r, err := evalRowValue(t.R, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		if t.Op == OpAnd {
+			return vector.Bool(l.B && r.B), nil
+		}
+		return vector.Bool(l.B || r.B), nil
+	case *Not:
+		v, err := evalRowValue(t.E, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		return vector.Bool(!v.B), nil
+	case *Arith:
+		l, err := evalRowValue(t.L, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		r, err := evalRowValue(t.R, b, row)
+		if err != nil {
+			return vector.Value{}, err
+		}
+		if t.Kind() == vector.KindInt64 {
+			switch t.Op {
+			case Add:
+				return vector.Int64(l.AsInt() + r.AsInt()), nil
+			case Sub:
+				return vector.Int64(l.AsInt() - r.AsInt()), nil
+			case Mul:
+				return vector.Int64(l.AsInt() * r.AsInt()), nil
+			}
+		}
+		switch t.Op {
+		case Add:
+			return vector.Float64(l.AsFloat() + r.AsFloat()), nil
+		case Sub:
+			return vector.Float64(l.AsFloat() - r.AsFloat()), nil
+		case Mul:
+			return vector.Float64(l.AsFloat() * r.AsFloat()), nil
+		}
+	}
+	panic("unreachable reference evaluator case")
+}

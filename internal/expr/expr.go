@@ -1,0 +1,321 @@
+// Package expr implements bound, vectorized scalar expressions: column
+// references, constants, comparisons, boolean connectives and arithmetic.
+// Expressions are bound to column positions of the operator input they
+// evaluate against (binding happens in internal/plan).
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vector"
+)
+
+// Expr is a bound scalar expression evaluable against a batch.
+type Expr interface {
+	// Kind is the result kind of the expression.
+	Kind() vector.Kind
+	// Eval evaluates the expression over every row of the batch.
+	Eval(b *vector.Batch) (*vector.Vector, error)
+	// String renders the expression for plan display.
+	String() string
+	// Walk visits this node and all children depth-first.
+	Walk(fn func(Expr))
+}
+
+// Col references a column of the input batch by position.
+type Col struct {
+	Index int
+	Name  string // display name, e.g. "F.station"
+	K     vector.Kind
+}
+
+// Kind implements Expr.
+func (c *Col) Kind() vector.Kind { return c.K }
+
+// Eval implements Expr.
+func (c *Col) Eval(b *vector.Batch) (*vector.Vector, error) {
+	if c.Index < 0 || c.Index >= b.NumCols() {
+		return nil, fmt.Errorf("expr: column %s bound to position %d of %d-column batch",
+			c.Name, c.Index, b.NumCols())
+	}
+	return b.Cols[c.Index], nil
+}
+
+// String implements Expr.
+func (c *Col) String() string { return c.Name }
+
+// Walk implements Expr.
+func (c *Col) Walk(fn func(Expr)) { fn(c) }
+
+// Const is a literal value.
+type Const struct {
+	Val vector.Value
+}
+
+// Kind implements Expr.
+func (c *Const) Kind() vector.Kind { return c.Val.Kind }
+
+// Eval broadcasts the constant over the batch length.
+func (c *Const) Eval(b *vector.Batch) (*vector.Vector, error) {
+	n := b.Len()
+	out := vector.New(c.Val.Kind, n)
+	for i := 0; i < n; i++ {
+		out.AppendValue(c.Val)
+	}
+	return out, nil
+}
+
+// String implements Expr.
+func (c *Const) String() string {
+	if c.Val.Kind == vector.KindString || c.Val.Kind == vector.KindTime {
+		return "'" + c.Val.String() + "'"
+	}
+	return c.Val.String()
+}
+
+// Walk implements Expr.
+func (c *Const) Walk(fn func(Expr)) { fn(c) }
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[op]
+}
+
+// holds reports whether cmp (a vector.Compare result) satisfies op.
+func (op CmpOp) holds(cmp int) bool {
+	switch op {
+	case Eq:
+		return cmp == 0
+	case Ne:
+		return cmp != 0
+	case Lt:
+		return cmp < 0
+	case Le:
+		return cmp <= 0
+	case Gt:
+		return cmp > 0
+	case Ge:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Compare is a binary comparison producing a boolean vector.
+type Compare struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (c *Compare) Kind() vector.Kind { return vector.KindBool }
+
+// String implements Expr.
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.L.String(), c.Op, c.R.String())
+}
+
+// Walk implements Expr.
+func (c *Compare) Walk(fn func(Expr)) { fn(c); c.L.Walk(fn); c.R.Walk(fn) }
+
+// Eval implements Expr with fast paths for vector-vs-constant compares of
+// matching kinds (the hot shape in selection predicates).
+func (c *Compare) Eval(b *vector.Batch) (*vector.Vector, error) {
+	if rc, ok := c.R.(*Const); ok {
+		lv, err := c.L.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		return cmpVecScalar(c.Op, lv, rc.Val)
+	}
+	if lc, ok := c.L.(*Const); ok {
+		lv, err := c.R.Eval(b)
+		if err != nil {
+			return nil, err
+		}
+		return cmpVecScalar(flip(c.Op), lv, lc.Val)
+	}
+	lv, err := c.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	return cmpVecVec(c.Op, lv, rv)
+}
+
+// flip mirrors an operator across its arguments: a OP b == b flip(OP) a.
+func flip(op CmpOp) CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return op
+	}
+}
+
+func cmpVecScalar(op CmpOp, v *vector.Vector, val vector.Value) (*vector.Vector, error) {
+	n := v.Len()
+	out := make([]bool, n)
+	switch {
+	case (v.Kind() == vector.KindInt64 || v.Kind() == vector.KindTime) &&
+		(val.Kind == vector.KindInt64 || val.Kind == vector.KindTime):
+		x := val.I
+		for i, a := range v.Int64s() {
+			switch op {
+			case Eq:
+				out[i] = a == x
+			case Ne:
+				out[i] = a != x
+			case Lt:
+				out[i] = a < x
+			case Le:
+				out[i] = a <= x
+			case Gt:
+				out[i] = a > x
+			case Ge:
+				out[i] = a >= x
+			}
+		}
+	case v.Kind() == vector.KindFloat64 && val.IsNumeric():
+		x := val.AsFloat()
+		for i, a := range v.Float64s() {
+			switch op {
+			case Eq:
+				out[i] = a == x
+			case Ne:
+				out[i] = a != x
+			case Lt:
+				out[i] = a < x
+			case Le:
+				out[i] = a <= x
+			case Gt:
+				out[i] = a > x
+			case Ge:
+				out[i] = a >= x
+			}
+		}
+	case (v.Kind() == vector.KindInt64 || v.Kind() == vector.KindTime) && val.Kind == vector.KindFloat64:
+		x := val.F
+		for i, a := range v.Int64s() {
+			af := float64(a)
+			switch op {
+			case Eq:
+				out[i] = af == x
+			case Ne:
+				out[i] = af != x
+			case Lt:
+				out[i] = af < x
+			case Le:
+				out[i] = af <= x
+			case Gt:
+				out[i] = af > x
+			case Ge:
+				out[i] = af >= x
+			}
+		}
+	case v.Kind() == vector.KindString && val.Kind == vector.KindString:
+		x := val.S
+		for i, a := range v.Strings() {
+			switch op {
+			case Eq:
+				out[i] = a == x
+			case Ne:
+				out[i] = a != x
+			case Lt:
+				out[i] = a < x
+			case Le:
+				out[i] = a <= x
+			case Gt:
+				out[i] = a > x
+			case Ge:
+				out[i] = a >= x
+			}
+		}
+	case v.Kind() == vector.KindBool && val.Kind == vector.KindBool:
+		for i, a := range v.Bools() {
+			out[i] = op.holds(boolCmp(a, val.B))
+		}
+	default:
+		return nil, fmt.Errorf("expr: cannot compare %s with %s", v.Kind(), val.Kind)
+	}
+	return vector.FromBool(out), nil
+}
+
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func cmpVecVec(op CmpOp, l, r *vector.Vector) (*vector.Vector, error) {
+	if l.Len() != r.Len() {
+		return nil, fmt.Errorf("expr: compare of %d against %d rows", l.Len(), r.Len())
+	}
+	n := l.Len()
+	out := make([]bool, n)
+	lk, rk := l.Kind(), r.Kind()
+	intish := func(k vector.Kind) bool { return k == vector.KindInt64 || k == vector.KindTime }
+	switch {
+	case intish(lk) && intish(rk):
+		ls, rs := l.Int64s(), r.Int64s()
+		for i := range ls {
+			switch op {
+			case Eq:
+				out[i] = ls[i] == rs[i]
+			case Ne:
+				out[i] = ls[i] != rs[i]
+			case Lt:
+				out[i] = ls[i] < rs[i]
+			case Le:
+				out[i] = ls[i] <= rs[i]
+			case Gt:
+				out[i] = ls[i] > rs[i]
+			case Ge:
+				out[i] = ls[i] >= rs[i]
+			}
+		}
+	case lk == vector.KindString && rk == vector.KindString:
+		ls, rs := l.Strings(), r.Strings()
+		for i := range ls {
+			out[i] = op.holds(strings.Compare(ls[i], rs[i]))
+		}
+	case (intish(lk) || lk == vector.KindFloat64) && (intish(rk) || rk == vector.KindFloat64):
+		for i := 0; i < n; i++ {
+			out[i] = op.holds(vector.Compare(l.Get(i), r.Get(i)))
+		}
+	case lk == vector.KindBool && rk == vector.KindBool:
+		ls, rs := l.Bools(), r.Bools()
+		for i := range ls {
+			out[i] = op.holds(boolCmp(ls[i], rs[i]))
+		}
+	default:
+		return nil, fmt.Errorf("expr: cannot compare %s with %s", lk, rk)
+	}
+	return vector.FromBool(out), nil
+}

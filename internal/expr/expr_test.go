@@ -1,0 +1,277 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vector"
+)
+
+func testBatch() *vector.Batch {
+	return vector.NewBatch(
+		vector.FromInt64([]int64{1, 2, 3, 4}),
+		vector.FromFloat64([]float64{0.5, 1.5, 2.5, 3.5}),
+		vector.FromString([]string{"ISK", "APE", "ISK", "BUD"}),
+		vector.FromTime([]int64{100, 200, 300, 400}),
+	)
+}
+
+func col(i int, k vector.Kind) *Col { return &Col{Index: i, Name: "c", K: k} }
+
+func evalBools(t *testing.T, e Expr, b *vector.Batch) []bool {
+	t.Helper()
+	v, err := e.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Bools()
+}
+
+func TestCompareIntScalar(t *testing.T) {
+	b := testBatch()
+	got := evalBools(t, &Compare{Op: Ge, L: col(0, vector.KindInt64), R: &Const{Val: vector.Int64(3)}}, b)
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompareFlippedConst(t *testing.T) {
+	b := testBatch()
+	// 3 > c0  ≡  c0 < 3
+	got := evalBools(t, &Compare{Op: Gt, L: &Const{Val: vector.Int64(3)}, R: col(0, vector.KindInt64)}, b)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCompareString(t *testing.T) {
+	b := testBatch()
+	got := evalBools(t, &Compare{Op: Eq, L: col(2, vector.KindString), R: &Const{Val: vector.Str("ISK")}}, b)
+	want := []bool{true, false, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCompareTimeRange(t *testing.T) {
+	b := testBatch()
+	e := &Logic{Op: OpAnd,
+		L: &Compare{Op: Gt, L: col(3, vector.KindTime), R: &Const{Val: vector.Time(100)}},
+		R: &Compare{Op: Lt, L: col(3, vector.KindTime), R: &Const{Val: vector.Time(400)}},
+	}
+	got := evalBools(t, e, b)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCompareMixedNumeric(t *testing.T) {
+	b := testBatch()
+	// int column vs float constant
+	got := evalBools(t, &Compare{Op: Gt, L: col(0, vector.KindInt64), R: &Const{Val: vector.Float64(2.5)}}, b)
+	want := []bool{false, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d mismatch", i)
+		}
+	}
+	// float column vs int constant
+	got = evalBools(t, &Compare{Op: Le, L: col(1, vector.KindFloat64), R: &Const{Val: vector.Int64(2)}}, b)
+	want = []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("float-vs-int row %d mismatch", i)
+		}
+	}
+}
+
+func TestCompareVecVec(t *testing.T) {
+	b := vector.NewBatch(
+		vector.FromInt64([]int64{1, 5, 3}),
+		vector.FromInt64([]int64{2, 5, 1}),
+	)
+	got := evalBools(t, &Compare{Op: Lt, L: col(0, vector.KindInt64), R: col(1, vector.KindInt64)}, b)
+	want := []bool{true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestCompareKindMismatch(t *testing.T) {
+	b := testBatch()
+	e := &Compare{Op: Eq, L: col(2, vector.KindString), R: &Const{Val: vector.Int64(1)}}
+	if _, err := e.Eval(b); err == nil {
+		t.Error("string = int comparison accepted")
+	}
+}
+
+func TestLogicOrAndNot(t *testing.T) {
+	b := testBatch()
+	isISK := &Compare{Op: Eq, L: col(2, vector.KindString), R: &Const{Val: vector.Str("ISK")}}
+	big := &Compare{Op: Ge, L: col(0, vector.KindInt64), R: &Const{Val: vector.Int64(4)}}
+	got := evalBools(t, &Logic{Op: OpOr, L: isISK, R: big}, b)
+	want := []bool{true, false, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("OR row %d mismatch", i)
+		}
+	}
+	got = evalBools(t, &Not{E: isISK}, b)
+	for i := range got {
+		if got[i] == (b.Cols[2].Strings()[i] == "ISK") {
+			t.Errorf("NOT row %d mismatch", i)
+		}
+	}
+}
+
+func TestLogicTypeErrors(t *testing.T) {
+	b := testBatch()
+	bad := &Logic{Op: OpAnd, L: col(0, vector.KindInt64), R: col(0, vector.KindInt64)}
+	if _, err := bad.Eval(b); err == nil {
+		t.Error("AND over ints accepted")
+	}
+	if _, err := (&Not{E: col(0, vector.KindInt64)}).Eval(b); err == nil {
+		t.Error("NOT over int accepted")
+	}
+}
+
+func TestArithIntAndFloat(t *testing.T) {
+	b := testBatch()
+	sum := &Arith{Op: Add, L: col(0, vector.KindInt64), R: &Const{Val: vector.Int64(10)}}
+	v, err := sum.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != vector.KindInt64 || v.Int64s()[2] != 13 {
+		t.Errorf("int add = %v", v.Int64s())
+	}
+	mixed := &Arith{Op: Mul, L: col(0, vector.KindInt64), R: col(1, vector.KindFloat64)}
+	v, err = mixed.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != vector.KindFloat64 || v.Float64s()[1] != 3.0 {
+		t.Errorf("mixed mul = %v", v.Float64s())
+	}
+}
+
+func TestArithDivZero(t *testing.T) {
+	b := vector.NewBatch(vector.FromInt64([]int64{1}), vector.FromInt64([]int64{0}))
+	div := &Arith{Op: Div, L: col(0, vector.KindInt64), R: col(1, vector.KindInt64)}
+	if _, err := div.Eval(b); err == nil {
+		t.Error("integer division by zero accepted")
+	}
+	fb := vector.NewBatch(vector.FromFloat64([]float64{1}), vector.FromFloat64([]float64{0}))
+	fdiv := &Arith{Op: Div, L: col(0, vector.KindFloat64), R: col(1, vector.KindFloat64)}
+	if _, err := fdiv.Eval(fb); err == nil {
+		t.Error("float division by zero accepted")
+	}
+}
+
+func TestSplitJoinAndRoundTrip(t *testing.T) {
+	a := &Compare{Op: Eq, L: col(0, vector.KindInt64), R: &Const{Val: vector.Int64(1)}}
+	b := &Compare{Op: Eq, L: col(1, vector.KindFloat64), R: &Const{Val: vector.Float64(2)}}
+	c := &Compare{Op: Eq, L: col(2, vector.KindString), R: &Const{Val: vector.Str("x")}}
+	e := JoinAnd([]Expr{a, b, c})
+	parts := SplitAnd(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitAnd returned %d conjuncts, want 3", len(parts))
+	}
+	if JoinAnd(nil) != nil {
+		t.Error("JoinAnd(nil) should be nil")
+	}
+	// OR must not be split.
+	or := &Logic{Op: OpOr, L: a, R: b}
+	if len(SplitAnd(or)) != 1 {
+		t.Error("SplitAnd split an OR")
+	}
+}
+
+func TestColsAndRemap(t *testing.T) {
+	e := &Logic{Op: OpAnd,
+		L: &Compare{Op: Eq, L: &Col{Index: 3, Name: "x", K: vector.KindInt64}, R: &Const{Val: vector.Int64(1)}},
+		R: &Compare{Op: Lt, L: &Col{Index: 1, Name: "y", K: vector.KindInt64}, R: &Col{Index: 3, Name: "x", K: vector.KindInt64}},
+	}
+	cols := Cols(e)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 3 {
+		t.Fatalf("Cols = %v, want [1 3]", cols)
+	}
+	remapped, ok := Remap(e, map[int]int{1: 0, 3: 1})
+	if !ok {
+		t.Fatal("Remap failed")
+	}
+	cols = Cols(remapped)
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 1 {
+		t.Errorf("remapped Cols = %v, want [0 1]", cols)
+	}
+	if _, ok := Remap(e, map[int]int{1: 0}); ok {
+		t.Error("Remap succeeded with missing mapping")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &Logic{Op: OpAnd,
+		L: &Compare{Op: Eq, L: &Col{Index: 0, Name: "F.station", K: vector.KindString}, R: &Const{Val: vector.Str("ISK")}},
+		R: &Compare{Op: Gt, L: &Col{Index: 1, Name: "D.t", K: vector.KindTime}, R: &Const{Val: vector.Time(0)}},
+	}
+	s := e.String()
+	for _, want := range []string{"F.station", "= 'ISK'", "AND", "D.t >"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestCmpScalarAgainstNaiveProperty(t *testing.T) {
+	f := func(xs []int64, x int64) bool {
+		b := vector.NewBatch(vector.FromInt64(xs))
+		for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+			e := &Compare{Op: op, L: col(0, vector.KindInt64), R: &Const{Val: vector.Int64(x)}}
+			v, err := e.Eval(b)
+			if err != nil {
+				return false
+			}
+			for i, a := range xs {
+				if v.Bools()[i] != op.holds(vector.Compare(vector.Int64(a), vector.Int64(x))) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstBroadcast(t *testing.T) {
+	b := testBatch()
+	v, err := (&Const{Val: vector.Int64(7)}).Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 4 || v.Int64s()[3] != 7 {
+		t.Error("const broadcast wrong")
+	}
+}
+
+func TestColOutOfRange(t *testing.T) {
+	b := testBatch()
+	if _, err := (&Col{Index: 99, Name: "x", K: vector.KindInt64}).Eval(b); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+}

@@ -1,0 +1,203 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/vector"
+)
+
+// LogicOp enumerates boolean connectives.
+type LogicOp int
+
+// Boolean connectives.
+const (
+	OpAnd LogicOp = iota
+	OpOr
+)
+
+func (op LogicOp) String() string {
+	if op == OpAnd {
+		return "AND"
+	}
+	return "OR"
+}
+
+// Logic combines two boolean expressions.
+type Logic struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (l *Logic) Kind() vector.Kind { return vector.KindBool }
+
+// String implements Expr.
+func (l *Logic) String() string {
+	return fmt.Sprintf("(%s %s %s)", l.L.String(), l.Op, l.R.String())
+}
+
+// Walk implements Expr.
+func (l *Logic) Walk(fn func(Expr)) { fn(l); l.L.Walk(fn); l.R.Walk(fn) }
+
+// Eval implements Expr. AND short-circuits per batch: rows already false
+// on the left are not evaluated as a selection, but the right side is
+// computed vectorized over the full batch (cheap and branch-free).
+func (l *Logic) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := l.L.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if lv.Kind() != vector.KindBool {
+		return nil, fmt.Errorf("expr: %s over non-boolean left operand %s", l.Op, l.L)
+	}
+	rv, err := l.R.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if rv.Kind() != vector.KindBool {
+		return nil, fmt.Errorf("expr: %s over non-boolean right operand %s", l.Op, l.R)
+	}
+	ls, rs := lv.Bools(), rv.Bools()
+	out := make([]bool, len(ls))
+	if l.Op == OpAnd {
+		for i := range ls {
+			out[i] = ls[i] && rs[i]
+		}
+	} else {
+		for i := range ls {
+			out[i] = ls[i] || rs[i]
+		}
+	}
+	return vector.FromBool(out), nil
+}
+
+// Not negates a boolean expression.
+type Not struct {
+	E Expr
+}
+
+// Kind implements Expr.
+func (n *Not) Kind() vector.Kind { return vector.KindBool }
+
+// String implements Expr.
+func (n *Not) String() string { return "NOT (" + n.E.String() + ")" }
+
+// Walk implements Expr.
+func (n *Not) Walk(fn func(Expr)) { fn(n); n.E.Walk(fn) }
+
+// Eval implements Expr.
+func (n *Not) Eval(b *vector.Batch) (*vector.Vector, error) {
+	v, err := n.E.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.KindBool {
+		return nil, fmt.Errorf("expr: NOT over non-boolean operand %s", n.E)
+	}
+	in := v.Bools()
+	out := make([]bool, len(in))
+	for i := range in {
+		out[i] = !in[i]
+	}
+	return vector.FromBool(out), nil
+}
+
+// SplitAnd flattens nested ANDs into a conjunct list; a non-AND
+// expression returns itself. Predicate pushdown operates on this list.
+func SplitAnd(e Expr) []Expr {
+	if l, ok := e.(*Logic); ok && l.Op == OpAnd {
+		return append(SplitAnd(l.L), SplitAnd(l.R)...)
+	}
+	return []Expr{e}
+}
+
+// JoinAnd rebuilds a single conjunction from a list (nil for empty).
+func JoinAnd(conjuncts []Expr) Expr {
+	var out Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &Logic{Op: OpAnd, L: out, R: c}
+		}
+	}
+	return out
+}
+
+// Cols returns the distinct column indexes referenced by e, ascending.
+func Cols(e Expr) []int {
+	seen := make(map[int]bool)
+	e.Walk(func(x Expr) {
+		if c, ok := x.(*Col); ok {
+			seen[c.Index] = true
+		}
+	})
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Remap rewrites every column reference through the mapping (old index →
+// new index). It returns false if any referenced column is unmapped, in
+// which case the expression cannot be pushed to the target operator.
+func Remap(e Expr, mapping map[int]int) (Expr, bool) {
+	switch t := e.(type) {
+	case *Col:
+		ni, ok := mapping[t.Index]
+		if !ok {
+			return nil, false
+		}
+		return &Col{Index: ni, Name: t.Name, K: t.K}, true
+	case *Const:
+		return t, true
+	case *Compare:
+		l, ok := Remap(t.L, mapping)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Remap(t.R, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Compare{Op: t.Op, L: l, R: r}, true
+	case *Logic:
+		l, ok := Remap(t.L, mapping)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Remap(t.R, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Logic{Op: t.Op, L: l, R: r}, true
+	case *Not:
+		inner, ok := Remap(t.E, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Not{E: inner}, true
+	case *Arith:
+		l, ok := Remap(t.L, mapping)
+		if !ok {
+			return nil, false
+		}
+		r, ok := Remap(t.R, mapping)
+		if !ok {
+			return nil, false
+		}
+		return &Arith{Op: t.Op, L: l, R: r}, true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,223 @@
+package index
+
+import (
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+)
+
+func testPool() *storage.BufferPool {
+	return storage.NewBufferPool(256, storage.NoCost(), nil)
+}
+
+func buildTest(t *testing.T, entries []Entry) *Index {
+	t.Helper()
+	ix, err := Build(filepath.Join(t.TempDir(), "t.idx"), testPool(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+func TestLookupExact(t *testing.T) {
+	ix := buildTest(t, []Entry{
+		{A: 1, B: 1, RowID: 10},
+		{A: 1, B: 2, RowID: 11},
+		{A: 2, B: 1, RowID: 20},
+		{A: 2, B: 1, RowID: 21}, // duplicate key, two rows
+		{A: 3, B: 9, RowID: 30},
+	})
+	rows, err := ix.Lookup(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0] != 20 || rows[1] != 21 {
+		t.Errorf("Lookup(2,1) = %v, want [20 21]", rows)
+	}
+	rows, _ = ix.Lookup(1, 2)
+	if len(rows) != 1 || rows[0] != 11 {
+		t.Errorf("Lookup(1,2) = %v, want [11]", rows)
+	}
+	rows, _ = ix.Lookup(9, 9)
+	if len(rows) != 0 {
+		t.Errorf("Lookup(9,9) = %v, want empty", rows)
+	}
+}
+
+func TestLookupPrefix(t *testing.T) {
+	ix := buildTest(t, []Entry{
+		{A: 5, B: -3, RowID: 1},
+		{A: 5, B: 0, RowID: 2},
+		{A: 5, B: 7, RowID: 3},
+		{A: 6, B: 0, RowID: 4},
+	})
+	rows, err := ix.LookupA(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("LookupA(5) = %v, want 3 rows", rows)
+	}
+	rows, _ = ix.LookupA(7)
+	if len(rows) != 0 {
+		t.Errorf("LookupA(7) = %v, want empty", rows)
+	}
+}
+
+func TestRange(t *testing.T) {
+	var entries []Entry
+	for i := int64(0); i < 100; i++ {
+		entries = append(entries, Entry{A: i * 10, RowID: i})
+	}
+	ix := buildTest(t, entries)
+	rows, err := ix.RangeA(95, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// keys 100..250 step 10 → 16 entries (100..250)
+	if len(rows) != 16 {
+		t.Errorf("RangeA(95,250) returned %d rows, want 16", len(rows))
+	}
+	if rows[0] != 10 {
+		t.Errorf("first row = %d, want 10", rows[0])
+	}
+	rows, _ = ix.RangeA(2000, 3000)
+	if len(rows) != 0 {
+		t.Error("out-of-range query returned rows")
+	}
+}
+
+func TestUnique(t *testing.T) {
+	ix := buildTest(t, []Entry{{A: 1, B: 1, RowID: 1}, {A: 1, B: 2, RowID: 2}})
+	ok, err := ix.Unique()
+	if err != nil || !ok {
+		t.Errorf("Unique = %v, %v; want true", ok, err)
+	}
+	dup := buildTest(t, []Entry{{A: 1, B: 1, RowID: 1}, {A: 1, B: 1, RowID: 2}})
+	ok, err = dup.Unique()
+	if err != nil || ok {
+		t.Errorf("Unique with dup = %v, %v; want false", ok, err)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := buildTest(t, nil)
+	if ix.Len() != 0 || ix.SizeOnDisk() != 0 {
+		t.Error("empty index has entries")
+	}
+	rows, err := ix.Lookup(1, 1)
+	if err != nil || len(rows) != 0 {
+		t.Error("lookup on empty index failed")
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	ix := buildTest(t, []Entry{
+		{A: -100, RowID: 1}, {A: -1, RowID: 2}, {A: 0, RowID: 3}, {A: 50, RowID: 4},
+	})
+	rows, err := ix.RangeA(-150, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("negative range got %v, want 2 rows", rows)
+	}
+}
+
+func TestPersistedReopen(t *testing.T) {
+	pool := testPool()
+	path := filepath.Join(t.TempDir(), "p.idx")
+	ix, err := Build(path, pool, []Entry{{A: 7, B: 7, RowID: 77}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+	ix2, err := Open(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix2.Close()
+	rows, err := ix2.Lookup(7, 7)
+	if err != nil || len(rows) != 1 || rows[0] != 77 {
+		t.Errorf("reopened lookup = %v, %v", rows, err)
+	}
+}
+
+func TestLookupAgainstLinearScanProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{A: int64(r.Intn(20)) - 10, B: int64(r.Intn(5)), RowID: int64(i)}
+		}
+		ix, err := Build(filepath.Join(t.TempDir(), "q.idx"), testPool(), append([]Entry(nil), entries...))
+		if err != nil {
+			return false
+		}
+		defer ix.Close()
+		for trial := 0; trial < 10; trial++ {
+			a := int64(rng.Intn(22)) - 11
+			b := int64(rng.Intn(6))
+			got, err := ix.Lookup(a, b)
+			if err != nil {
+				return false
+			}
+			var want []int64
+			for _, e := range entries {
+				if e.A == a && e.B == b {
+					want = append(want, e.RowID)
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColdLookupChargesIO(t *testing.T) {
+	var clock storage.Clock
+	pool := storage.NewBufferPool(1024, storage.HDD7200(), &clock)
+	var entries []Entry
+	for i := int64(0); i < 50000; i++ {
+		entries = append(entries, Entry{A: i, RowID: i})
+	}
+	ix, err := Build(filepath.Join(t.TempDir(), "c.idx"), pool, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	pool.Flush()
+	clock.Reset()
+	if _, err := ix.Lookup(25000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Elapsed() == 0 {
+		t.Error("cold index lookup charged no I/O")
+	}
+	clock.Reset()
+	if _, err := ix.Lookup(25000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Elapsed() != 0 {
+		t.Error("hot repeat lookup charged I/O")
+	}
+}

@@ -1,0 +1,6 @@
+package mseed
+
+import "math"
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+func float64FromUint(b uint64) float64 { return math.Float64frombits(b) }

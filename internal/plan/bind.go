@@ -1,0 +1,466 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/vector"
+)
+
+// Bind converts a parsed SELECT into a logical plan against the catalog.
+// The produced plan is bound (expression column indexes resolved); any
+// later structural rewrite must call Resolve to re-bind.
+func Bind(stmt *sql.SelectStmt, cat *catalog.Catalog) (Node, error) {
+	b := &binder{cat: cat}
+	return b.bindSelect(stmt)
+}
+
+type binder struct {
+	cat *catalog.Catalog
+}
+
+func (b *binder) bindSelect(stmt *sql.SelectStmt) (Node, error) {
+	// FROM and JOINs: left-deep tree in syntactic order.
+	seen := make(map[string]bool)
+	mkScan := func(ref sql.TableRef) (*Scan, error) {
+		def, ok := b.cat.Table(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %s", ref.Name)
+		}
+		binding := ref.Binding()
+		if seen[binding] {
+			return nil, fmt.Errorf("plan: duplicate table binding %s", binding)
+		}
+		seen[binding] = true
+		return &Scan{TableName: ref.Name, Binding: binding, Def: def}, nil
+	}
+
+	root, err := mkScan(stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	var tree Node = root
+	for _, j := range stmt.Joins {
+		right, err := mkScan(j.Table)
+		if err != nil {
+			return nil, err
+		}
+		joined, err := b.bindJoin(tree, right, j.On)
+		if err != nil {
+			return nil, err
+		}
+		tree = joined
+	}
+
+	// WHERE.
+	if stmt.Where != nil {
+		pred, err := b.bindExpr(stmt.Where, tree.Schema())
+		if err != nil {
+			return nil, err
+		}
+		if pred.Kind() != vector.KindBool {
+			return nil, fmt.Errorf("plan: WHERE must be boolean, got %s", pred.Kind())
+		}
+		tree = &Select{Pred: pred, Child: tree}
+	}
+
+	// Aggregation or plain projection.
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, item := range stmt.Items {
+		if !item.Star {
+			if _, ok := findAggCall(item.E); ok {
+				hasAgg = true
+			}
+		}
+	}
+	var projected Node
+	var outNames []string
+	if hasAgg {
+		projected, outNames, err = b.bindAggregate(stmt, tree)
+	} else {
+		projected, outNames, err = b.bindProjection(stmt, tree)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// ORDER BY over the projected output.
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]SortKey, len(stmt.OrderBy))
+		outSchema := projected.Schema()
+		for i, item := range stmt.OrderBy {
+			idx, err := resolveOrderKey(item.E, outSchema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = SortKey{Index: idx, Desc: item.Desc}
+		}
+		projected = &Sort{Keys: keys, Child: projected}
+	}
+	if stmt.Limit != nil {
+		projected = &Limit{N: *stmt.Limit, Child: projected}
+	}
+	return projected, nil
+}
+
+// bindJoin builds an equi-join from an ON condition, separating equality
+// conjuncts that span the two sides (join keys) from residual predicates.
+func (b *binder) bindJoin(left, right Node, on sql.Expr) (Node, error) {
+	combined := append(append([]ColInfo{}, left.Schema()...), right.Schema()...)
+	pred, err := b.bindExpr(on, combined)
+	if err != nil {
+		return nil, err
+	}
+	nLeft := len(left.Schema())
+	var leftKeys, rightKeys []string
+	var residual []expr.Expr
+	for _, conj := range expr.SplitAnd(pred) {
+		cmp, ok := conj.(*expr.Compare)
+		if ok && cmp.Op == expr.Eq {
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if lok && rok {
+				switch {
+				case lc.Index < nLeft && rc.Index >= nLeft:
+					leftKeys = append(leftKeys, lc.Name)
+					rightKeys = append(rightKeys, rc.Name)
+					continue
+				case rc.Index < nLeft && lc.Index >= nLeft:
+					leftKeys = append(leftKeys, rc.Name)
+					rightKeys = append(rightKeys, lc.Name)
+					continue
+				}
+			}
+		}
+		residual = append(residual, conj)
+	}
+	var out Node = &Join{Left: left, Right: right, LeftKeys: leftKeys, RightKeys: rightKeys}
+	if len(residual) > 0 {
+		out = &Select{Pred: expr.JoinAnd(residual), Child: out}
+	}
+	return out, nil
+}
+
+func (b *binder) bindProjection(stmt *sql.SelectStmt, child Node) (Node, []string, error) {
+	schema := child.Schema()
+	var exprs []expr.Expr
+	var names []string
+	for _, item := range stmt.Items {
+		if item.Star {
+			for i, c := range schema {
+				exprs = append(exprs, &expr.Col{Index: i, Name: c.Qualified(), K: c.Kind})
+				names = append(names, c.Name)
+			}
+			continue
+		}
+		e, err := b.bindExpr(item.E, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, outputName(item))
+	}
+	return &Project{Exprs: exprs, Names: names, Child: child}, names, nil
+}
+
+func (b *binder) bindAggregate(stmt *sql.SelectStmt, child Node) (Node, []string, error) {
+	schema := child.Schema()
+
+	// Group-by keys must be column references.
+	var groupBy []string
+	groupAST := make(map[string]string) // canonical AST text -> qualified name
+	for _, g := range stmt.GroupBy {
+		id, ok := g.(*sql.Ident)
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: GROUP BY supports column references, got %s", g)
+		}
+		bound, err := b.bindExpr(id, schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		col := bound.(*expr.Col)
+		groupBy = append(groupBy, col.Name)
+		groupAST[g.String()] = col.Name
+	}
+
+	var aggs []AggSpec
+	type outRef struct {
+		name  string // column to project from aggregate output
+		alias string // output name
+	}
+	var outs []outRef
+	for _, item := range stmt.Items {
+		if item.Star {
+			return nil, nil, fmt.Errorf("plan: SELECT * cannot be combined with aggregation")
+		}
+		if call, ok := findAggCall(item.E); ok {
+			if item.E != sql.Expr(call) {
+				return nil, nil, fmt.Errorf("plan: expressions over aggregates are not supported: %s", item.E)
+			}
+			fn, _ := aggFunc(call.Name)
+			spec := AggSpec{Func: fn, Distinct: call.Distinct}
+			if call.Star {
+				if fn != AggCount {
+					return nil, nil, fmt.Errorf("plan: %s(*) is not valid", call.Name)
+				}
+			} else {
+				if len(call.Args) != 1 {
+					return nil, nil, fmt.Errorf("plan: %s takes one argument", call.Name)
+				}
+				arg, err := b.bindExpr(call.Args[0], schema)
+				if err != nil {
+					return nil, nil, err
+				}
+				if fn != AggCount && fn != AggMin && fn != AggMax && !arg.Kind().Numeric() &&
+					arg.Kind() != vector.KindTime {
+					return nil, nil, fmt.Errorf("plan: %s over non-numeric %s", call.Name, arg.Kind())
+				}
+				spec.Arg = arg
+			}
+			spec.Name = outputName(item)
+			aggs = append(aggs, spec)
+			outs = append(outs, outRef{name: spec.Name, alias: spec.Name})
+			continue
+		}
+		// Non-aggregate item must be a group-by key.
+		qname, ok := groupAST[item.E.String()]
+		if !ok {
+			return nil, nil, fmt.Errorf("plan: %s must appear in GROUP BY or inside an aggregate", item.E)
+		}
+		outs = append(outs, outRef{name: qname, alias: outputName(item)})
+	}
+
+	agg := &Aggregate{GroupBy: groupBy, Aggs: aggs, Child: child}
+	aggSchema := agg.Schema()
+	var exprs []expr.Expr
+	var names []string
+	for _, o := range outs {
+		idx := FindColumn(aggSchema, o.name)
+		if idx < 0 {
+			return nil, nil, fmt.Errorf("plan: internal: aggregate output %s not found", o.name)
+		}
+		exprs = append(exprs, &expr.Col{Index: idx, Name: aggSchema[idx].Qualified(), K: aggSchema[idx].Kind})
+		names = append(names, o.alias)
+	}
+	return &Project{Exprs: exprs, Names: names, Child: agg}, names, nil
+}
+
+// outputName picks the display name of a select item.
+func outputName(item sql.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if id, ok := item.E.(*sql.Ident); ok {
+		return id.Name
+	}
+	return item.E.String()
+}
+
+// resolveOrderKey resolves an ORDER BY expression to an output column:
+// by ordinal, by alias, or by (qualified) column name.
+func resolveOrderKey(e sql.Expr, outSchema []ColInfo, names []string) (int, error) {
+	switch t := e.(type) {
+	case *sql.Lit:
+		if t.Kind == sql.LitInt {
+			if t.Int < 1 || int(t.Int) > len(outSchema) {
+				return 0, fmt.Errorf("plan: ORDER BY position %d out of range", t.Int)
+			}
+			return int(t.Int - 1), nil
+		}
+	case *sql.Ident:
+		// Output columns of a projection carry bare names, so a qualified
+		// ORDER BY key (F.channel) must also match by its bare part.
+		for i, n := range names {
+			if n == t.Name {
+				return i, nil
+			}
+		}
+		if idx := FindColumn(outSchema, t.String()); idx >= 0 {
+			return idx, nil
+		}
+		if idx := FindColumn(outSchema, t.Name); idx >= 0 {
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("plan: cannot resolve ORDER BY key %s", e)
+}
+
+// aggFunc maps a function name to an aggregate.
+func aggFunc(name string) (AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	}
+	return 0, false
+}
+
+// findAggCall returns the top-level aggregate call inside e, if any.
+func findAggCall(e sql.Expr) (*sql.Call, bool) {
+	call, ok := e.(*sql.Call)
+	if !ok {
+		return nil, false
+	}
+	if _, ok := aggFunc(call.Name); !ok {
+		return nil, false
+	}
+	return call, true
+}
+
+// bindExpr binds a SQL expression against a schema, producing a typed
+// executable expression. String literals compared with TIMESTAMP columns
+// are coerced to timestamps here.
+func (b *binder) bindExpr(e sql.Expr, schema []ColInfo) (expr.Expr, error) {
+	switch t := e.(type) {
+	case *sql.Ident:
+		idx := FindColumn(schema, t.String())
+		if idx < 0 {
+			if t.Qualifier == "" && countByName(schema, t.Name) > 1 {
+				return nil, fmt.Errorf("plan: ambiguous column %s", t.Name)
+			}
+			return nil, fmt.Errorf("plan: unknown column %s", t)
+		}
+		c := schema[idx]
+		return &expr.Col{Index: idx, Name: c.Qualified(), K: c.Kind}, nil
+	case *sql.Lit:
+		switch t.Kind {
+		case sql.LitInt:
+			return &expr.Const{Val: vector.Int64(t.Int)}, nil
+		case sql.LitFloat:
+			return &expr.Const{Val: vector.Float64(t.Float)}, nil
+		case sql.LitBool:
+			return &expr.Const{Val: vector.Bool(t.Bool)}, nil
+		default:
+			return &expr.Const{Val: vector.Str(t.Str)}, nil
+		}
+	case *sql.Unary:
+		inner, err := b.bindExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			if inner.Kind() != vector.KindBool {
+				return nil, fmt.Errorf("plan: NOT over %s", inner.Kind())
+			}
+			return &expr.Not{E: inner}, nil
+		}
+		return &expr.Arith{Op: expr.Sub, L: &expr.Const{Val: vector.Int64(0)}, R: inner}, nil
+	case *sql.Binary:
+		switch t.Op {
+		case "AND", "OR":
+			l, err := b.bindExpr(t.L, schema)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.bindExpr(t.R, schema)
+			if err != nil {
+				return nil, err
+			}
+			op := expr.OpAnd
+			if t.Op == "OR" {
+				op = expr.OpOr
+			}
+			return &expr.Logic{Op: op, L: l, R: r}, nil
+		case "=", "<>", "<", "<=", ">", ">=":
+			l, err := b.bindExpr(t.L, schema)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.bindExpr(t.R, schema)
+			if err != nil {
+				return nil, err
+			}
+			l, r, err = coerceTime(l, r)
+			if err != nil {
+				return nil, err
+			}
+			var op expr.CmpOp
+			switch t.Op {
+			case "=":
+				op = expr.Eq
+			case "<>":
+				op = expr.Ne
+			case "<":
+				op = expr.Lt
+			case "<=":
+				op = expr.Le
+			case ">":
+				op = expr.Gt
+			case ">=":
+				op = expr.Ge
+			}
+			return &expr.Compare{Op: op, L: l, R: r}, nil
+		case "+", "-", "*", "/":
+			l, err := b.bindExpr(t.L, schema)
+			if err != nil {
+				return nil, err
+			}
+			r, err := b.bindExpr(t.R, schema)
+			if err != nil {
+				return nil, err
+			}
+			var op expr.ArithOp
+			switch t.Op {
+			case "+":
+				op = expr.Add
+			case "-":
+				op = expr.Sub
+			case "*":
+				op = expr.Mul
+			case "/":
+				op = expr.Div
+			}
+			return &expr.Arith{Op: op, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("plan: unsupported operator %s", t.Op)
+		}
+	case *sql.Call:
+		return nil, fmt.Errorf("plan: function %s not allowed here (aggregates only appear in SELECT items)", t.Name)
+	default:
+		return nil, fmt.Errorf("plan: unsupported expression %T", e)
+	}
+}
+
+// coerceTime converts a string constant compared with a TIMESTAMP column
+// into a timestamp constant (the paper's queries write time literals as
+// strings).
+func coerceTime(l, r expr.Expr) (expr.Expr, expr.Expr, error) {
+	fix := func(timeSide, strSide expr.Expr) (expr.Expr, error) {
+		c, ok := strSide.(*expr.Const)
+		if !ok || c.Val.Kind != vector.KindString {
+			return strSide, nil
+		}
+		ns, err := vector.ParseTime(c.Val.S)
+		if err != nil {
+			return nil, fmt.Errorf("plan: comparing %s with TIMESTAMP: %w", c.String(), err)
+		}
+		return &expr.Const{Val: vector.Time(ns)}, nil
+	}
+	var err error
+	if l.Kind() == vector.KindTime && r.Kind() == vector.KindString {
+		r, err = fix(l, r)
+	} else if r.Kind() == vector.KindTime && l.Kind() == vector.KindString {
+		l, err = fix(r, l)
+	}
+	return l, r, err
+}
+
+func countByName(schema []ColInfo, name string) int {
+	n := 0
+	for _, c := range schema {
+		if c.Name == name {
+			n++
+		}
+	}
+	return n
+}

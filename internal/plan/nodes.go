@@ -1,0 +1,475 @@
+// Package plan implements logical query plans: binding SQL ASTs to plan
+// trees, the compile-time optimizations of classic relational engines
+// (predicate pushdown, projection of join keys), and — the heart of the
+// paper — the metadata-first join reordering that forms the metadata
+// branch Qf, its decomposition Q = Qf ⋈ Qs, and the run-time rewrite
+// rule (1) that replaces actual-data scans with unions of mounts and
+// cache-scans.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// ColInfo describes one column of a node's output schema. Table is the
+// query-level binding (table name or alias), so the qualified name
+// Table.Name is unique within a schema.
+type ColInfo struct {
+	Table string
+	Name  string
+	Kind  vector.Kind
+}
+
+// Qualified returns the display/resolution name of the column.
+func (c ColInfo) Qualified() string {
+	if c.Table == "" {
+		return c.Name
+	}
+	return c.Table + "." + c.Name
+}
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema returns the output columns of this operator.
+	Schema() []ColInfo
+	// Children returns the input operators.
+	Children() []Node
+	// withChildren returns a copy of the node with the given children
+	// (same arity). Used by rewrites.
+	withChildren(children []Node) Node
+	// describe renders one line for plan printing.
+	describe() string
+}
+
+// Scan reads a stored base table.
+type Scan struct {
+	TableName string // catalog table name
+	Binding   string // query-level binding (alias)
+	Def       catalog.TableDef
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() []ColInfo {
+	out := make([]ColInfo, len(s.Def.Columns))
+	for i, c := range s.Def.Columns {
+		out[i] = ColInfo{Table: s.Binding, Name: c.Name, Kind: c.Kind}
+	}
+	return out
+}
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+func (s *Scan) withChildren(children []Node) Node { return s }
+
+func (s *Scan) describe() string {
+	kind := "scan"
+	if s.Def.Kind == catalog.Metadata {
+		kind = "scan[metadata]"
+	}
+	if s.Binding != s.TableName {
+		return fmt.Sprintf("%s %s AS %s", kind, s.TableName, s.Binding)
+	}
+	return fmt.Sprintf("%s %s", kind, s.TableName)
+}
+
+// Select filters rows by a boolean predicate.
+type Select struct {
+	Pred  expr.Expr
+	Child Node
+}
+
+// Schema implements Node.
+func (s *Select) Schema() []ColInfo { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+func (s *Select) withChildren(children []Node) Node {
+	return &Select{Pred: s.Pred, Child: children[0]}
+}
+
+func (s *Select) describe() string { return "select " + s.Pred.String() }
+
+// Project computes output expressions.
+type Project struct {
+	Exprs []expr.Expr
+	Names []string
+	Child Node
+}
+
+// Schema implements Node.
+func (p *Project) Schema() []ColInfo {
+	out := make([]ColInfo, len(p.Exprs))
+	for i, e := range p.Exprs {
+		out[i] = ColInfo{Name: p.Names[i], Kind: e.Kind()}
+	}
+	return out
+}
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+func (p *Project) withChildren(children []Node) Node {
+	return &Project{Exprs: p.Exprs, Names: p.Names, Child: children[0]}
+}
+
+func (p *Project) describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "project " + strings.Join(parts, ", ")
+}
+
+// Join is an inner equi-join; LeftKeys/RightKeys are parallel lists of
+// qualified column names. Empty key lists make it a cartesian product
+// (which the paper notes Qf may contain, depending on schema design).
+type Join struct {
+	Left, Right Node
+	LeftKeys    []string
+	RightKeys   []string
+}
+
+// Schema implements Node.
+func (j *Join) Schema() []ColInfo {
+	return append(append([]ColInfo{}, j.Left.Schema()...), j.Right.Schema()...)
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+func (j *Join) withChildren(children []Node) Node {
+	return &Join{Left: children[0], Right: children[1], LeftKeys: j.LeftKeys, RightKeys: j.RightKeys}
+}
+
+func (j *Join) describe() string {
+	if len(j.LeftKeys) == 0 {
+		return "cross-join"
+	}
+	conds := make([]string, len(j.LeftKeys))
+	for i := range j.LeftKeys {
+		conds[i] = j.LeftKeys[i] + " = " + j.RightKeys[i]
+	}
+	return "join on " + strings.Join(conds, " AND ")
+}
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"COUNT", "SUM", "AVG", "MIN", "MAX"}[f]
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Func     AggFunc
+	Arg      expr.Expr // nil for COUNT(*)
+	Distinct bool
+	Name     string // output column name
+}
+
+// Kind returns the output kind of the aggregate.
+func (a AggSpec) Kind() vector.Kind {
+	switch a.Func {
+	case AggCount:
+		return vector.KindInt64
+	case AggAvg:
+		return vector.KindFloat64
+	default:
+		if a.Arg == nil {
+			return vector.KindFloat64
+		}
+		return a.Arg.Kind()
+	}
+}
+
+// Aggregate groups by the named columns and computes aggregates; with no
+// group-by columns it produces a single global row.
+type Aggregate struct {
+	GroupBy []string // qualified column names in child schema
+	Aggs    []AggSpec
+	Child   Node
+}
+
+// Schema implements Node.
+func (a *Aggregate) Schema() []ColInfo {
+	child := a.Child.Schema()
+	var out []ColInfo
+	for _, g := range a.GroupBy {
+		idx := FindColumn(child, g)
+		ci := ColInfo{Name: g, Kind: vector.KindInvalid}
+		if idx >= 0 {
+			ci = child[idx]
+		}
+		out = append(out, ci)
+	}
+	for _, spec := range a.Aggs {
+		out = append(out, ColInfo{Name: spec.Name, Kind: spec.Kind()})
+	}
+	return out
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Child} }
+
+func (a *Aggregate) withChildren(children []Node) Node {
+	return &Aggregate{GroupBy: a.GroupBy, Aggs: a.Aggs, Child: children[0]}
+}
+
+func (a *Aggregate) describe() string {
+	parts := make([]string, 0, len(a.Aggs))
+	for _, s := range a.Aggs {
+		parts = append(parts, s.Name)
+	}
+	if len(a.GroupBy) > 0 {
+		return fmt.Sprintf("aggregate %s by %s", strings.Join(parts, ", "), strings.Join(a.GroupBy, ", "))
+	}
+	return "aggregate " + strings.Join(parts, ", ")
+}
+
+// SortKey is one ordering key over the child's output columns.
+type SortKey struct {
+	Index int
+	Desc  bool
+}
+
+// Sort orders rows.
+type Sort struct {
+	Keys  []SortKey
+	Child Node
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() []ColInfo { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+func (s *Sort) withChildren(children []Node) Node {
+	return &Sort{Keys: s.Keys, Child: children[0]}
+}
+
+func (s *Sort) describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("#%d %s", k.Index, dir)
+	}
+	return "sort " + strings.Join(parts, ", ")
+}
+
+// Limit caps the row count.
+type Limit struct {
+	N     int64
+	Child Node
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() []ColInfo { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+func (l *Limit) withChildren(children []Node) Node {
+	return &Limit{N: l.N, Child: children[0]}
+}
+
+func (l *Limit) describe() string { return fmt.Sprintf("limit %d", l.N) }
+
+// UnionAll concatenates the outputs of its children, which must share a
+// schema. Rewrite rule (1) produces this node over mounts and cache-scans.
+type UnionAll struct {
+	Inputs []Node
+	// Cols carries the schema when Inputs is empty (rule (1) with zero
+	// files of interest still needs a typed, empty relation).
+	Cols []ColInfo
+}
+
+// Schema implements Node.
+func (u *UnionAll) Schema() []ColInfo {
+	if len(u.Inputs) == 0 {
+		return u.Cols
+	}
+	return u.Inputs[0].Schema()
+}
+
+// Children implements Node.
+func (u *UnionAll) Children() []Node { return u.Inputs }
+
+func (u *UnionAll) withChildren(children []Node) Node {
+	return &UnionAll{Inputs: children, Cols: u.Cols}
+}
+
+func (u *UnionAll) describe() string { return fmt.Sprintf("union-all (%d inputs)", len(u.Inputs)) }
+
+// ResultScan reads the materialized result of a previously executed plan
+// fragment — the access path that lets Qs consume result-scan(Qf)
+// without re-executing it.
+type ResultScan struct {
+	Name string
+	Cols []ColInfo
+}
+
+// Schema implements Node.
+func (r *ResultScan) Schema() []ColInfo { return r.Cols }
+
+// Children implements Node.
+func (r *ResultScan) Children() []Node { return nil }
+
+func (r *ResultScan) withChildren(children []Node) Node { return r }
+
+func (r *ResultScan) describe() string { return "result-scan " + r.Name }
+
+// Mount ingests the actual data of one external file (ALi's physical
+// operator): extract, transform to the data-table schema, and expose as a
+// dangling partial table. Pred, when set, is evaluated over the mounted
+// rows (the fused σ∘mount access path); RecordPred additionally lets the
+// adapter skip whole records before decoding.
+type Mount struct {
+	URI     string
+	Adapter string
+	Binding string
+	Def     catalog.TableDef
+	Pred    expr.Expr
+}
+
+// Schema implements Node.
+func (m *Mount) Schema() []ColInfo {
+	out := make([]ColInfo, len(m.Def.Columns))
+	for i, c := range m.Def.Columns {
+		out[i] = ColInfo{Table: m.Binding, Name: c.Name, Kind: c.Kind}
+	}
+	return out
+}
+
+// Children implements Node.
+func (m *Mount) Children() []Node { return nil }
+
+func (m *Mount) withChildren(children []Node) Node { return m }
+
+func (m *Mount) describe() string {
+	if m.Pred != nil {
+		return fmt.Sprintf("mount(%s) σ[%s]", m.URI, m.Pred)
+	}
+	return fmt.Sprintf("mount(%s)", m.URI)
+}
+
+// CacheScan reads previously mounted data from the ingestion cache
+// instead of the external file. Pred mirrors Mount.Pred (σ∘cache-scan).
+type CacheScan struct {
+	URI     string
+	Adapter string // format adapter, for span extraction and miss fallback
+	Binding string
+	Def     catalog.TableDef
+	Pred    expr.Expr
+}
+
+// Schema implements Node.
+func (c *CacheScan) Schema() []ColInfo {
+	out := make([]ColInfo, len(c.Def.Columns))
+	for i, col := range c.Def.Columns {
+		out[i] = ColInfo{Table: c.Binding, Name: col.Name, Kind: col.Kind}
+	}
+	return out
+}
+
+// Children implements Node.
+func (c *CacheScan) Children() []Node { return nil }
+
+func (c *CacheScan) withChildren(children []Node) Node { return c }
+
+func (c *CacheScan) describe() string {
+	if c.Pred != nil {
+		return fmt.Sprintf("cache-scan(%s) σ[%s]", c.URI, c.Pred)
+	}
+	return fmt.Sprintf("cache-scan(%s)", c.URI)
+}
+
+// FindColumn locates a column in a schema by qualified or bare name.
+// Bare names match when unambiguous; it returns -1 if absent or
+// ambiguous.
+func FindColumn(schema []ColInfo, name string) int {
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		table, col := name[:dot], name[dot+1:]
+		for i, c := range schema {
+			if c.Table == table && c.Name == col {
+				return i
+			}
+		}
+		// Fall through: generated labels (e.g. "AVG(D.sample_value)") may
+		// contain dots yet be plain column names of an aggregate output.
+	}
+	found := -1
+	for i, c := range schema {
+		if c.Name == name {
+			if found >= 0 {
+				return -1 // ambiguous
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// Format renders the plan tree indented, one operator per line, with the
+// Qf branch (if marked) shown in brackets.
+func Format(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.describe())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// Transform rewrites the tree bottom-up: fn is applied to every node
+// after its children have been transformed.
+func Transform(n Node, fn func(Node) Node) Node {
+	children := n.Children()
+	if len(children) > 0 {
+		newChildren := make([]Node, len(children))
+		changed := false
+		for i, c := range children {
+			newChildren[i] = Transform(c, fn)
+			if newChildren[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			n = n.withChildren(newChildren)
+		}
+	}
+	return fn(n)
+}
+
+// Walk visits every node depth-first (parents before children).
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}

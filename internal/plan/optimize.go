@@ -1,0 +1,400 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+)
+
+// Optimize runs the compile-time optimization pipeline of section 3 of
+// the paper: ordinary rewrites (predicate pushdown) plus the additional
+// metadata-first join reordering whose purpose is to form the metadata
+// branch Qf. The returned plan is fully re-bound.
+func Optimize(root Node, cat *catalog.Catalog) (Node, error) {
+	root = PushDown(root)
+	root = ReorderMetadataFirst(root, cat)
+	// Reordering may have lifted predicates; push again so each relation
+	// carries its own selections before decomposition.
+	root = PushDown(root)
+	root = CollapseSelects(root)
+	return Resolve(root)
+}
+
+// PushDown sinks selection predicates to the lowest operator whose
+// schema covers them: through joins into their sides, through unions
+// into every input, and into the Pred slot of mounts and cache-scans
+// (the combined σ∘mount and σ∘cache-scan access paths).
+func PushDown(root Node) Node {
+	return Transform(root, func(n Node) Node {
+		sel, ok := n.(*Select)
+		if !ok {
+			return n
+		}
+		child := sel.Child
+		var remaining []expr.Expr
+		for _, conj := range expr.SplitAnd(sel.Pred) {
+			newChild, consumed := sink(child, conj)
+			if consumed {
+				child = newChild
+			} else {
+				remaining = append(remaining, conj)
+			}
+		}
+		if len(remaining) == 0 {
+			return child
+		}
+		return &Select{Pred: expr.JoinAnd(remaining), Child: child}
+	})
+}
+
+// sink attempts to push one conjunct into n, returning the rewritten
+// node and whether the predicate was consumed.
+func sink(n Node, pred expr.Expr) (Node, bool) {
+	switch t := n.(type) {
+	case *Join:
+		if coversExpr(t.Left.Schema(), pred) {
+			newLeft, ok := sink(t.Left, pred)
+			if !ok {
+				newLeft = &Select{Pred: pred, Child: t.Left}
+			}
+			return t.withChildren([]Node{newLeft, t.Right}), true
+		}
+		if coversExpr(t.Right.Schema(), pred) {
+			newRight, ok := sink(t.Right, pred)
+			if !ok {
+				newRight = &Select{Pred: pred, Child: t.Right}
+			}
+			return t.withChildren([]Node{t.Left, newRight}), true
+		}
+		return n, false
+	case *Select:
+		newChild, ok := sink(t.Child, pred)
+		if ok {
+			return &Select{Pred: t.Pred, Child: newChild}, true
+		}
+		return &Select{Pred: expr.JoinAnd([]expr.Expr{t.Pred, pred}), Child: t.Child}, true
+	case *UnionAll:
+		newInputs := make([]Node, len(t.Inputs))
+		for i, in := range t.Inputs {
+			child, ok := sink(in, pred)
+			if !ok {
+				child = &Select{Pred: pred, Child: in}
+			}
+			newInputs[i] = child
+		}
+		return &UnionAll{Inputs: newInputs}, true
+	case *Mount:
+		merged := pred
+		if t.Pred != nil {
+			merged = expr.JoinAnd([]expr.Expr{t.Pred, pred})
+		}
+		return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged}, true
+	case *CacheScan:
+		merged := pred
+		if t.Pred != nil {
+			merged = expr.JoinAnd([]expr.Expr{t.Pred, pred})
+		}
+		return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged}, true
+	case *Scan:
+		return &Select{Pred: pred, Child: t}, true
+	default:
+		return n, false
+	}
+}
+
+// coversExpr reports whether every column referenced by e exists in the
+// schema (by qualified name).
+func coversExpr(schema []ColInfo, e expr.Expr) bool {
+	covered := true
+	e.Walk(func(x expr.Expr) {
+		if c, ok := x.(*expr.Col); ok {
+			if FindColumn(schema, c.Name) < 0 {
+				covered = false
+			}
+		}
+	})
+	return covered
+}
+
+// joinEdge is one equality between columns of two relations.
+type joinEdge struct {
+	a, b string // qualified column names
+}
+
+// ReorderMetadataFirst rewrites every maximal join chain into the
+// paper's pattern
+//
+//	a1 ⋈ (a2 ⋈ (... (ay ⋈ (m1 ⋈ (m2 ⋈ (... ⋈ mx))))...))
+//
+// using join associativity and commutativity: metadata relations are
+// collected into the innermost (deepest) subtree so that the metadata
+// branch Qf exists and can be evaluated first. Relations keep their
+// syntactic relative order within each class.
+func ReorderMetadataFirst(root Node, cat *catalog.Catalog) Node {
+	return Transform(root, func(n Node) Node {
+		j, ok := n.(*Join)
+		if !ok {
+			return n
+		}
+		// Only rewrite at the top of a join chain; Transform is bottom-up,
+		// so inner joins were already visited — guard by checking that
+		// neither child that is a Join needs flattening twice. We flatten
+		// the whole chain here and return a non-Join-rooted rewrite only
+		// when the chain mixes metadata and actual relations.
+		leaves, edges := flattenJoins(j)
+		var mLeaves, aLeaves []Node
+		for _, leaf := range leaves {
+			if isMetadataOnly(leaf, cat) {
+				mLeaves = append(mLeaves, leaf)
+			} else {
+				aLeaves = append(aLeaves, leaf)
+			}
+		}
+		if len(mLeaves) == 0 {
+			return n // nothing to reorder toward
+		}
+		// Build the metadata subtree m1 ⋈ (m2 ⋈ ... ⋈ mx), right-deep.
+		tree := buildRightDeep(mLeaves, edges)
+		// Wrap actual relations outside-in: ay innermost, a1 outermost.
+		for i := len(aLeaves) - 1; i >= 0; i-- {
+			tree = joinWithEdges(aLeaves[i], tree, edges)
+		}
+		return tree
+	})
+}
+
+// flattenJoins collects the leaf relations and equi-join edges of a
+// maximal join subtree. Select nodes above joins are rare after
+// pushdown; they terminate flattening (treated as leaves).
+func flattenJoins(n Node) ([]Node, []joinEdge) {
+	j, ok := n.(*Join)
+	if !ok {
+		return []Node{n}, nil
+	}
+	leftLeaves, leftEdges := flattenJoins(j.Left)
+	rightLeaves, rightEdges := flattenJoins(j.Right)
+	leaves := append(leftLeaves, rightLeaves...)
+	edges := append(leftEdges, rightEdges...)
+	for i := range j.LeftKeys {
+		edges = append(edges, joinEdge{a: j.LeftKeys[i], b: j.RightKeys[i]})
+	}
+	return leaves, edges
+}
+
+// isMetadataOnly reports whether every base relation in the subtree is a
+// metadata table.
+func isMetadataOnly(n Node, cat *catalog.Catalog) bool {
+	sawLeaf := false
+	ok := true
+	Walk(n, func(x Node) {
+		switch t := x.(type) {
+		case *Scan:
+			sawLeaf = true
+			if t.Def.Kind != catalog.Metadata {
+				ok = false
+			}
+		case *Mount, *CacheScan, *UnionAll:
+			sawLeaf = true
+			ok = false
+		case *ResultScan:
+			// A result-scan holds an already-computed (metadata-stage)
+			// result; treat as metadata.
+			sawLeaf = true
+		}
+	})
+	return sawLeaf && ok
+}
+
+// buildRightDeep joins the leaves right-deep in order: l1 ⋈ (l2 ⋈ (...)).
+func buildRightDeep(leaves []Node, edges []joinEdge) Node {
+	tree := leaves[len(leaves)-1]
+	for i := len(leaves) - 2; i >= 0; i-- {
+		tree = joinWithEdges(leaves[i], tree, edges)
+	}
+	return tree
+}
+
+// joinWithEdges joins left and right using every edge that spans them;
+// with no spanning edge the result is a cartesian product.
+func joinWithEdges(left, right Node, edges []joinEdge) *Join {
+	ls, rs := left.Schema(), right.Schema()
+	var lk, rk []string
+	for _, e := range edges {
+		switch {
+		case FindColumn(ls, e.a) >= 0 && FindColumn(rs, e.b) >= 0:
+			lk = append(lk, e.a)
+			rk = append(rk, e.b)
+		case FindColumn(ls, e.b) >= 0 && FindColumn(rs, e.a) >= 0:
+			lk = append(lk, e.b)
+			rk = append(rk, e.a)
+		}
+	}
+	return &Join{Left: left, Right: right, LeftKeys: lk, RightKeys: rk}
+}
+
+// Resolve re-binds every expression's column indexes against the current
+// child schemas. Structural rewrites must be followed by Resolve before
+// execution.
+func Resolve(root Node) (Node, error) {
+	var firstErr error
+	out := Transform(root, func(n Node) Node {
+		if firstErr != nil {
+			return n
+		}
+		switch t := n.(type) {
+		case *Select:
+			p, err := rebindExpr(t.Pred, t.Child.Schema())
+			if err != nil {
+				firstErr = err
+				return n
+			}
+			return &Select{Pred: p, Child: t.Child}
+		case *Project:
+			schema := t.Child.Schema()
+			exprs := make([]expr.Expr, len(t.Exprs))
+			for i, e := range t.Exprs {
+				p, err := rebindExpr(e, schema)
+				if err != nil {
+					firstErr = err
+					return n
+				}
+				exprs[i] = p
+			}
+			return &Project{Exprs: exprs, Names: t.Names, Child: t.Child}
+		case *Aggregate:
+			schema := t.Child.Schema()
+			aggs := make([]AggSpec, len(t.Aggs))
+			for i, a := range t.Aggs {
+				aggs[i] = a
+				if a.Arg != nil {
+					p, err := rebindExpr(a.Arg, schema)
+					if err != nil {
+						firstErr = err
+						return n
+					}
+					aggs[i].Arg = p
+				}
+			}
+			for _, g := range t.GroupBy {
+				if FindColumn(schema, g) < 0 {
+					firstErr = fmt.Errorf("plan: group-by column %s not in child schema", g)
+					return n
+				}
+			}
+			return &Aggregate{GroupBy: t.GroupBy, Aggs: aggs, Child: t.Child}
+		case *Mount:
+			if t.Pred == nil {
+				return n
+			}
+			p, err := rebindExpr(t.Pred, t.Schema())
+			if err != nil {
+				firstErr = err
+				return n
+			}
+			return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p}
+		case *CacheScan:
+			if t.Pred == nil {
+				return n
+			}
+			p, err := rebindExpr(t.Pred, t.Schema())
+			if err != nil {
+				firstErr = err
+				return n
+			}
+			return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p}
+		case *Join:
+			ls, rs := t.Left.Schema(), t.Right.Schema()
+			for i := range t.LeftKeys {
+				if FindColumn(ls, t.LeftKeys[i]) < 0 {
+					firstErr = fmt.Errorf("plan: join key %s not in left schema", t.LeftKeys[i])
+					return n
+				}
+				if FindColumn(rs, t.RightKeys[i]) < 0 {
+					firstErr = fmt.Errorf("plan: join key %s not in right schema", t.RightKeys[i])
+					return n
+				}
+			}
+			return n
+		default:
+			return n
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// rebindExpr rebuilds e with column indexes resolved by qualified name
+// against schema.
+func rebindExpr(e expr.Expr, schema []ColInfo) (expr.Expr, error) {
+	switch t := e.(type) {
+	case *expr.Col:
+		idx := FindColumn(schema, t.Name)
+		if idx < 0 {
+			return nil, fmt.Errorf("plan: column %s not found during resolve", t.Name)
+		}
+		return &expr.Col{Index: idx, Name: t.Name, K: schema[idx].Kind}, nil
+	case *expr.Const:
+		return t, nil
+	case *expr.Compare:
+		l, err := rebindExpr(t.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindExpr(t.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Compare{Op: t.Op, L: l, R: r}, nil
+	case *expr.Logic:
+		l, err := rebindExpr(t.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindExpr(t.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Logic{Op: t.Op, L: l, R: r}, nil
+	case *expr.Not:
+		inner, err := rebindExpr(t.E, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: inner}, nil
+	case *expr.Arith:
+		l, err := rebindExpr(t.L, schema)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rebindExpr(t.R, schema)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Arith{Op: t.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("plan: cannot resolve expression %T", e)
+	}
+}
+
+// CollapseSelects merges adjacent Select nodes into one conjunction, so
+// each relation carries a single σ with all its predicates (the shape
+// the paper's σp1/σp2/σp3 notation assumes).
+func CollapseSelects(root Node) Node {
+	return Transform(root, func(n Node) Node {
+		sel, ok := n.(*Select)
+		if !ok {
+			return n
+		}
+		inner, ok := sel.Child.(*Select)
+		if !ok {
+			return n
+		}
+		return &Select{
+			Pred:  expr.JoinAnd([]expr.Expr{sel.Pred, inner.Pred}),
+			Child: inner.Child,
+		}
+	})
+}

@@ -1,0 +1,374 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// seismicCatalog mirrors the paper's three-table schema.
+func seismicCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	defs := []catalog.TableDef{
+		{Name: "F", Kind: catalog.Metadata, Columns: []storage.Column{
+			{Name: "uri", Kind: vector.KindString},
+			{Name: "station", Kind: vector.KindString},
+			{Name: "network", Kind: vector.KindString},
+			{Name: "channel", Kind: vector.KindString},
+			{Name: "size_bytes", Kind: vector.KindInt64},
+		}},
+		{Name: "R", Kind: catalog.Metadata, Columns: []storage.Column{
+			{Name: "uri", Kind: vector.KindString},
+			{Name: "record_id", Kind: vector.KindInt64},
+			{Name: "start_time", Kind: vector.KindTime},
+			{Name: "end_time", Kind: vector.KindTime},
+			{Name: "nsamples", Kind: vector.KindInt64},
+		}},
+		{Name: "D", Kind: catalog.ActualData, Columns: []storage.Column{
+			{Name: "uri", Kind: vector.KindString},
+			{Name: "record_id", Kind: vector.KindInt64},
+			{Name: "sample_time", Kind: vector.KindTime},
+			{Name: "sample_value", Kind: vector.KindFloat64},
+		}},
+	}
+	for _, d := range defs {
+		if err := cat.Define(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+const query1 = `SELECT AVG(D.sample_value)
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK' AND F.channel = 'BHE'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000'`
+
+func mustPlan(t *testing.T, cat *catalog.Catalog, q string) Node {
+	t.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Bind(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func mustOptimize(t *testing.T, cat *catalog.Catalog, q string) Node {
+	t.Helper()
+	n, err := Optimize(mustPlan(t, cat, q), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestBindQuery1Schema(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustPlan(t, cat, query1)
+	schema := n.Schema()
+	if len(schema) != 1 || schema[0].Kind != vector.KindFloat64 {
+		t.Fatalf("output schema = %+v, want one DOUBLE", schema)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cat := seismicCatalog(t)
+	cases := map[string]string{
+		"unknown table":     `SELECT x FROM NOPE`,
+		"unknown column":    `SELECT F.nope FROM F`,
+		"ambiguous column":  `SELECT uri FROM F JOIN R ON F.uri = R.uri`,
+		"dup binding":       `SELECT F.uri FROM F JOIN F ON F.uri = F.uri`,
+		"non-bool where":    `SELECT F.uri FROM F WHERE F.size_bytes`,
+		"bad group item":    `SELECT station, AVG(size_bytes) FROM F GROUP BY network`,
+		"star with agg":     `SELECT *, COUNT(*) FROM F`,
+		"agg in where":      `SELECT F.uri FROM F WHERE AVG(F.size_bytes) > 1`,
+		"bad time literal":  `SELECT R.uri FROM R WHERE R.start_time > 'yesterday'`,
+		"order key unknown": `SELECT station FROM F ORDER BY nope`,
+		"order out of rng":  `SELECT station FROM F ORDER BY 3`,
+	}
+	for name, q := range cases {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatalf("%s: parse failed: %v", name, err)
+		}
+		if _, err := Bind(stmt, cat); err == nil {
+			t.Errorf("%s: Bind(%q) succeeded, want error", name, q)
+		}
+	}
+}
+
+func TestUnqualifiedResolution(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustPlan(t, cat, `SELECT station FROM F WHERE size_bytes > 10`)
+	if len(n.Schema()) != 1 || n.Schema()[0].Name != "station" {
+		t.Errorf("schema = %+v", n.Schema())
+	}
+}
+
+func TestTimeCoercion(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustPlan(t, cat, `SELECT R.uri FROM R WHERE R.start_time > '2010-01-12'`)
+	found := false
+	Walk(n, func(x Node) {
+		if s, ok := x.(*Select); ok {
+			s.Pred.Walk(func(e expr.Expr) {
+				if c, ok := e.(*expr.Const); ok && c.Val.Kind == vector.KindTime {
+					found = true
+				}
+			})
+		}
+	})
+	if !found {
+		t.Error("string literal not coerced to TIMESTAMP")
+	}
+}
+
+func TestPushDownReachesScans(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	// After optimization each relation should carry its own selection:
+	// no Select above any Join should mention single-table predicates.
+	text := Format(n)
+	// F's predicate must appear below the join of F (i.e. adjacent to scan F).
+	lines := strings.Split(text, "\n")
+	var scanFDepth, selFLine int = -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "scan[metadata] F") {
+			scanFDepth = indent(l)
+		}
+		if strings.Contains(l, "F.station = 'ISK'") {
+			selFLine = i
+		}
+	}
+	if scanFDepth < 0 || selFLine < 0 {
+		t.Fatalf("plan missing expected operators:\n%s", text)
+	}
+	if indent(lines[selFLine]) != scanFDepth-1 {
+		t.Errorf("selection on F not directly above scan F:\n%s", text)
+	}
+}
+
+func indent(s string) int {
+	n := 0
+	for strings.HasPrefix(s[n*2:], "  ") {
+		n++
+	}
+	return n
+}
+
+func TestReorderMetadataFirst(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	// The top join must have the actual-data relation on the left and the
+	// metadata subtree on the right: a1 ⋈ (m1 ⋈ m2).
+	var topJoin *Join
+	Walk(n, func(x Node) {
+		if j, ok := x.(*Join); ok && topJoin == nil {
+			topJoin = j
+		}
+	})
+	if topJoin == nil {
+		t.Fatalf("no join in plan:\n%s", Format(n))
+	}
+	if isMetadataOnly(topJoin.Left, cat) {
+		t.Errorf("left side of top join should be the actual-data branch:\n%s", Format(n))
+	}
+	if !isMetadataOnly(topJoin.Right, cat) {
+		t.Errorf("right side of top join should be the metadata branch Qf:\n%s", Format(n))
+	}
+	// The metadata subtree must join F and R on uri.
+	if len(topJoin.LeftKeys) != 2 {
+		t.Errorf("top join keys = %v / %v, want uri+record_id", topJoin.LeftKeys, topJoin.RightKeys)
+	}
+}
+
+func TestDecomposeQuery1(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	dec, ok := Decompose(n, cat, "qf1")
+	if !ok {
+		t.Fatalf("Decompose failed:\n%s", Format(n))
+	}
+	if dec.MetadataOnly {
+		t.Fatal("Query 1 misclassified as metadata-only")
+	}
+	// Qf must contain only metadata scans.
+	Walk(dec.Qf, func(x Node) {
+		if s, ok := x.(*Scan); ok && s.Def.Kind != catalog.Metadata {
+			t.Errorf("Qf contains actual-data scan %s", s.TableName)
+		}
+	})
+	// Qs must contain the ResultScan and the D scan.
+	var hasRS, hasD bool
+	Walk(dec.Qs, func(x Node) {
+		if rs, ok := x.(*ResultScan); ok && rs.Name == "qf1" {
+			hasRS = true
+		}
+		if s, ok := x.(*Scan); ok && s.TableName == "D" {
+			hasD = true
+		}
+	})
+	if !hasRS || !hasD {
+		t.Errorf("Qs missing result-scan (%v) or D scan (%v):\n%s", hasRS, hasD, Format(dec.Qs))
+	}
+}
+
+func TestDecomposeMetadataOnly(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, `SELECT station, COUNT(*) FROM F GROUP BY station`)
+	dec, ok := Decompose(n, cat, "qf")
+	if !ok || !dec.MetadataOnly {
+		t.Fatalf("metadata-only query not recognized (ok=%v, mo=%v)", ok, dec.MetadataOnly)
+	}
+	if dec.Qs != nil {
+		t.Error("metadata-only decomposition must have no Qs")
+	}
+}
+
+func TestDecomposeNoMetadata(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, `SELECT AVG(sample_value) FROM D`)
+	if _, ok := Decompose(n, cat, "qf"); ok {
+		t.Error("plan without metadata references should not decompose")
+	}
+}
+
+func TestCollectURIColumn(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	dec, ok := Decompose(n, cat, "qf1")
+	if !ok {
+		t.Fatal("decompose failed")
+	}
+	col, err := CollectURIColumn(dec.Qs, "qf1", "D", "uri")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != "R.uri" {
+		t.Errorf("URI column = %s, want R.uri", col)
+	}
+}
+
+func TestApplyRule1(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	dec, _ := Decompose(n, cat, "qf1")
+	files := []MountSpec{
+		{URI: "f1.mseed"}, {URI: "f2.mseed"}, {URI: "f3.mseed", Cached: true},
+	}
+	rewritten := ApplyRule1(dec.Qs, "D", "mseed", files)
+	var mounts, cacheScans, unions int
+	var fusedPred bool
+	Walk(rewritten, func(x Node) {
+		switch m := x.(type) {
+		case *Mount:
+			mounts++
+			if m.Pred != nil {
+				fusedPred = true
+			}
+		case *CacheScan:
+			cacheScans++
+		case *UnionAll:
+			unions++
+		case *Scan:
+			if m.Def.Kind == catalog.ActualData {
+				t.Error("actual-data scan survived rule 1")
+			}
+		}
+	})
+	if mounts != 2 || cacheScans != 1 || unions != 1 {
+		t.Errorf("mounts=%d cacheScans=%d unions=%d, want 2/1/1:\n%s",
+			mounts, cacheScans, unions, Format(rewritten))
+	}
+	if !fusedPred {
+		t.Error("σp3 was not fused into the mounts (σ∘mount)")
+	}
+	if _, err := Resolve(rewritten); err != nil {
+		t.Errorf("rewritten plan does not resolve: %v", err)
+	}
+}
+
+func TestApplyRule1EmptyFiles(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	dec, _ := Decompose(n, cat, "qf1")
+	rewritten := ApplyRule1(dec.Qs, "D", "mseed", nil)
+	found := false
+	Walk(rewritten, func(x Node) {
+		if u, ok := x.(*UnionAll); ok && len(u.Inputs) == 0 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("empty file list should produce an empty union (best case: no ingestion)")
+	}
+}
+
+func TestFindActualScans(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	scans := FindActualScans(n, cat)
+	if len(scans) != 1 || scans[0].Binding != "D" {
+		t.Fatalf("actual scans = %+v", scans)
+	}
+	if scans[0].Pred == nil {
+		t.Error("σp3 above scan D not captured")
+	}
+}
+
+func TestFormatShowsAccessPaths(t *testing.T) {
+	cat := seismicCatalog(t)
+	def, _ := cat.Table("D")
+	n := &UnionAll{Inputs: []Node{
+		&Mount{URI: "a", Adapter: "mseed", Binding: "D", Def: def},
+		&CacheScan{URI: "b", Binding: "D", Def: def},
+	}}
+	text := Format(n)
+	if !strings.Contains(text, "mount(a)") || !strings.Contains(text, "cache-scan(b)") {
+		t.Errorf("Format = %q", text)
+	}
+}
+
+func TestAggregateSchemaKinds(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustPlan(t, cat, `SELECT station, COUNT(*) AS n, AVG(size_bytes) AS avg_size,
+		MIN(size_bytes) AS min_size FROM F GROUP BY station`)
+	schema := n.Schema()
+	if schema[0].Kind != vector.KindString ||
+		schema[1].Kind != vector.KindInt64 ||
+		schema[2].Kind != vector.KindFloat64 ||
+		schema[3].Kind != vector.KindInt64 {
+		t.Errorf("aggregate schema kinds = %+v", schema)
+	}
+}
+
+func TestOrderByAliasAndOrdinal(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustPlan(t, cat, `SELECT station, COUNT(*) AS n FROM F GROUP BY station ORDER BY n DESC, 1`)
+	var sort *Sort
+	Walk(n, func(x Node) {
+		if s, ok := x.(*Sort); ok {
+			sort = s
+		}
+	})
+	if sort == nil {
+		t.Fatal("no sort node")
+	}
+	if len(sort.Keys) != 2 || sort.Keys[0].Index != 1 || !sort.Keys[0].Desc || sort.Keys[1].Index != 0 {
+		t.Errorf("sort keys = %+v", sort.Keys)
+	}
+}

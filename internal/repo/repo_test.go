@@ -1,0 +1,203 @@
+package repo
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/mseed"
+)
+
+func tinySpec(dir string) Spec {
+	s := DefaultSpec(dir)
+	s.Stations = s.Stations[:2]
+	s.Channels = s.Channels[:2]
+	s.Days = 3
+	s.RecordsPerFile = 4
+	s.SamplesPerRecord = 200
+	return s
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := tinySpec(t.TempDir())
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := 2 * 2 * 3
+	if len(m.Files) != wantFiles {
+		t.Fatalf("generated %d files, want %d", len(m.Files), wantFiles)
+	}
+	if m.Records != int64(wantFiles*4) {
+		t.Errorf("records = %d, want %d", m.Records, wantFiles*4)
+	}
+	if m.Samples != int64(wantFiles*4*200) {
+		t.Errorf("samples = %d", m.Samples)
+	}
+	if m.Bytes == 0 {
+		t.Error("zero bytes generated")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m1, err := Generate(tinySpec(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Generate(tinySpec(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Bytes != m2.Bytes || m1.Samples != m2.Samples {
+		t.Error("generation not deterministic across identical specs")
+	}
+	for i := range m1.Files {
+		if m1.Files[i].SizeBytes != m2.Files[i].SizeBytes {
+			t.Fatalf("file %s differs in size across runs", m1.Files[i].URI)
+		}
+	}
+}
+
+func TestGeneratedFilesParse(t *testing.T) {
+	spec := tinySpec(t.TempDir())
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := mseed.ReadFile(m.Path(m.Files[0].URI))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("file has %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if int(r.Seq) != i || r.NSamples != 200 {
+			t.Errorf("record %d header wrong: %+v", i, r.Header)
+		}
+	}
+	// Records must be contiguous in time.
+	gap := recs[1].StartTime - recs[0].Header.EndTime()
+	step := int64(float64(time.Second) / spec.SampleRate)
+	if gap != step {
+		t.Errorf("inter-record gap = %d ns, want one sample period %d", gap, step)
+	}
+}
+
+func TestQueryWindowInsideCoverage(t *testing.T) {
+	// The paper's Query 1 targets 2010-01-12T22:15:00-22:15:02; the default
+	// DayOffset guarantees this window is inside every file's coverage.
+	spec := DefaultSpec(t.TempDir())
+	spec.Stations = spec.Stations[:1]
+	spec.Channels = spec.Channels[:1]
+	spec.Days = 12
+	m, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day12 := time.Date(2010, 1, 12, 22, 15, 0, 0, time.UTC).UnixNano()
+	day12end := time.Date(2010, 1, 12, 22, 15, 2, 0, time.UTC).UnixNano()
+	found := false
+	for _, f := range m.Files {
+		if f.DayOfYear == 12 && f.StartTime <= day12 && f.EndTime >= day12end {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no file covers the paper's Query 1 window")
+	}
+}
+
+func TestScanMatchesGenerate(t *testing.T) {
+	spec := tinySpec(t.TempDir())
+	gen, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanned, err := Scan(spec.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanned.Files) != len(gen.Files) {
+		t.Fatalf("scan found %d files, generate reported %d", len(scanned.Files), len(gen.Files))
+	}
+	if scanned.Records != gen.Records || scanned.Samples != gen.Samples || scanned.Bytes != gen.Bytes {
+		t.Errorf("scan totals (%d,%d,%d) != generate totals (%d,%d,%d)",
+			scanned.Records, scanned.Samples, scanned.Bytes, gen.Records, gen.Samples, gen.Bytes)
+	}
+	gf, ok := gen.Lookup(scanned.Files[0].URI)
+	if !ok {
+		t.Fatal("scanned file missing from generated manifest")
+	}
+	sf := scanned.Files[0]
+	if sf.Station != gf.Station || sf.Channel != gf.Channel ||
+		sf.StartTime != gf.StartTime || sf.EndTime != gf.EndTime || sf.Records != gf.Records {
+		t.Errorf("scanned metadata %+v != generated %+v", sf, gf)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := tinySpec(t.TempDir())
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func(*Spec){
+		"no dir":      func(s *Spec) { s.Dir = "" },
+		"no stations": func(s *Spec) { s.Stations = nil },
+		"no channels": func(s *Spec) { s.Channels = nil },
+		"zero days":   func(s *Spec) { s.Days = 0 },
+		"zero rate":   func(s *Spec) { s.SampleRate = 0 },
+		"zero start":  func(s *Spec) { s.StartDate = time.Time{} },
+	} {
+		bad := good
+		mutate(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad spec", name)
+		}
+	}
+}
+
+func TestFileName(t *testing.T) {
+	st := Station{Network: "NT", Code: "ISK", Location: "00"}
+	got := FileName(st, "BHE", time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC))
+	want := "NT.ISK.00.BHE.2010.012.mseed"
+	if got != want {
+		t.Errorf("FileName = %q, want %q", got, want)
+	}
+}
+
+func TestManifestLookup(t *testing.T) {
+	m := &Manifest{Dir: "/x", Files: []FileInfo{{URI: "a.mseed"}}}
+	if _, ok := m.Lookup("a.mseed"); !ok {
+		t.Error("Lookup missed present file")
+	}
+	if _, ok := m.Lookup("b.mseed"); ok {
+		t.Error("Lookup found absent file")
+	}
+	if m.Path("a.mseed") != "/x/a.mseed" {
+		t.Errorf("Path = %q", m.Path("a.mseed"))
+	}
+}
+
+func TestScanIgnoresForeignFiles(t *testing.T) {
+	spec := tinySpec(t.TempDir())
+	if _, err := Generate(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJunk(spec.Dir + "/README.txt"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Scan(spec.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range m.Files {
+		if f.URI == "README.txt" {
+			t.Error("scan picked up a non-mseed file")
+		}
+	}
+}
+
+func writeJunk(path string) error {
+	return os.WriteFile(path, []byte("not seismic data"), 0o644)
+}

@@ -1,0 +1,486 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement (with optional trailing semicolon).
+func Parse(input string) (*SelectStmt, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind == TokSymbol && p.peek().Text == ";" {
+		p.next()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, fmt.Errorf("sql: unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: tr, On: on})
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sql: LIMIT needs a number, found %s", t)
+		}
+		p.next()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.Text)
+		}
+		stmt.Limit = &n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{E: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return SelectItem{}, fmt.Errorf("sql: expected alias after AS, found %s", t)
+		}
+		p.next()
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		p.next()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name, found %s", t)
+	}
+	p.next()
+	tr := TableRef{Name: t.Text}
+	if a := p.peek(); a.Kind == TokIdent {
+		p.next()
+		tr.Alias = a.Text
+	} else if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, fmt.Errorf("sql: expected alias after AS, found %s", a)
+		}
+		p.next()
+		tr.Alias = a.Text
+	}
+	return tr, nil
+}
+
+// Expression precedence, loosest first: OR, AND, NOT, comparison/BETWEEN,
+// additive, multiplicative, unary.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: "AND",
+			L: &Binary{Op: ">=", L: l, R: lo},
+			R: &Binary{Op: "<=", L: l, R: hi},
+		}, nil
+	}
+	if p.acceptKeyword("IN") {
+		return p.parseInList(l, false)
+	}
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		// lookahead for NOT IN
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokKeyword && p.toks[p.pos+1].Text == "IN" {
+			p.next()
+			p.next()
+			return p.parseInList(l, true)
+		}
+	}
+	t := p.peek()
+	if t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: t.Text, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+// parseInList desugars x IN (a, b, c) into (x = a OR x = b OR x = c),
+// and NOT IN into its negation.
+func (p *parser) parseInList(l Expr, negate bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var out Expr
+	for {
+		item, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		eq := &Binary{Op: "=", L: l, R: item}
+		if out == nil {
+			out = eq
+		} else {
+			out = &Binary{Op: "OR", L: out, R: eq}
+		}
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if negate {
+		return &Unary{Op: "NOT", E: out}, nil
+	}
+	return out, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.next()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/") {
+			p.next()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*Lit); ok {
+			switch lit.Kind {
+			case LitInt:
+				return &Lit{Kind: LitInt, Int: -lit.Int}, nil
+			case LitFloat:
+				return &Lit{Kind: LitFloat, Float: -lit.Float}, nil
+			}
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return &Lit{Kind: LitFloat, Float: f}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.Text)
+		}
+		return &Lit{Kind: LitInt, Int: n}, nil
+	case TokString:
+		p.next()
+		return &Lit{Kind: LitString, Str: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE", "FALSE":
+			p.next()
+			return &Lit{Kind: LitBool, Bool: t.Text == "TRUE"}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t)
+	case TokIdent:
+		p.next()
+		// Function call?
+		if p.acceptSymbol("(") {
+			call := &Call{Name: strings.ToUpper(t.Text)}
+			if p.acceptSymbol("*") {
+				call.Star = true
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return call, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				call.Distinct = true
+			}
+			if !p.acceptSymbol(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified identifier?
+		if p.acceptSymbol(".") {
+			c := p.peek()
+			if c.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected column after %q., found %s", t.Text, c)
+			}
+			p.next()
+			return &Ident{Qualifier: t.Text, Name: c.Text}, nil
+		}
+		return &Ident{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}

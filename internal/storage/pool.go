@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// pageKey identifies a cached page: a file path plus a page index.
+type pageKey struct {
+	path string
+	page int64
+}
+
+// PoolStats reports buffer-pool activity since the last Flush or since
+// creation.
+type PoolStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	PagesRead  int64
+	SeeksPayed int64
+}
+
+// BufferPool caches fixed-size pages of column and index files in memory
+// with LRU replacement. Every miss is charged to the pool's Clock using
+// its DiskModel; a "cold" run starts from an empty pool, a "hot" run from
+// a pre-warmed one — exactly the cold/hot protocol of the paper's
+// Figure 3.
+type BufferPool struct {
+	mu       sync.Mutex
+	model    DiskModel
+	clock    *Clock
+	capacity int // max pages
+	pages    map[pageKey]*list.Element
+	lru      *list.List // front = most recent; values are *poolEntry
+	lastPage map[string]int64
+	stats    PoolStats
+}
+
+type poolEntry struct {
+	key  pageKey
+	data []byte
+}
+
+// NewBufferPool returns a pool holding at most capPages pages. The clock
+// may be nil, in which case no I/O time is modeled.
+func NewBufferPool(capPages int, model DiskModel, clock *Clock) *BufferPool {
+	if capPages < 1 {
+		capPages = 1
+	}
+	return &BufferPool{
+		model:    model,
+		clock:    clock,
+		capacity: capPages,
+		pages:    make(map[pageKey]*list.Element),
+		lru:      list.New(),
+		lastPage: make(map[string]int64),
+	}
+}
+
+// Clock returns the pool's virtual I/O clock (may be nil).
+func (p *BufferPool) Clock() *Clock { return p.clock }
+
+// Model returns the pool's disk model.
+func (p *BufferPool) Model() DiskModel { return p.model }
+
+// Stats returns a snapshot of pool counters.
+func (p *BufferPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Flush empties the pool (the "cold" protocol) and resets streak
+// tracking. Counters are preserved; use ResetStats to clear them.
+func (p *BufferPool) Flush() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pages = make(map[pageKey]*list.Element)
+	p.lru = list.New()
+	p.lastPage = make(map[string]int64)
+}
+
+// ResetStats zeroes the activity counters.
+func (p *BufferPool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = PoolStats{}
+}
+
+// CachedPages returns the number of pages currently resident.
+func (p *BufferPool) CachedPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.pages)
+}
+
+// ReadAt fills buf with file content at off, going through the page
+// cache. f must be an open handle on path. It charges the disk model for
+// every page that misses, with seeks charged only on non-sequential
+// access patterns per file.
+func (p *BufferPool) ReadAt(path string, f *os.File, buf []byte, off int64) error {
+	n := int64(len(buf))
+	if n == 0 {
+		return nil
+	}
+	for done := int64(0); done < n; {
+		pos := off + done
+		page := pos / PageSize
+		inPage := pos % PageSize
+		want := PageSize - inPage
+		if rem := n - done; rem < want {
+			want = rem
+		}
+		data, err := p.getPage(path, f, page)
+		if err != nil {
+			return err
+		}
+		if int64(len(data)) < inPage {
+			return fmt.Errorf("storage: short page %d of %s: have %d bytes, need offset %d",
+				page, path, len(data), inPage)
+		}
+		avail := int64(len(data)) - inPage
+		if avail < want {
+			want = avail
+		}
+		if want <= 0 {
+			return io.ErrUnexpectedEOF
+		}
+		copy(buf[done:done+want], data[inPage:inPage+want])
+		done += want
+	}
+	return nil
+}
+
+func (p *BufferPool) getPage(path string, f *os.File, page int64) ([]byte, error) {
+	key := pageKey{path, page}
+	p.mu.Lock()
+	if el, ok := p.pages[key]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		data := el.Value.(*poolEntry).data
+		p.mu.Unlock()
+		return data, nil
+	}
+	sequential := p.lastPage[path] == page-1
+	p.lastPage[path] = page
+	p.stats.Misses++
+	p.stats.PagesRead++
+	if !sequential {
+		p.stats.SeeksPayed++
+	}
+	p.mu.Unlock()
+
+	data := make([]byte, PageSize)
+	n, err := f.ReadAt(data, page*PageSize)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("storage: read page %d of %s: %w", page, path, err)
+	}
+	data = data[:n]
+	p.model.ChargeRead(p.clock, 1, sequential)
+
+	p.mu.Lock()
+	if el, ok := p.pages[key]; ok { // raced with another reader
+		p.lru.MoveToFront(el)
+		data = el.Value.(*poolEntry).data
+		p.mu.Unlock()
+		return data, nil
+	}
+	el := p.lru.PushFront(&poolEntry{key: key, data: data})
+	p.pages[key] = el
+	for p.lru.Len() > p.capacity {
+		oldest := p.lru.Back()
+		p.lru.Remove(oldest)
+		delete(p.pages, oldest.Value.(*poolEntry).key)
+		p.stats.Evictions++
+	}
+	p.mu.Unlock()
+	return data, nil
+}
+
+// Touch pulls the first size bytes of the file through the page cache
+// without returning data. It models reading an external repository file:
+// pages already resident (a "hot" run, where the OS page cache would
+// hold the file) cost nothing; missing pages are charged to the disk
+// model. Flush evicts these pages like any others, restoring the cold
+// cost.
+func (p *BufferPool) Touch(path string, f *os.File, size int64) error {
+	for page := int64(0); page*PageSize < size; page++ {
+		if _, err := p.getPage(path, f, page); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Invalidate drops all cached pages of the given file, used when a file
+// is rewritten.
+func (p *BufferPool) Invalidate(path string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, el := range p.pages {
+		if key.path == path {
+			p.lru.Remove(el)
+			delete(p.pages, key)
+		}
+	}
+	delete(p.lastPage, path)
+}

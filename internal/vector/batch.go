@@ -1,0 +1,89 @@
+package vector
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultBatchSize is the number of rows operators aim to move per batch.
+const DefaultBatchSize = 4096
+
+// Batch is a set of aligned column vectors: the horizontal unit of data
+// flow between physical operators. All columns have the same length.
+type Batch struct {
+	Cols []*Vector
+}
+
+// NewBatch returns a batch over the given columns, validating alignment.
+func NewBatch(cols ...*Vector) *Batch {
+	b := &Batch{Cols: cols}
+	if len(cols) > 0 {
+		n := cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != n {
+				panic(fmt.Sprintf("vector: batch column %d has %d rows, want %d", i, c.Len(), n))
+			}
+		}
+	}
+	return b
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// NumCols returns the number of columns.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// Gather returns a new batch with only the selected row indexes.
+func (b *Batch) Gather(sel []int) *Batch {
+	cols := make([]*Vector, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Gather(sel)
+	}
+	return &Batch{Cols: cols}
+}
+
+// Slice returns a batch sharing storage over rows [lo, hi).
+func (b *Batch) Slice(lo, hi int) *Batch {
+	cols := make([]*Vector, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Slice(lo, hi)
+	}
+	return &Batch{Cols: cols}
+}
+
+// Row returns the values of row i across all columns.
+func (b *Batch) Row(i int) []Value {
+	out := make([]Value, len(b.Cols))
+	for j, c := range b.Cols {
+		out[j] = c.Get(i)
+	}
+	return out
+}
+
+// SelFromBools converts a boolean predicate vector into a selection
+// vector of the indexes where the predicate holds.
+func SelFromBools(pred *Vector) []int {
+	bs := pred.Bools()
+	sel := make([]int, 0, len(bs))
+	for i, ok := range bs {
+		if ok {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// FormatRow renders row i of the batch as a tab-separated line.
+func (b *Batch) FormatRow(i int) string {
+	parts := make([]string, len(b.Cols))
+	for j, c := range b.Cols {
+		parts[j] = c.Format(i)
+	}
+	return strings.Join(parts, "\t")
+}

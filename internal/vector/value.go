@@ -1,0 +1,190 @@
+package vector
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+)
+
+// Value is a scalar of any supported Kind. Exactly one of the payload
+// fields is meaningful, selected by Kind (I backs both BIGINT and
+// TIMESTAMP).
+type Value struct {
+	Kind Kind
+	B    bool
+	I    int64
+	F    float64
+	S    string
+}
+
+// Bool, Int64, Float64, Str and Time construct scalar values.
+func Bool(b bool) Value       { return Value{Kind: KindBool, B: b} }
+func Int64(i int64) Value     { return Value{Kind: KindInt64, I: i} }
+func Float64(f float64) Value { return Value{Kind: KindFloat64, F: f} }
+func Str(s string) Value      { return Value{Kind: KindString, S: s} }
+func Time(ns int64) Value     { return Value{Kind: KindTime, I: ns} }
+
+// IsNumeric reports whether the value participates in arithmetic.
+func (v Value) IsNumeric() bool { return v.Kind.Numeric() }
+
+// AsFloat converts a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt64, KindTime:
+		return float64(v.I)
+	case KindFloat64:
+		return v.F
+	default:
+		panic(fmt.Sprintf("vector: AsFloat on %s value", v.Kind))
+	}
+}
+
+// AsInt converts a numeric value to int64 (floats are truncated).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt64, KindTime:
+		return v.I
+	case KindFloat64:
+		return int64(v.F)
+	default:
+		panic(fmt.Sprintf("vector: AsInt on %s value", v.Kind))
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindBool:
+		return strconv.FormatBool(v.B)
+	case KindInt64:
+		return strconv.FormatInt(v.I, 10)
+	case KindTime:
+		return FormatTime(v.I)
+	case KindFloat64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	default:
+		return "NULL"
+	}
+}
+
+// Compare orders two values of compatible kinds: -1, 0 or +1. Numeric
+// kinds compare numerically across int/float; TIMESTAMP compares as its
+// underlying instant.
+func Compare(a, b Value) int {
+	switch {
+	case a.Kind == KindString && b.Kind == KindString:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		}
+		return 0
+	case a.Kind == KindBool && b.Kind == KindBool:
+		switch {
+		case !a.B && b.B:
+			return -1
+		case a.B && !b.B:
+			return 1
+		}
+		return 0
+	case (a.Kind == KindInt64 || a.Kind == KindTime) && (b.Kind == KindInt64 || b.Kind == KindTime):
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		}
+		return 0
+	case a.IsNumeric() && b.IsNumeric():
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("vector: Compare of %s and %s", a.Kind, b.Kind))
+	}
+}
+
+// Equal reports value equality under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// hashSeed is the process-wide seed for value hashing.
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a stable-in-process hash of the value, suitable for hash
+// joins and group-by. Int64 and Time values of equal instant hash equal;
+// a float that holds an integral value hashes equal to that integer so
+// cross-kind numeric joins behave.
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.Kind {
+	case KindBool:
+		if v.B {
+			writeU64(&h, 1)
+		} else {
+			writeU64(&h, 0)
+		}
+	case KindInt64, KindTime:
+		writeU64(&h, uint64(v.I))
+	case KindFloat64:
+		if v.F == math.Trunc(v.F) && !math.IsInf(v.F, 0) {
+			writeU64(&h, uint64(int64(v.F)))
+		} else {
+			writeU64(&h, math.Float64bits(v.F))
+		}
+	case KindString:
+		h.WriteString(v.S)
+	}
+	return h.Sum64()
+}
+
+func writeU64(h *maphash.Hash, x uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(x >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// HashVector hashes every element of v into dst (which must have length
+// v.Len()), combining with any existing contents of dst so multi-column
+// keys can be hashed by repeated calls.
+func HashVector(v *Vector, dst []uint64) {
+	n := v.Len()
+	if len(dst) != n {
+		panic("vector: HashVector length mismatch")
+	}
+	const mix = 0x9e3779b97f4a7c15
+	switch v.kind {
+	case KindInt64, KindTime:
+		for i, x := range v.is {
+			dst[i] = combine(dst[i], Value{Kind: KindInt64, I: x}.Hash(), mix)
+		}
+	case KindFloat64:
+		for i, x := range v.fs {
+			dst[i] = combine(dst[i], Value{Kind: KindFloat64, F: x}.Hash(), mix)
+		}
+	case KindString:
+		for i, x := range v.ss {
+			dst[i] = combine(dst[i], Value{Kind: KindString, S: x}.Hash(), mix)
+		}
+	case KindBool:
+		for i, x := range v.bs {
+			dst[i] = combine(dst[i], Value{Kind: KindBool, B: x}.Hash(), mix)
+		}
+	}
+}
+
+func combine(acc, h, mix uint64) uint64 {
+	acc ^= h + mix + (acc << 6) + (acc >> 2)
+	return acc
+}

@@ -1,0 +1,260 @@
+package vector
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindBool:    "BOOLEAN",
+		KindInt64:   "BIGINT",
+		KindFloat64: "DOUBLE",
+		KindString:  "VARCHAR",
+		KindTime:    "TIMESTAMP",
+		KindInvalid: "INVALID",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindWidth(t *testing.T) {
+	if w := KindInt64.Width(); w != 8 {
+		t.Errorf("int64 width = %d, want 8", w)
+	}
+	if w := KindBool.Width(); w != 1 {
+		t.Errorf("bool width = %d, want 1", w)
+	}
+	if w := KindString.Width(); w != 0 {
+		t.Errorf("string width = %d, want 0", w)
+	}
+	if !KindFloat64.Numeric() || KindString.Numeric() {
+		t.Error("Numeric misclassifies kinds")
+	}
+}
+
+func TestAppendAndGet(t *testing.T) {
+	v := New(KindInt64, 4)
+	for i := int64(0); i < 10; i++ {
+		v.AppendInt64(i * 3)
+	}
+	if v.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", v.Len())
+	}
+	if got := v.Get(4); got.I != 12 || got.Kind != KindInt64 {
+		t.Errorf("Get(4) = %+v, want I=12", got)
+	}
+}
+
+func TestStringVector(t *testing.T) {
+	v := FromString([]string{"a", "b", "c"})
+	if v.Len() != 3 || v.Get(1).S != "b" {
+		t.Fatalf("unexpected string vector state: len=%d", v.Len())
+	}
+	v.AppendString("d")
+	if v.Format(3) != "d" {
+		t.Errorf("Format(3) = %q, want d", v.Format(3))
+	}
+}
+
+func TestGather(t *testing.T) {
+	v := FromInt64([]int64{10, 20, 30, 40, 50})
+	g := v.Gather([]int{4, 0, 2})
+	want := []int64{50, 10, 30}
+	for i, w := range want {
+		if g.Int64s()[i] != w {
+			t.Errorf("Gather[%d] = %d, want %d", i, g.Int64s()[i], w)
+		}
+	}
+}
+
+func TestSliceSharesStorage(t *testing.T) {
+	v := FromFloat64([]float64{1, 2, 3, 4})
+	s := v.Slice(1, 3)
+	if s.Len() != 2 || s.Float64s()[0] != 2 {
+		t.Fatalf("Slice wrong: len=%d", s.Len())
+	}
+	v.Float64s()[1] = 99
+	if s.Float64s()[0] != 99 {
+		t.Error("Slice did not share storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	v := FromInt64([]int64{1, 2, 3})
+	c := v.Clone()
+	v.Int64s()[0] = 42
+	if c.Int64s()[0] != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestAppendVectorKinds(t *testing.T) {
+	a := FromTime([]int64{100})
+	b := FromInt64([]int64{200})
+	a.AppendVector(b) // time <- int64 allowed
+	if a.Len() != 2 || a.Int64s()[1] != 200 {
+		t.Fatal("AppendVector across time/int failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for string into int append")
+		}
+	}()
+	a.AppendVector(FromString([]string{"x"}))
+}
+
+func TestParseFormatTimeRoundTrip(t *testing.T) {
+	in := "2010-01-12T22:15:00.000"
+	ns, err := ParseTime(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatTime(ns); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestParseTimeLayouts(t *testing.T) {
+	for _, s := range []string{
+		"2010-01-12", "2010-01-12T00:00:00", "2010-01-12 13:01:02.500", "2010-01-12 13:01:02",
+	} {
+		if _, err := ParseTime(s); err != nil {
+			t.Errorf("ParseTime(%q) failed: %v", s, err)
+		}
+	}
+	if _, err := ParseTime("not a time"); err == nil {
+		t.Error("ParseTime accepted garbage")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int64(1), Int64(2), -1},
+		{Int64(2), Int64(2), 0},
+		{Int64(3), Int64(2), 1},
+		{Float64(1.5), Int64(2), -1},
+		{Int64(2), Float64(1.5), 1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Time(5), Int64(5), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int64(a), Int64(b)) == -Compare(Int64(b), Int64(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualValuesProperty(t *testing.T) {
+	f := func(x int64) bool {
+		// An integral float must hash equal to the same integer so that
+		// cross-kind numeric join keys collide as Compare says they should.
+		return Int64(x).Hash() == Time(x).Hash() &&
+			(x != int64(float64(x)) || Float64(float64(x)).Hash() == Int64(int64(float64(x))).Hash())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashStringsProperty(t *testing.T) {
+	f := func(s string) bool { return Str(s).Hash() == Str(s).Hash() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashVectorCombines(t *testing.T) {
+	a := FromInt64([]int64{1, 1, 2})
+	b := FromString([]string{"x", "y", "x"})
+	h := make([]uint64, 3)
+	HashVector(a, h)
+	HashVector(b, h)
+	if h[0] == h[1] {
+		t.Error("distinct composite keys (1,x) and (1,y) hash equal")
+	}
+	h2 := make([]uint64, 3)
+	HashVector(a.Gather([]int{0, 1, 2}), h2)
+	HashVector(b, h2)
+	if h[0] != h2[0] {
+		t.Error("equal composite keys hash differently")
+	}
+}
+
+func TestBatchGatherAndRow(t *testing.T) {
+	b := NewBatch(
+		FromInt64([]int64{1, 2, 3}),
+		FromString([]string{"a", "b", "c"}),
+	)
+	if b.Len() != 3 || b.NumCols() != 2 {
+		t.Fatalf("batch shape wrong: %d x %d", b.Len(), b.NumCols())
+	}
+	g := b.Gather([]int{2, 0})
+	if g.Len() != 2 || g.Cols[1].Strings()[0] != "c" {
+		t.Error("batch gather wrong")
+	}
+	row := b.Row(1)
+	if row[0].I != 2 || row[1].S != "b" {
+		t.Error("Row(1) wrong")
+	}
+	if b.FormatRow(0) != "1\ta" {
+		t.Errorf("FormatRow = %q", b.FormatRow(0))
+	}
+}
+
+func TestBatchMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for misaligned batch")
+		}
+	}()
+	NewBatch(FromInt64([]int64{1}), FromInt64([]int64{1, 2}))
+}
+
+func TestSelFromBools(t *testing.T) {
+	sel := SelFromBools(FromBool([]bool{true, false, true, true}))
+	want := []int{0, 2, 3}
+	if len(sel) != len(want) {
+		t.Fatalf("sel = %v, want %v", sel, want)
+	}
+	for i := range want {
+		if sel[i] != want[i] {
+			t.Fatalf("sel = %v, want %v", sel, want)
+		}
+	}
+}
+
+func TestValueStringForms(t *testing.T) {
+	if Int64(5).String() != "5" || Str("q").String() != "q" || Bool(true).String() != "true" {
+		t.Error("Value.String formatting wrong")
+	}
+	if Float64(2.5).String() != "2.5" {
+		t.Errorf("float formatting = %q", Float64(2.5).String())
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if Float64(2.9).AsInt() != 2 {
+		t.Error("AsInt truncation wrong")
+	}
+	if Int64(7).AsFloat() != 7.0 {
+		t.Error("AsFloat wrong")
+	}
+}

@@ -1,0 +1,84 @@
+package waveform
+
+// STA/LTA (short-term average over long-term average) is the classic
+// seismic event detector: the ratio of a short moving average of signal
+// energy to a long one spikes when an event arrives. Query 1 of the paper
+// is the database formulation of the short-term-average step; this
+// package-level implementation is used by the examples to post-process
+// retrieved waveforms.
+
+// Trigger is a detected event interval, in sample indexes.
+type Trigger struct {
+	Start, End int
+	PeakRatio  float64
+}
+
+// STALTAParams configures the detector.
+type STALTAParams struct {
+	// STAWindow and LTAWindow are window lengths in samples.
+	STAWindow, LTAWindow int
+	// OnRatio starts a trigger, OffRatio ends it.
+	OnRatio, OffRatio float64
+}
+
+// DefaultSTALTA returns parameters typical for 40 Hz data: 2 s STA,
+// 30 s LTA, trigger on at 4x, off at 1.5x.
+func DefaultSTALTA(rate float64) STALTAParams {
+	return STALTAParams{
+		STAWindow: int(2 * rate),
+		LTAWindow: int(30 * rate),
+		OnRatio:   4,
+		OffRatio:  1.5,
+	}
+}
+
+// Detect runs the STA/LTA detector over the samples and returns the
+// triggered intervals.
+func Detect(samples []int32, p STALTAParams) []Trigger {
+	n := len(samples)
+	if p.STAWindow <= 0 || p.LTAWindow <= p.STAWindow || n < p.LTAWindow {
+		return nil
+	}
+	// Prefix sums of |x| for O(1) window averages.
+	prefix := make([]float64, n+1)
+	for i, s := range samples {
+		v := float64(s)
+		if v < 0 {
+			v = -v
+		}
+		prefix[i+1] = prefix[i] + v
+	}
+	avg := func(lo, hi int) float64 { // mean of |x| over [lo, hi)
+		if hi <= lo {
+			return 0
+		}
+		return (prefix[hi] - prefix[lo]) / float64(hi-lo)
+	}
+
+	var out []Trigger
+	var cur *Trigger
+	for i := p.LTAWindow; i < n; i++ {
+		sta := avg(i-p.STAWindow, i)
+		lta := avg(i-p.LTAWindow, i)
+		if lta == 0 {
+			continue
+		}
+		ratio := sta / lta
+		switch {
+		case cur == nil && ratio >= p.OnRatio:
+			cur = &Trigger{Start: i, End: i, PeakRatio: ratio}
+		case cur != nil && ratio >= p.OffRatio:
+			cur.End = i
+			if ratio > cur.PeakRatio {
+				cur.PeakRatio = ratio
+			}
+		case cur != nil:
+			out = append(out, *cur)
+			cur = nil
+		}
+	}
+	if cur != nil {
+		out = append(out, *cur)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(123, 1000, DefaultParams())
+	b := Synthesize(123, 1000, DefaultParams())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	c := Synthesize(124, 1000, DefaultParams())
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical waveforms")
+	}
+}
+
+func TestSeedDistinguishesStreams(t *testing.T) {
+	s1 := Seed("NL", "ISK", "BHE", 12)
+	s2 := Seed("NL", "ISK", "BHN", 12)
+	s3 := Seed("NL", "ISK", "BHE", 13)
+	s4 := Seed("NL", "ISKB", "HE", 12) // boundary confusion must not collide
+	if s1 == s2 || s1 == s3 || s1 == s4 {
+		t.Error("seeds collide across distinct streams")
+	}
+	if s1 != Seed("NL", "ISK", "BHE", 12) {
+		t.Error("seed not deterministic")
+	}
+}
+
+func TestSynthesizeSmallDeltas(t *testing.T) {
+	// The compressibility claim: the noise floor must have mostly 1-byte
+	// deltas or Steim-style compression would be pointless.
+	samples := Synthesize(7, 50000, DefaultParams())
+	small := 0
+	for i := 1; i < len(samples); i++ {
+		d := int64(samples[i]) - int64(samples[i-1])
+		if d >= -128 && d <= 127 {
+			small++
+		}
+	}
+	if frac := float64(small) / float64(len(samples)-1); frac < 0.80 {
+		t.Errorf("only %.0f%% of deltas fit one byte; waveform too rough", frac*100)
+	}
+}
+
+func TestSynthesizeHasEvents(t *testing.T) {
+	// With a high event rate over a long window, peak amplitude should far
+	// exceed the noise floor.
+	p := DefaultParams()
+	p.EventRate = 20 // per hour
+	samples := Synthesize(99, int(p.SampleRate)*3600, p)
+	st := Summarize(samples)
+	peak := math.Max(math.Abs(float64(st.Min)), math.Abs(float64(st.Max)))
+	if peak < 5*st.AbsMean {
+		t.Errorf("peak %.0f vs abs-mean %.1f: no visible events", peak, st.AbsMean)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]int32{-3, 0, 3, 6})
+	if st.Count != 4 || st.Min != -3 || st.Max != 6 || st.Mean != 1.5 || st.AbsMean != 3 {
+		t.Errorf("Summarize = %+v", st)
+	}
+	empty := Summarize(nil)
+	if empty.Count != 0 {
+		t.Error("empty summarize wrong")
+	}
+}
+
+func TestSummarizeMatchesNaiveProperty(t *testing.T) {
+	f := func(xs []int32) bool {
+		st := Summarize(xs)
+		if len(xs) == 0 {
+			return st.Count == 0
+		}
+		min, max := xs[0], xs[0]
+		var sum float64
+		for _, x := range xs {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+			sum += float64(x)
+		}
+		return st.Min == min && st.Max == max && math.Abs(st.Mean-sum/float64(len(xs))) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDetectFindsInjectedEvent(t *testing.T) {
+	rate := 40.0
+	n := int(rate) * 600 // 10 minutes
+	samples := make([]int32, n)
+	// Gentle noise floor.
+	for i := range samples {
+		samples[i] = int32(i % 7)
+	}
+	// Big event at minute 5.
+	addRicker(samples, n/2, 4, rate, 50000)
+	trigs := Detect(samples, DefaultSTALTA(rate))
+	if len(trigs) == 0 {
+		t.Fatal("no trigger on an obvious event")
+	}
+	found := false
+	for _, tr := range trigs {
+		if tr.Start <= n/2+int(rate) && tr.End >= n/2-int(rate)*3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("triggers %v do not cover the event at %d", trigs, n/2)
+	}
+}
+
+func TestDetectQuietData(t *testing.T) {
+	samples := make([]int32, 40*120)
+	for i := range samples {
+		samples[i] = int32(i%5) + 1
+	}
+	if trigs := Detect(samples, DefaultSTALTA(40)); len(trigs) != 0 {
+		t.Errorf("quiet data triggered %d times", len(trigs))
+	}
+}
+
+func TestDetectDegenerateParams(t *testing.T) {
+	samples := make([]int32, 100)
+	if Detect(samples, STALTAParams{STAWindow: 0, LTAWindow: 10, OnRatio: 2, OffRatio: 1}) != nil {
+		t.Error("zero STA window should detect nothing")
+	}
+	if Detect(samples, STALTAParams{STAWindow: 20, LTAWindow: 10, OnRatio: 2, OffRatio: 1}) != nil {
+		t.Error("LTA <= STA should detect nothing")
+	}
+	if Detect(samples[:5], DefaultSTALTA(40)) != nil {
+		t.Error("short data should detect nothing")
+	}
+}
+
+func TestRickerClampsToInt32(t *testing.T) {
+	samples := []int32{math.MaxInt32 - 10, math.MaxInt32 - 10, math.MaxInt32 - 10, math.MaxInt32 - 10, math.MaxInt32 - 10}
+	addRicker(samples, 2, 4, 40, 1e12)
+	for i, s := range samples {
+		if s < 0 && i == 2 {
+			t.Error("ricker overflowed int32 instead of clamping")
+		}
+	}
+}
