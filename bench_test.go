@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"os"
 	"sync"
 	"testing"
@@ -51,6 +52,22 @@ var (
 	engineMu  sync.Mutex
 )
 
+// benchManifest returns the shared repository manifest for a scale,
+// building it on first use. Callers must hold engineMu.
+func benchManifest(b *testing.B, sc benchutil.Scale) *repo.Manifest {
+	b.Helper()
+	m, ok := manifests[sc.Name]
+	if !ok {
+		var err error
+		m, err = benchutil.BuildRepo(benchDir(b), sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		manifests[sc.Name] = m
+	}
+	return m
+}
+
 // benchEngine returns a shared engine for (scale, mode), building the
 // repository and ingesting on first use.
 func benchEngine(b *testing.B, sc benchutil.Scale, mode core.Mode) *core.Engine {
@@ -61,15 +78,7 @@ func benchEngine(b *testing.B, sc benchutil.Scale, mode core.Mode) *core.Engine 
 	if e, ok := engines[key]; ok {
 		return e
 	}
-	m, ok := manifests[sc.Name]
-	if !ok {
-		var err error
-		m, err = benchutil.BuildRepo(benchDir(b), sc)
-		if err != nil {
-			b.Fatal(err)
-		}
-		manifests[sc.Name] = m
-	}
+	m := benchManifest(b, sc)
 	e, err := benchutil.OpenEngine(m, benchDir(b), core.Options{Mode: mode})
 	if err != nil {
 		b.Fatal(err)
@@ -132,6 +141,28 @@ func BenchmarkFigure3Query2HotALi(b *testing.B) {
 
 func BenchmarkFigure3Query2HotEi(b *testing.B) {
 	runQuery(b, benchEngine(b, benchScale(), core.ModeEi), benchutil.Query2, false)
+}
+
+// BenchmarkFigure3Query1ColdALiParallel sweeps the ingestion/mount
+// worker count over the cold-ALi column of Figure 3: per-file
+// extract/transform is the hot path of every cold query, so wall time
+// should drop as workers grow while the answer stays identical.
+func BenchmarkFigure3Query1ColdALiParallel(b *testing.B) {
+	sc := benchScale()
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engineMu.Lock()
+			m := benchManifest(b, sc)
+			engineMu.Unlock()
+			e, err := benchutil.OpenEngine(m, benchDir(b), core.Options{Mode: core.ModeALi, Parallelism: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			runQuery(b, e, benchutil.Query1, true)
+		})
+	}
 }
 
 // --- Table 1: sizes; reported as metrics from a one-shot measurement ---

@@ -6,7 +6,12 @@
 //
 // Usage:
 //
-//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived] [-runs 3]
+//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel]
+//	      [-runs 3] [-parallelism N]
+//
+// -parallelism sets the engine's ingestion/mount worker count for every
+// experiment (0 = one worker per CPU); the "parallel" experiment sweeps
+// worker counts 1, 4 and 8 regardless of the flag.
 package main
 
 import (
@@ -20,13 +25,20 @@ import "repro/internal/benchutil"
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "small", "dataset scale: tiny, small or medium")
-		exp       = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived")
-		runs      = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
-		keep      = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
+		scaleName   = flag.String("scale", "small", "dataset scale: tiny, small or medium")
+		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel")
+		runs        = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
+		keep        = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
+		parallelism = flag.Int("parallelism", 0, "ingestion/mount workers per engine (0 = one per CPU)")
 	)
 	flag.Parse()
 	sc := benchutil.ScaleByName(*scaleName)
+	if *parallelism != 0 { // 0 keeps REPRO_PARALLELISM (or per-CPU default)
+		benchutil.DefaultParallelism = *parallelism
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
 
 	base := *keep
 	if base == "" {
@@ -63,6 +75,9 @@ func main() {
 	run("cache", func() (fmt.Stringer, error) { return benchutil.ExperimentCacheGranularity(base, sc) })
 	run("strategy", func() (fmt.Stringer, error) { return benchutil.ExperimentMergeStrategy(base, sc) })
 	run("derived", func() (fmt.Stringer, error) { return benchutil.ExperimentDerived(base, sc) })
+	run("parallel", func() (fmt.Stringer, error) {
+		return benchutil.ExperimentParallelism(base, sc, []int{1, 4, 8}, *runs)
+	})
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -81,6 +82,20 @@ func ScaleByName(name string) Scale {
 // EnvScale reads the REPRO_SCALE environment variable.
 func EnvScale() Scale { return ScaleByName(os.Getenv("REPRO_SCALE")) }
 
+// DefaultParallelism, when non-zero, is applied to every engine opened
+// through OpenEngine whose options leave Parallelism unset. cmd/bench's
+// -parallelism flag and the REPRO_PARALLELISM environment variable
+// (read at init) both set it; 0 lets the engine pick GOMAXPROCS.
+var DefaultParallelism = envParallelism()
+
+func envParallelism() int {
+	n, err := strconv.Atoi(os.Getenv("REPRO_PARALLELISM"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 // BuildRepo generates (once) a repository for the scale under baseDir
 // and returns its manifest. Repeated calls with the same arguments reuse
 // the generated files (generation is deterministic).
@@ -121,6 +136,9 @@ func OpenEngine(m *repo.Manifest, baseDir string, opts core.Options) (*core.Engi
 	}
 	opts.RepoDir = m.Dir
 	opts.DBDir = dbDir
+	if opts.Parallelism == 0 {
+		opts.Parallelism = DefaultParallelism
+	}
 	return core.Open(opts)
 }
 

@@ -515,6 +515,102 @@ AND R.start_time < '2010-01-12T23:59:59.999'`
 	return out, nil
 }
 
+// ParallelismPoint is one worker count's cold-ALi measurements.
+type ParallelismPoint struct {
+	Workers    int
+	IngestWall time.Duration // ALi metadata-only load (wall only)
+	ColdQ1Wall time.Duration // Query 1 cold (one file of interest)
+	WideWall   time.Duration // cold all-days sweep (every file mounted)
+	WideValue  float64       // the wide aggregate, for cross-checking
+}
+
+// ParallelismSweep shows how the parallel ingestion and mount scheduler
+// scale the wall-clock side of cold ALi queries. Query 1's selection
+// leaves a single file of interest — the scheduler has nothing to
+// overlap and the point serves as an overhead check — while the wide
+// query mounts the whole repository, the regime the worker pool is for.
+// The modeled disk time is parallelism-independent by construction (the
+// same pages are charged), so the sweep reports wall time.
+type ParallelismSweep struct {
+	Scale  Scale
+	Points []ParallelismPoint
+}
+
+// String renders the sweep.
+func (p *ParallelismSweep) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallelism sweep (scale %s, %d files): cold ALi, wall time\n",
+		p.Scale.Name, p.Scale.Files())
+	base := time.Duration(0)
+	for _, pt := range p.Points {
+		if base == 0 {
+			base = pt.WideWall
+		}
+		fmt.Fprintf(&sb, "  workers=%-3d ingest=%-12s coldQ1=%-12s wide=%-12s (wide %s vs 1 worker)\n",
+			pt.Workers, pt.IngestWall.Round(time.Microsecond),
+			pt.ColdQ1Wall.Round(time.Microsecond),
+			pt.WideWall.Round(time.Microsecond), Ratio(base, pt.WideWall))
+	}
+	return sb.String()
+}
+
+// ExperimentParallelism measures metadata ingestion, cold Query 1 and
+// the cold all-days sweep at growing worker counts, verifying the wide
+// aggregate is identical everywhere.
+func ExperimentParallelism(baseDir string, sc Scale, workerSteps []int, runs int) (*ParallelismSweep, error) {
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	wideQuery := sweepQuery(sc.Days)
+	out := &ParallelismSweep{Scale: sc}
+	var wantWide float64
+	for _, w := range workerSteps {
+		eng, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi, Parallelism: w})
+		if err != nil {
+			return nil, err
+		}
+		pt := ParallelismPoint{Workers: w, IngestWall: eng.Report().Wall}
+		coldOnce := func(q string) (time.Duration, *core.Result, error) {
+			var total time.Duration
+			var res *core.Result
+			for i := 0; i < runs; i++ {
+				eng.FlushCold()
+				eng.Cache().Clear()
+				start := time.Now()
+				res, err = eng.Query(q)
+				if err != nil {
+					return 0, nil, fmt.Errorf("parallelism %d: %w", w, err)
+				}
+				total += time.Since(start)
+			}
+			return total / time.Duration(runs), res, nil
+		}
+		d, _, err := coldOnce(Query1)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		pt.ColdQ1Wall = d
+		d, res, err := coldOnce(wideQuery)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		pt.WideWall = d
+		pt.WideValue = res.Float(0, 0)
+		eng.Close()
+		if len(out.Points) == 0 {
+			wantWide = pt.WideValue
+		} else if pt.WideValue != wantWide {
+			return nil, fmt.Errorf("parallelism %d: wide aggregate %v differs from %v at %d workers",
+				w, pt.WideValue, wantWide, out.Points[0].Workers)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
 // RepoManifest re-exports manifest building for cmd/bench.
 func RepoManifest(baseDir string, sc Scale) (*repo.Manifest, error) {
 	return BuildRepo(baseDir, sc)

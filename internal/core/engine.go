@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -92,6 +93,13 @@ type Options struct {
 	Cache cache.Config
 	// BatchSize overrides the execution batch size.
 	BatchSize int
+	// Parallelism bounds the worker pools of the parallel ingestion and
+	// mount-scheduling subsystem: how many repository files are
+	// extracted, decompressed and transformed concurrently during
+	// up-front loads and during the second execution stage. 0 (the
+	// default) selects runtime.GOMAXPROCS(0); 1 forces the sequential
+	// paths. Query results are identical at every setting.
+	Parallelism int
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.
@@ -147,6 +155,9 @@ func Open(opts Options) (*Engine, error) {
 	if opts.PoolPages == 0 {
 		opts.PoolPages = 16384
 	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	clock := &storage.Clock{}
 	pool := storage.NewBufferPool(opts.PoolPages, disk, clock)
 	store, err := storage.Open(opts.DBDir, pool)
@@ -188,13 +199,13 @@ func Open(opts Options) (*Engine, error) {
 	if fileTbl.Rows() == 0 {
 		switch opts.Mode {
 		case ModeALi:
-			meta, err := ingest.LoadMetadata(store, opts.Adapter, opts.RepoDir, uris)
+			meta, err := ingest.LoadMetadataParallel(store, opts.Adapter, opts.RepoDir, uris, opts.Parallelism)
 			if err != nil {
 				return nil, err
 			}
 			e.report.Metadata = meta
 		case ModeEi:
-			eager, err := ingest.LoadEager(store, opts.Adapter, opts.RepoDir, uris, !opts.SkipIndexes)
+			eager, err := ingest.LoadEagerParallel(store, opts.Adapter, opts.RepoDir, uris, !opts.SkipIndexes, opts.Parallelism)
 			if err != nil {
 				return nil, err
 			}

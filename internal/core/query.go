@@ -294,14 +294,15 @@ func (e *Engine) Query(sqlText string) (*Result, error) {
 // result-scans and the derived-metadata observation hook.
 func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
 	env := &exec.Env{
-		Store:     e.store,
-		Adapters:  e.reg,
-		RepoDir:   e.opts.RepoDir,
-		Cache:     e.cache,
-		Results:   make(map[string]*exec.Materialized),
-		Indexes:   e.indexes,
-		BatchSize: e.opts.BatchSize,
-		Mounts:    &exec.MountStats{},
+		Store:       e.store,
+		Adapters:    e.reg,
+		RepoDir:     e.opts.RepoDir,
+		Cache:       e.cache,
+		Results:     make(map[string]*exec.Materialized),
+		Indexes:     e.indexes,
+		BatchSize:   e.opts.BatchSize,
+		Parallelism: e.opts.Parallelism,
+		Mounts:      &exec.MountStats{},
 	}
 	if bp != nil && bp.qfResult != nil {
 		env.Results[bp.pq.Dec.Name] = bp.qfResult

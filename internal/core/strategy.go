@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/exec"
+	"repro/internal/par"
 	"repro/internal/plan"
 	"repro/internal/vector"
 )
@@ -22,33 +23,39 @@ func (e *Engine) runPerFile(resolved plan.Node, bp *Breakpoint, env *exec.Env) (
 		states[i] = exec.NewAggState(spec)
 	}
 
-	for _, input := range union.Inputs {
-		// Swap the union for a single-file union and run the aggregate's
-		// input subtree for that file only.
-		single := &plan.UnionAll{Inputs: []plan.Node{input}}
-		childPlan := plan.ReplaceNode(agg.Child, union, single)
-		mat, err := exec.Run(childPlan, env)
-		if err != nil {
-			return nil, err
-		}
-		for _, b := range mat.Batches {
-			n := b.Len()
-			for i, spec := range agg.Aggs {
-				if spec.Arg == nil {
-					for r := 0; r < n; r++ {
-						states[i].AddCount()
+	// Per-file subplans run on the engine's worker pool; partial states
+	// merge in file order so float accumulation stays deterministic.
+	err := par.ForEachOrdered(len(union.Inputs), e.opts.Parallelism,
+		func(i int) (*exec.Materialized, error) {
+			// Swap the union for a single-file union and run the aggregate's
+			// input subtree for that file only.
+			single := &plan.UnionAll{Inputs: []plan.Node{union.Inputs[i]}}
+			childPlan := plan.ReplaceNode(agg.Child, union, single)
+			return exec.Run(childPlan, env)
+		},
+		func(_ int, mat *exec.Materialized) error {
+			for _, b := range mat.Batches {
+				n := b.Len()
+				for i, spec := range agg.Aggs {
+					if spec.Arg == nil {
+						for r := 0; r < n; r++ {
+							states[i].AddCount()
+						}
+						continue
 					}
-					continue
-				}
-				v, err := spec.Arg.Eval(b)
-				if err != nil {
-					return nil, err
-				}
-				for r := 0; r < n; r++ {
-					states[i].Add(v.Get(r))
+					v, err := spec.Arg.Eval(b)
+					if err != nil {
+						return err
+					}
+					for r := 0; r < n; r++ {
+						states[i].Add(v.Get(r))
+					}
 				}
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Finalize: one global row, then the projection on top.

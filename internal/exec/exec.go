@@ -7,6 +7,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
@@ -93,12 +94,20 @@ type Env struct {
 	Indexes  []IndexInfo
 	// BatchSize caps rows per batch (defaults to vector.DefaultBatchSize).
 	BatchSize int
-	// Mounts accumulates ALi statistics (optional).
+	// Parallelism is the mount-scheduler worker count: how many union
+	// inputs (mounts, cache-scans) extract and transform concurrently.
+	// Values <= 1 keep execution single-threaded.
+	Parallelism int
+	// Mounts accumulates ALi statistics (optional). Concurrent operators
+	// update it under statsMu via addMountStats.
 	Mounts *MountStats
 	// OnMount, when set, observes every mounted file's full batch before
 	// predicates are applied — the hook used to derive metadata "as a
-	// side-effect of ALi, without the explorer noticing".
+	// side-effect of ALi, without the explorer noticing". It must be safe
+	// for concurrent use when Parallelism > 1.
 	OnMount func(uri string, full *vector.Batch)
+
+	statsMu sync.Mutex
 }
 
 func (e *Env) batchSize() int {
@@ -106,6 +115,17 @@ func (e *Env) batchSize() int {
 		return e.BatchSize
 	}
 	return vector.DefaultBatchSize
+}
+
+// addMountStats applies a stats update under the environment's stats
+// lock; mount and cache-scan operators may run on scheduler workers.
+func (e *Env) addMountStats(fn func(*MountStats)) {
+	if e.Mounts == nil {
+		return
+	}
+	e.statsMu.Lock()
+	fn(e.Mounts)
+	e.statsMu.Unlock()
 }
 
 // lookupIndex finds a registered index on tableName whose key columns
@@ -159,7 +179,7 @@ func Build(n plan.Node, env *Env) (Operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &sortOp{child: child, keys: t.Keys}, nil
+		return &sortOp{child: child, keys: t.Keys, env: env}, nil
 	case *plan.Limit:
 		child, err := Build(t.Child, env)
 		if err != nil {
@@ -174,6 +194,9 @@ func Build(n plan.Node, env *Env) (Operator, error) {
 				return nil, err
 			}
 			inputs[i] = op
+		}
+		if env.Parallelism > 1 && len(inputs) > 1 {
+			return newParallelUnion(t.Schema(), inputs, env.Parallelism), nil
 		}
 		return &unionOp{schema: t.Schema(), inputs: inputs}, nil
 	case *plan.ResultScan:

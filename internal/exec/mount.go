@@ -63,12 +63,14 @@ func (m *mountOp) mount() error {
 	// repeat is free (the paper's hot protocol has the file in the OS
 	// page cache).
 	pool := m.env.Store.Pool()
-	if f, err := os.Open(path); err == nil {
-		touchErr := pool.Touch(path, f, st.Size())
-		f.Close()
-		if touchErr != nil {
-			return fmt.Errorf("exec: mount %s: %w", m.node.URI, touchErr)
-		}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("exec: mount %s: %w", m.node.URI, err)
+	}
+	touchErr := pool.Touch(path, f, st.Size())
+	f.Close()
+	if touchErr != nil {
+		return fmt.Errorf("exec: mount %s: %w", m.node.URI, touchErr)
 	}
 
 	// Record pruning from the fused selection: only when the cache policy
@@ -98,12 +100,12 @@ func (m *mountOp) mount() error {
 	if err != nil {
 		return err
 	}
-	if ms := m.env.Mounts; ms != nil {
+	m.env.addMountStats(func(ms *MountStats) {
 		ms.FilesMounted++
 		ms.BytesRead += st.Size()
 		ms.RecordsPruned += pruned
 		ms.RecordsMounted += full.Len()
-	}
+	})
 	if m.env.OnMount != nil {
 		m.env.OnMount(m.node.URI, full)
 	}
@@ -218,9 +220,9 @@ func (c *cacheScanOp) load() error {
 		c.out = mat.Flatten()
 		return nil
 	}
-	if ms := c.env.Mounts; ms != nil {
+	c.env.addMountStats(func(ms *MountStats) {
 		ms.CacheHits++
-	}
+	})
 	filtered := cached
 	if c.node.Pred != nil {
 		pv, err := c.node.Pred.Eval(cached)

@@ -7,10 +7,12 @@ import (
 	"repro/internal/vector"
 )
 
-// sortOp materializes its input and emits it ordered by the sort keys.
+// sortOp materializes its input and emits it ordered by the sort keys,
+// chunked to the environment's batch size like every other operator.
 type sortOp struct {
 	child Operator
 	keys  []plan.SortKey
+	env   *Env
 	out   *vector.Batch
 	done  bool
 	pos   int
@@ -56,13 +58,7 @@ func (s *sortOp) Next() (*vector.Batch, error) {
 		s.out = all.Gather(idx)
 		s.done = true
 	}
-	if s.out == nil || s.pos >= s.out.Len() {
-		return nil, nil
-	}
-	// Emit in one batch; downstream operators slice as needed.
-	b := s.out.Slice(s.pos, s.out.Len())
-	s.pos = s.out.Len()
-	return b, nil
+	return emitChunk(s.out, &s.pos, s.env.batchSize()), nil
 }
 
 // Close implements Operator.

@@ -1,0 +1,172 @@
+package exec
+
+import (
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// parallelUnion is the mount scheduler: an exchange-style union that
+// drains its inputs on a bounded worker pool while emitting batches in
+// input order. After rewrite rule (1) a cold ALi query is a UnionAll of
+// one Mount per file of interest, so this operator is what overlaps
+// file I/O, decompression and transformation across files. Results are
+// deterministic: batch order is exactly the sequential union's.
+type parallelUnion struct {
+	schema  []plan.ColInfo
+	inputs  []Operator
+	workers int
+
+	started bool
+	stop    chan struct{}
+	slots   []chan inputResult
+	sem     chan struct{} // bounds drained-but-unemitted inputs to O(workers)
+	wg      sync.WaitGroup
+
+	cur     int            // next input to emit from
+	pending []*vector.Batch // batches of the current input
+	pos     int
+	err     error
+}
+
+// inputResult is one fully drained union input.
+type inputResult struct {
+	batches []*vector.Batch
+	err     error
+}
+
+func newParallelUnion(schema []plan.ColInfo, inputs []Operator, workers int) *parallelUnion {
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	return &parallelUnion{schema: schema, inputs: inputs, workers: workers}
+}
+
+// Schema implements Operator.
+func (u *parallelUnion) Schema() []plan.ColInfo { return u.schema }
+
+// start launches the worker pool. Each worker claims input indices from
+// the jobs channel, drains (and closes) that input, and parks the
+// result in the input's slot for the in-order consumer.
+func (u *parallelUnion) start() {
+	u.started = true
+	u.stop = make(chan struct{})
+	u.slots = make([]chan inputResult, len(u.inputs))
+	for i := range u.slots {
+		u.slots[i] = make(chan inputResult, 1)
+	}
+	u.sem = make(chan struct{}, u.workers)
+	jobs := make(chan int)
+	for w := 0; w < u.workers; w++ {
+		u.wg.Add(1)
+		go func() {
+			defer u.wg.Done()
+			for {
+				// Backpressure: don't claim a new input while `workers`
+				// results already sit unconsumed — a slow first file must
+				// not let the pool buffer the whole repository. The token
+				// is taken before the job so dispatch stays ascending and
+				// the input Next waits on is always in flight.
+				select {
+				case u.sem <- struct{}{}:
+				case <-u.stop:
+					return
+				}
+				i, ok := <-jobs
+				if !ok {
+					return
+				}
+				u.slots[i] <- drainInput(u.inputs[i])
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := range u.inputs {
+			select {
+			case jobs <- i:
+			case <-u.stop:
+				return
+			}
+		}
+	}()
+}
+
+// drainInput pulls an input to completion and closes it.
+func drainInput(op Operator) inputResult {
+	var res inputResult
+	for {
+		b, err := op.Next()
+		if err != nil {
+			res.err = err
+			break
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			res.batches = append(res.batches, b)
+		}
+	}
+	if err := op.Close(); err != nil && res.err == nil {
+		res.err = err
+	}
+	return res
+}
+
+// Next implements Operator: it emits every batch of input 0, then of
+// input 1, and so on — indistinguishable from the sequential union.
+func (u *parallelUnion) Next() (*vector.Batch, error) {
+	if u.err != nil {
+		return nil, u.err
+	}
+	if !u.started {
+		u.start()
+	}
+	for {
+		if u.pos < len(u.pending) {
+			b := u.pending[u.pos]
+			u.pos++
+			return b, nil
+		}
+		if u.cur >= len(u.inputs) {
+			return nil, nil
+		}
+		res := <-u.slots[u.cur]
+		u.cur++
+		<-u.sem
+		if res.err != nil {
+			u.err = res.err
+			return nil, res.err
+		}
+		u.pending, u.pos = res.batches, 0
+	}
+}
+
+// Close implements Operator. Inputs already drained were closed by
+// their worker; inputs the scheduler never reached are closed here.
+func (u *parallelUnion) Close() error {
+	if !u.started {
+		var first error
+		for _, in := range u.inputs {
+			if err := in.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	close(u.stop)
+	// Wait for in-flight workers, then release any parked results and
+	// close inputs that were never claimed by a worker.
+	u.wg.Wait()
+	for i := u.cur; i < len(u.inputs); i++ {
+		select {
+		case <-u.slots[i]:
+			// Drained (and closed) by a worker; result discarded.
+		default:
+			u.inputs[i].Close()
+		}
+	}
+	return nil
+}

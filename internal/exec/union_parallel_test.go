@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// fakeInput is a synthetic operator emitting pre-built batches with an
+// optional per-Next delay and injected failure.
+type fakeInput struct {
+	schema  []plan.ColInfo
+	batches []*vector.Batch
+	delay   time.Duration
+	failAt  int // Next call index to fail on; -1 = never
+	calls   int
+	closed  bool
+}
+
+func (f *fakeInput) Schema() []plan.ColInfo { return f.schema }
+
+func (f *fakeInput) Next() (*vector.Batch, error) {
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.failAt >= 0 && f.calls == f.failAt {
+		return nil, errors.New("fake input failure")
+	}
+	if f.calls >= len(f.batches) {
+		return nil, nil
+	}
+	b := f.batches[f.calls]
+	f.calls++
+	return b, nil
+}
+
+func (f *fakeInput) Close() error {
+	f.closed = true
+	return nil
+}
+
+func intBatch(vals ...int64) *vector.Batch {
+	return vector.NewBatch(vector.FromInt64(vals))
+}
+
+func intSchema() []plan.ColInfo {
+	return []plan.ColInfo{{Name: "v", Kind: vector.KindInt64}}
+}
+
+// makeInputs builds n inputs, input i emitting two batches holding
+// 10*i and 10*i+1, with staggered delays so completion order differs
+// from input order.
+func makeInputs(n int) []*fakeInput {
+	out := make([]*fakeInput, n)
+	for i := 0; i < n; i++ {
+		out[i] = &fakeInput{
+			schema:  intSchema(),
+			batches: []*vector.Batch{intBatch(int64(10 * i)), intBatch(int64(10*i + 1))},
+			delay:   time.Duration((n-i)%4) * time.Millisecond,
+			failAt:  -1,
+		}
+	}
+	return out
+}
+
+func drainAll(t *testing.T, op Operator) []int64 {
+	t.Helper()
+	var got []int64
+	for {
+		b, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		got = append(got, b.Cols[0].Int64s()...)
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestParallelUnionPreservesOrder(t *testing.T) {
+	for _, workers := range []int{2, 4, 16} {
+		fakes := makeInputs(9)
+		ops := make([]Operator, len(fakes))
+		for i, f := range fakes {
+			ops[i] = f
+		}
+		got := drainAll(t, newParallelUnion(intSchema(), ops, workers))
+
+		var want []int64
+		for i := 0; i < 9; i++ {
+			want = append(want, int64(10*i), int64(10*i+1))
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("workers=%d: got %v, want %v", workers, got, want)
+		}
+		for i, f := range fakes {
+			if !f.closed {
+				t.Errorf("workers=%d: input %d not closed", workers, i)
+			}
+		}
+	}
+}
+
+func TestParallelUnionMatchesSequentialUnion(t *testing.T) {
+	fakes := makeInputs(7)
+	seqOps := make([]Operator, len(fakes))
+	for i := range fakes {
+		seqOps[i] = &fakeInput{schema: fakes[i].schema, batches: fakes[i].batches, failAt: -1}
+	}
+	seq := drainAll(t, &unionOp{schema: intSchema(), inputs: seqOps})
+
+	parOps := make([]Operator, len(fakes))
+	for i, f := range fakes {
+		parOps[i] = f
+	}
+	par := drainAll(t, newParallelUnion(intSchema(), parOps, 4))
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		t.Fatalf("parallel %v != sequential %v", par, seq)
+	}
+}
+
+func TestParallelUnionPropagatesError(t *testing.T) {
+	fakes := makeInputs(6)
+	fakes[3].failAt = 1
+	ops := make([]Operator, len(fakes))
+	for i, f := range fakes {
+		ops[i] = f
+	}
+	u := newParallelUnion(intSchema(), ops, 3)
+	var err error
+	var got []int64
+	for {
+		var b *vector.Batch
+		b, err = u.Next()
+		if err != nil || b == nil {
+			break
+		}
+		got = append(got, b.Cols[0].Int64s()...)
+	}
+	if err == nil {
+		t.Fatal("want error from failing input, got clean end of stream")
+	}
+	// Everything before the failing input arrived intact and in order.
+	want := []int64{0, 1, 10, 11, 20, 21}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("pre-error output %v, want %v", got, want)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelUnionEarlyClose(t *testing.T) {
+	fakes := makeInputs(12)
+	ops := make([]Operator, len(fakes))
+	for i, f := range fakes {
+		ops[i] = f
+	}
+	u := newParallelUnion(intSchema(), ops, 2)
+	if _, err := u.Next(); err != nil { // start the scheduler, take one batch
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil { // abandon mid-stream (e.g. LIMIT)
+		t.Fatal(err)
+	}
+	for i, f := range fakes {
+		if !f.closed {
+			t.Errorf("input %d left open after early Close", i)
+		}
+	}
+}
+
+func TestParallelUnionCloseBeforeNext(t *testing.T) {
+	fakes := makeInputs(3)
+	ops := make([]Operator, len(fakes))
+	for i, f := range fakes {
+		ops[i] = f
+	}
+	u := newParallelUnion(intSchema(), ops, 2)
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range fakes {
+		if !f.closed {
+			t.Errorf("input %d left open", i)
+		}
+	}
+}

@@ -16,14 +16,25 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/index"
+	"repro/internal/par"
 	"repro/internal/storage"
 	"repro/internal/vector"
 )
+
+// normWorkers resolves a worker count: <= 0 means one worker per
+// available CPU.
+func normWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
 
 // MetadataResult summarizes a metadata-only load.
 type MetadataResult struct {
@@ -68,9 +79,24 @@ func EnsureTables(store *storage.Store, cat *catalog.Catalog, ad catalog.FormatA
 }
 
 // LoadMetadata extracts only metadata from every repository file into the
-// adapter's file- and record-level tables. It charges the modeled cost of
-// reading the headers (one seek per file plus the header bytes).
+// adapter's file- and record-level tables, using one extraction worker
+// per available CPU. It charges the modeled cost of reading the headers
+// (one seek per file plus the header bytes).
 func LoadMetadata(store *storage.Store, ad catalog.FormatAdapter, repoDir string, uris []string) (MetadataResult, error) {
+	return LoadMetadataParallel(store, ad, repoDir, uris, 0)
+}
+
+// fileMeta is one file's extracted metadata, produced by a worker.
+type fileMeta struct {
+	fm  catalog.FileMeta
+	rms []catalog.RecordMeta
+}
+
+// LoadMetadataParallel is LoadMetadata with an explicit worker count
+// (<= 0 selects one worker per CPU). Extraction and the modeled header
+// reads fan out across workers; rows are appended in file order, so the
+// stored tables are byte-identical at every parallelism level.
+func LoadMetadataParallel(store *storage.Store, ad catalog.FormatAdapter, repoDir string, uris []string, workers int) (MetadataResult, error) {
 	start := time.Now()
 	pool := store.Pool()
 	var ioStart time.Duration
@@ -98,31 +124,39 @@ func LoadMetadata(store *storage.Store, ad catalog.FormatAdapter, repoDir string
 	res := MetadataResult{}
 	fileRows := newRowBuffer(fileDef)
 	recRows := newRowBuffer(recDef)
-	for _, uri := range uris {
-		path := filepath.Join(repoDir, uri)
-		fm, rms, err := ad.ExtractMetadata(path, uri)
-		if err != nil {
-			return res, err
-		}
-		// Modeled cost: one seek, then the header bytes of every record
-		// (payloads are skipped, not transferred).
-		pool.Model().ChargeRead(pool.Clock(), 1, false)
-		fileRows.add(fm.Values)
-		for _, rm := range rms {
-			recRows.add(rm.Values)
-		}
-		res.Files++
-		res.Records += int64(len(rms))
-		if fileRows.rows >= 4096 {
-			if err := fileRows.flush(fApp); err != nil {
-				return res, err
+	err = par.ForEachOrdered(len(uris), normWorkers(workers),
+		func(i int) (fileMeta, error) {
+			path := filepath.Join(repoDir, uris[i])
+			fm, rms, err := ad.ExtractMetadata(path, uris[i])
+			if err != nil {
+				return fileMeta{}, err
 			}
-		}
-		if recRows.rows >= 4096 {
-			if err := recRows.flush(rApp); err != nil {
-				return res, err
+			// Modeled cost: one seek, then the header bytes of every record
+			// (payloads are skipped, not transferred).
+			pool.Model().ChargeRead(pool.Clock(), 1, false)
+			return fileMeta{fm: fm, rms: rms}, nil
+		},
+		func(_ int, f fileMeta) error {
+			fileRows.add(f.fm.Values)
+			for _, rm := range f.rms {
+				recRows.add(rm.Values)
 			}
-		}
+			res.Files++
+			res.Records += int64(len(f.rms))
+			if fileRows.rows >= 4096 {
+				if err := fileRows.flush(fApp); err != nil {
+					return err
+				}
+			}
+			if recRows.rows >= 4096 {
+				if err := recRows.flush(rApp); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return res, err
 	}
 	if err := fileRows.flush(fApp); err != nil {
 		return res, err
@@ -146,8 +180,23 @@ func LoadMetadata(store *storage.Store, ad catalog.FormatAdapter, repoDir string
 
 // LoadEager performs the Ei ingestion: metadata plus all actual data,
 // followed (when buildIndexes is set) by primary- and foreign-key index
-// construction.
+// construction. Extraction runs on one worker per available CPU.
 func LoadEager(store *storage.Store, ad catalog.FormatAdapter, repoDir string, uris []string, buildIndexes bool) (EagerResult, error) {
+	return LoadEagerParallel(store, ad, repoDir, uris, buildIndexes, 0)
+}
+
+// mountedFile is one file's extracted actual data, produced by a worker.
+type mountedFile struct {
+	batch *vector.Batch
+	size  int64
+}
+
+// LoadEagerParallel is LoadEager with an explicit worker count (<= 0
+// selects one worker per CPU). Per-file extract/decompress runs in
+// workers; batches are appended to the data table in file order, so
+// stored columns and dictionaries are identical at every parallelism
+// level.
+func LoadEagerParallel(store *storage.Store, ad catalog.FormatAdapter, repoDir string, uris []string, buildIndexes bool, workers int) (EagerResult, error) {
 	out := EagerResult{}
 	pool := store.Pool()
 	clockAt := func() time.Duration {
@@ -159,7 +208,7 @@ func LoadEager(store *storage.Store, ad catalog.FormatAdapter, repoDir string, u
 
 	loadStart := time.Now()
 	ioStart := clockAt()
-	meta, err := LoadMetadata(store, ad, repoDir, uris)
+	meta, err := LoadMetadataParallel(store, ad, repoDir, uris, workers)
 	if err != nil {
 		return out, err
 	}
@@ -174,29 +223,39 @@ func LoadEager(store *storage.Store, ad catalog.FormatAdapter, repoDir string, u
 	if err != nil {
 		return out, err
 	}
-	for _, uri := range uris {
-		path := filepath.Join(repoDir, uri)
-		st, err := os.Stat(path)
-		if err != nil {
-			return out, err
-		}
-		out.RepoBytes += st.Size()
-		// Model reading the full compressed file through the page cache.
-		if f, err := os.Open(path); err == nil {
+	err = par.ForEachOrdered(len(uris), normWorkers(workers),
+		func(i int) (mountedFile, error) {
+			path := filepath.Join(repoDir, uris[i])
+			st, err := os.Stat(path)
+			if err != nil {
+				return mountedFile{}, err
+			}
+			// Model reading the full compressed file through the page cache.
+			f, err := os.Open(path)
+			if err != nil {
+				return mountedFile{}, fmt.Errorf("ingest: load %s: %w", uris[i], err)
+			}
 			touchErr := pool.Touch(path, f, st.Size())
 			f.Close()
 			if touchErr != nil {
-				return out, touchErr
+				return mountedFile{}, touchErr
 			}
-		}
-		batch, err := ad.Mount(path, uri, nil)
-		if err != nil {
-			return out, err
-		}
-		if err := dApp.Append(batch); err != nil {
-			return out, err
-		}
-		out.DataRows += int64(batch.Len())
+			batch, err := ad.Mount(path, uris[i], nil)
+			if err != nil {
+				return mountedFile{}, err
+			}
+			return mountedFile{batch: batch, size: st.Size()}, nil
+		},
+		func(_ int, mf mountedFile) error {
+			out.RepoBytes += mf.size
+			if err := dApp.Append(mf.batch); err != nil {
+				return err
+			}
+			out.DataRows += int64(mf.batch.Len())
+			return nil
+		})
+	if err != nil {
+		return out, err
 	}
 	if err := dApp.Close(); err != nil {
 		return out, err

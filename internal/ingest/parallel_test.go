@@ -1,0 +1,126 @@
+package ingest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/repo"
+	"repro/internal/seismic"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// loadWith runs a metadata or eager load at the given worker count into
+// a fresh store and returns it.
+func loadWith(t *testing.T, m *repo.Manifest, workers int, eager bool) *storage.Store {
+	t.Helper()
+	store, _, _ := newStore(t)
+	ad := seismic.NewAdapter()
+	if eager {
+		res, err := LoadEagerParallel(store, ad, m.Dir, uris(m), true, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ix := range res.Indexes {
+			ix.Index.Close()
+		}
+	} else {
+		if _, err := LoadMetadataParallel(store, ad, m.Dir, uris(m), workers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+// assertTablesEqual compares the full contents of every shared table,
+// value by value — parallel loads must be indistinguishable from the
+// sequential ones.
+func assertTablesEqual(t *testing.T, a, b *storage.Store) {
+	t.Helper()
+	for _, name := range a.Tables() {
+		ta := a.MustTable(name)
+		tb := b.MustTable(name)
+		if ta.Rows() != tb.Rows() {
+			t.Fatalf("table %s: %d rows (sequential) vs %d (parallel)", name, ta.Rows(), tb.Rows())
+		}
+		cols := make([]int, len(ta.Columns()))
+		for i := range cols {
+			cols[i] = i
+		}
+		ba, err := ta.ReadBatch(cols, 0, ta.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := tb.ReadBatch(cols, 0, tb.Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ba.Cols {
+			for r := 0; r < ba.Len(); r++ {
+				va, vb := ba.Cols[c].Get(r), bb.Cols[c].Get(r)
+				if vector.Compare(va, vb) != 0 {
+					t.Fatalf("table %s col %d row %d: %v (sequential) vs %v (parallel)",
+						name, c, r, va, vb)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadMetadataParallelDeterministic(t *testing.T) {
+	m, _ := genRepo(t)
+	seq := loadWith(t, m, 1, false)
+	for _, workers := range []int{2, 8} {
+		par := loadWith(t, m, workers, false)
+		assertTablesEqual(t, seq, par)
+	}
+}
+
+func TestLoadEagerParallelDeterministic(t *testing.T) {
+	m, _ := genRepo(t)
+	seq := loadWith(t, m, 1, true)
+	for _, workers := range []int{2, 8} {
+		par := loadWith(t, m, workers, true)
+		assertTablesEqual(t, seq, par)
+	}
+}
+
+// TestLoadEagerParallelModeledCost asserts the virtual I/O charge is
+// worker-count independent: the same pages are pulled through the pool
+// whatever the schedule.
+func TestLoadEagerParallelModeledCost(t *testing.T) {
+	m, _ := genRepo(t)
+	costs := make(map[int]int64)
+	for _, workers := range []int{1, 4} {
+		store, _, clock := newStore(t)
+		if _, err := LoadEagerParallel(store, seismic.NewAdapter(), m.Dir, uris(m), false, workers); err != nil {
+			t.Fatal(err)
+		}
+		costs[workers] = int64(clock.Elapsed())
+	}
+	if costs[1] != costs[4] {
+		t.Errorf("modeled cost differs: 1 worker = %d ns, 4 workers = %d ns", costs[1], costs[4])
+	}
+}
+
+// TestLoadParallelPropagatesErrors removes one repository file mid-list
+// and checks both loaders surface the failure instead of hanging or
+// panicking.
+func TestLoadParallelPropagatesErrors(t *testing.T) {
+	m, _ := genRepo(t)
+	us := uris(m)
+	if err := os.Remove(filepath.Join(m.Dir, us[len(us)/2])); err != nil {
+		t.Fatal(err)
+	}
+	ad := seismic.NewAdapter()
+
+	store1, _, _ := newStore(t)
+	if _, err := LoadMetadataParallel(store1, ad, m.Dir, us, 8); err == nil {
+		t.Error("metadata load of missing file: want error, got nil")
+	}
+	store2, _, _ := newStore(t)
+	if _, err := LoadEagerParallel(store2, ad, m.Dir, us, false, 8); err == nil {
+		t.Error("eager load of missing file: want error, got nil")
+	}
+}

@@ -1,0 +1,115 @@
+// Package par provides the bounded, order-preserving fan-out primitive
+// behind the engine's parallel ingestion and mount scheduling. Work
+// items are produced concurrently by a fixed pool of workers while a
+// single consumer observes the results strictly in item order — so
+// table appends, dictionary code assignment and aggregate merging stay
+// byte-for-byte deterministic no matter how many workers run.
+package par
+
+import "sync"
+
+// ForEachOrdered runs produce(i) for i in [0, n) on at most `workers`
+// goroutines and calls consume(i, v) for every produced value in
+// ascending i, from the calling goroutine's ordering domain (a single
+// internal consumer). The first error — from produce or consume, in
+// item order — stops the run and is returned. With workers <= 1 the
+// whole loop degenerates to a sequential produce/consume per item.
+func ForEachOrdered[T any](n, workers int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		v   T
+		err error
+	}
+	slots := make([]chan result, n)
+	for i := range slots {
+		slots[i] = make(chan result, 1)
+	}
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	// sem bounds run-ahead: at most `workers` results may be in flight
+	// or parked unconsumed, so memory stays O(workers) even when the
+	// consumer is blocked on a slow early item. A worker acquires a
+	// token BEFORE receiving a job — tokens gate dispatch, and since
+	// the feeder sends indices in ascending order, the lowest
+	// outstanding item is always already being produced (taking the
+	// token after the job could starve it behind parked later items).
+	// The consumer releases one token per item it takes delivery of.
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case sem <- struct{}{}:
+				case <-stop:
+					return
+				}
+				i, ok := <-jobs
+				if !ok {
+					return
+				}
+				v, err := produce(i)
+				slots[i] <- result{v, err}
+				if err != nil {
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	var firstErr error
+	for i := 0; i < n; i++ {
+		r, ok := <-slots[i]
+		if !ok {
+			break
+		}
+		if r.err != nil {
+			firstErr = r.err
+			break
+		}
+		<-sem
+		if err := consume(i, r.v); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	close(stop)
+	// Unblock and retire the workers; later slots may still be filled
+	// but are discarded.
+	go func() {
+		for range jobs {
+		}
+	}()
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,163 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOrderedConsumption(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var got []int
+		err := ForEachOrdered(50, workers,
+			func(i int) (int, error) {
+				// Finish out of order on purpose.
+				time.Sleep(time.Duration((50-i)%7) * time.Millisecond)
+				return i * i, nil
+			},
+			func(i, v int) error {
+				if v != i*i {
+					return fmt.Errorf("item %d: got %d", i, v)
+				}
+				got = append(got, i)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: consumed %d of 50", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("workers=%d: out-of-order consumption at %d: %v", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestBoundedWorkers(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := ForEachOrdered(40, workers,
+		func(i int) (struct{}, error) {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return struct{}{}, nil
+		},
+		func(int, struct{}) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestProduceErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	var consumed []int
+	err := ForEachOrdered(20, 4,
+		func(i int) (int, error) {
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i, v int) error {
+			consumed = append(consumed, i)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Items before the failing one must have been consumed in order;
+	// nothing at or after it may be.
+	for i, v := range consumed {
+		if v != i || v >= 5 {
+			t.Fatalf("consumed %v", consumed)
+		}
+	}
+}
+
+func TestConsumeErrorStops(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachOrdered(100, 8,
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error {
+			if i == 3 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSequentialFallback(t *testing.T) {
+	// workers <= 1 must interleave produce and consume strictly: no
+	// goroutines, no lookahead.
+	var trace []string
+	err := ForEachOrdered(3, 1,
+		func(i int) (int, error) {
+			trace = append(trace, fmt.Sprintf("p%d", i))
+			return i, nil
+		},
+		func(i, v int) error {
+			trace = append(trace, fmt.Sprintf("c%d", i))
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "p0 c0 p1 c1 p2 c2"
+	if got := fmt.Sprint(trace); got != "[p0 c0 p1 c1 p2 c2]" {
+		t.Fatalf("trace = %v, want %s", trace, want)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	if err := ForEachOrdered(0, 8, func(int) (int, error) { return 0, nil }, func(int, int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err := ForEachOrdered(1, 8,
+		func(i int) (int, error) { ran = true; return i, nil },
+		func(int, int) error { return nil })
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+}
+
+// TestNoGoroutineLeak drives many error-aborted runs concurrently; with
+// the race detector this also exercises the shutdown paths.
+func TestNoGoroutineLeak(t *testing.T) {
+	boom := errors.New("boom")
+	var wg sync.WaitGroup
+	for r := 0; r < 20; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ForEachOrdered(64, 4,
+				func(i int) (int, error) {
+					if i%9 == 8 {
+						return 0, boom
+					}
+					return i, nil
+				},
+				func(int, int) error { return nil })
+		}()
+	}
+	wg.Wait()
+}
