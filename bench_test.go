@@ -165,6 +165,58 @@ func BenchmarkFigure3Query1ColdALiParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentColdClients measures K clients issuing the same
+// cold wide query against ONE ALi engine: the shared mount service
+// coalesces their extractions, so total file-mounts stay ~one per file
+// of interest instead of K per file. mounts-per-file is the headline
+// metric.
+func BenchmarkConcurrentColdClients(b *testing.B) {
+	sc := benchScale()
+	query := benchutil.SweepQueryForDays(sc.Days)
+	for _, k := range []int{2, 8} {
+		k := k
+		b.Run(fmt.Sprintf("clients=%d", k), func(b *testing.B) {
+			engineMu.Lock()
+			m := benchManifest(b, sc)
+			engineMu.Unlock()
+			e, err := benchutil.OpenEngine(m, benchDir(b), core.Options{
+				Mode:  core.ModeALi,
+				Cache: cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			var mounts int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e.FlushCold()
+				e.Cache().Clear()
+				b.StartTimer()
+				var wg sync.WaitGroup
+				results := make([]*core.Result, k)
+				errs := make([]error, k)
+				for c := 0; c < k; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						results[c], errs[c] = e.Query(query)
+					}(c)
+				}
+				wg.Wait()
+				for c := 0; c < k; c++ {
+					if errs[c] != nil {
+						b.Fatal(errs[c])
+					}
+					mounts += results[c].Stats.Mounts.FilesMounted
+				}
+			}
+			b.ReportMetric(float64(mounts)/float64(b.N)/float64(sc.Files()), "mounts-per-file")
+		})
+	}
+}
+
 // --- Table 1: sizes; reported as metrics from a one-shot measurement ---
 
 func BenchmarkTable1Sizes(b *testing.B) {

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel]
-//	      [-runs 3] [-parallelism N]
+//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent]
+//	      [-runs 3] [-parallelism N] [-clients 8]
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
 // experiment (0 = one worker per CPU); the "parallel" experiment sweeps
-// worker counts 1, 4 and 8 regardless of the flag.
+// worker counts 1, 4 and 8 regardless of the flag. The "concurrent"
+// experiment issues -clients identical cold queries at once against one
+// engine, demonstrating the mount service's single-flight coalescing.
 package main
 
 import (
@@ -26,10 +28,11 @@ import "repro/internal/benchutil"
 func main() {
 	var (
 		scaleName   = flag.String("scale", "small", "dataset scale: tiny, small or medium")
-		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel")
+		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel, concurrent")
 		runs        = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
 		keep        = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
 		parallelism = flag.Int("parallelism", 0, "ingestion/mount workers per engine (0 = one per CPU)")
+		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent experiment")
 	)
 	flag.Parse()
 	sc := benchutil.ScaleByName(*scaleName)
@@ -77,6 +80,9 @@ func main() {
 	run("derived", func() (fmt.Stringer, error) { return benchutil.ExperimentDerived(base, sc) })
 	run("parallel", func() (fmt.Stringer, error) {
 		return benchutil.ExperimentParallelism(base, sc, []int{1, 4, 8}, *runs)
+	})
+	run("concurrent", func() (fmt.Stringer, error) {
+		return benchutil.ExperimentConcurrency(base, sc, *clients)
 	})
 }
 

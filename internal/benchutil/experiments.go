@@ -3,6 +3,7 @@ package benchutil
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -608,6 +609,115 @@ func ExperimentParallelism(baseDir string, sc Scale, workerSteps []int, runs int
 		}
 		out.Points = append(out.Points, pt)
 	}
+	return out, nil
+}
+
+// Concurrency reports the single-flight experiment: K clients issuing
+// the same cold wide query at once against one engine. Without the
+// shared mount service every client would extract every file itself
+// (K × files mounts); with it the extractions coalesce to ~one per
+// file, and the admission budget keeps peak in-flight bytes flat no
+// matter how many clients pile on.
+type Concurrency struct {
+	Scale        Scale
+	K            int
+	Files        int
+	SeqMounts    int           // K cold runs back-to-back
+	ConcMounts   int           // K cold runs at once (total across clients)
+	SingleFlight int           // requests served by riding another's flight
+	CacheServes  int           // requests served by the entry a flight cached
+	SeqWall      time.Duration // the K sequential runs
+	ConcWall     time.Duration // the K concurrent runs
+	PeakBytes    int64         // peak in-flight extraction bytes
+	Value        float64
+	Identical    bool // concurrent answers matched the sequential one
+}
+
+// String renders the experiment.
+func (c *Concurrency) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Concurrent identical cold queries (scale %s, %d files, K=%d clients)\n",
+		c.Scale.Name, c.Files, c.K)
+	fmt.Fprintf(&sb, "  sequential: %4d file-mounts in %12s (every client pays)\n",
+		c.SeqMounts, c.SeqWall.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  concurrent: %4d file-mounts in %12s (single-flight: %d joins, %d cache serves)\n",
+		c.ConcMounts, c.ConcWall.Round(time.Microsecond), c.SingleFlight, c.CacheServes)
+	fmt.Fprintf(&sb, "  mounts per file: %.2f concurrent vs %.2f sequential; peak in-flight %s; answers identical: %v\n",
+		float64(c.ConcMounts)/float64(c.Files), float64(c.SeqMounts)/float64(c.Files),
+		FormatBytes(c.PeakBytes), c.Identical)
+	return sb.String()
+}
+
+// ExperimentConcurrency measures K identical cold wide queries run
+// sequentially versus simultaneously against a single ALi engine.
+func ExperimentConcurrency(baseDir string, sc Scale, k int) (*Concurrency, error) {
+	if k < 2 {
+		k = 2
+	}
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := OpenEngine(m, baseDir, core.Options{
+		Mode:  core.ModeALi,
+		Cache: cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	q := sweepQuery(sc.Days)
+	out := &Concurrency{Scale: sc, K: k, Files: sc.Files(), Identical: true}
+
+	// Sequential baseline: K cold runs, each paying its own mounts.
+	var want float64
+	start := time.Now()
+	for i := 0; i < k; i++ {
+		eng.FlushCold()
+		eng.Cache().Clear()
+		res, err := eng.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		out.SeqMounts += res.Stats.Mounts.FilesMounted
+		want = res.Float(0, 0)
+	}
+	out.SeqWall = time.Since(start)
+	out.Value = want
+
+	// Concurrent run: K clients at once, one shared mount service.
+	eng.FlushCold()
+	eng.Cache().Clear()
+	results := make([]*core.Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	var barrier sync.WaitGroup
+	barrier.Add(1)
+	start = time.Now()
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			barrier.Wait()
+			results[i], errs[i] = eng.Query(q)
+		}(i)
+	}
+	barrier.Done()
+	wg.Wait()
+	out.ConcWall = time.Since(start)
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		st := results[i].Stats.Mounts
+		out.ConcMounts += st.FilesMounted
+		out.SingleFlight += st.SingleFlightHits
+		out.CacheServes += st.CacheHits
+		if results[i].Float(0, 0) != want {
+			out.Identical = false
+		}
+	}
+	out.PeakBytes = eng.MountService().Stats().PeakInFlightBytes
 	return out, nil
 }
 

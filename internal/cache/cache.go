@@ -102,7 +102,8 @@ type Manager struct {
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
-	order   *list.List // front = most recent (LRU) / newest (FIFO)
+	order   *list.List          // front = most recent (LRU) / newest (FIFO)
+	pending map[string]*Pending // in-progress streaming Puts, by URI
 	bytes   int64
 	hits    int64
 	misses  int64
@@ -122,6 +123,7 @@ func New(cfg Config) *Manager {
 		cfg:     cfg,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		pending: make(map[string]*Pending),
 	}
 }
 
@@ -141,6 +143,9 @@ func (m *Manager) Contains(uri string, need Span) bool {
 }
 
 // Get returns the cached batch for uri if it covers the needed span.
+// The batch is shared with the cache and every other reader and MUST be
+// treated as read-only; consumers that hand rows to code that may
+// mutate them clone at the boundary (see exec's cache-scan operator).
 func (m *Manager) Get(uri string, need Span) (*vector.Batch, bool) {
 	if m == nil || m.cfg.Policy == NeverCache {
 		return nil, false
@@ -162,7 +167,9 @@ func (m *Manager) Get(uri string, need Span) (*vector.Batch, bool) {
 // Put stores mounted data. With FileGranular configuration the span is
 // forced to Full (callers pass the whole mounted file); TupleGranular
 // callers pass the filtered batch and the span its tuples cover. A
-// NeverCache manager ignores Put.
+// NeverCache manager ignores Put, as does a Put racing a streaming
+// insertion that holds the URI's reservation (the stream owns the
+// entry; a second insert would double-count it).
 func (m *Manager) Put(uri string, b *vector.Batch, span Span) {
 	if m == nil || m.cfg.Policy == NeverCache || b == nil {
 		return
@@ -170,28 +177,141 @@ func (m *Manager) Put(uri string, b *vector.Batch, span Span) {
 	if m.cfg.Granularity == FileGranular {
 		span = FullSpan()
 	}
-	size := BatchBytes(b)
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.pending[uri] != nil {
+		return
+	}
+	m.putLocked(uri, b, span)
+}
+
+// putLocked inserts an entry; callers hold the lock.
+func (m *Manager) putLocked(uri string, b *vector.Batch, span Span) {
 	if el, ok := m.entries[uri]; ok {
 		old := el.Value.(*entry)
 		m.bytes -= old.bytes
 		m.order.Remove(el)
 		delete(m.entries, uri)
 	}
-	e := &entry{uri: uri, batch: b, span: span, bytes: size}
+	e := &entry{uri: uri, batch: b, span: span, bytes: BatchBytes(b)}
 	m.entries[uri] = m.order.PushFront(e)
-	m.bytes += size
+	m.bytes += e.bytes
 	m.evict()
 }
 
-// Drop removes one entry (e.g. when the underlying file changed).
+// Pending is an in-progress streaming insertion started by BeginPut: the
+// entry is assembled batch by batch while a file is being mounted, and
+// becomes visible atomically at Commit. Batches are copied on Append, so
+// the finished entry never aliases execution-owned storage. All methods
+// are nil-safe (a nil Pending ignores every call), letting callers
+// thread the result of BeginPut through unconditionally.
+type Pending struct {
+	m     *Manager
+	uri   string
+	batch *vector.Batch
+	// aborted is set (under the manager lock) by Abort, or by Drop/Clear
+	// racing the stream: a URI invalidated mid-flight must not be
+	// resurrected by Commit.
+	aborted bool
+}
+
+// BeginPut reserves uri for a streaming insertion. It returns nil when
+// the manager never caches or another streaming insertion already holds
+// the reservation — the reservation is what keeps one file being
+// mounted from being double-inserted. The reservation is released by
+// Commit or Abort.
+func (m *Manager) BeginPut(uri string) *Pending {
+	if m == nil || m.cfg.Policy == NeverCache {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.pending[uri] != nil {
+		return nil
+	}
+	p := &Pending{m: m, uri: uri}
+	m.pending[uri] = p
+	return p
+}
+
+// Append adds a batch's rows to the pending entry (deep-copied). Once
+// the insertion is aborted (directly, or by Drop/Clear racing the
+// stream) appends become no-ops rather than copying rows Commit will
+// discard anyway.
+func (p *Pending) Append(b *vector.Batch) {
+	if p == nil || b == nil || b.Len() == 0 {
+		return
+	}
+	p.m.mu.Lock()
+	aborted := p.aborted
+	p.m.mu.Unlock()
+	if aborted {
+		p.batch = nil
+		return
+	}
+	if p.batch == nil {
+		cols := make([]*vector.Vector, len(b.Cols))
+		for i, c := range b.Cols {
+			cols[i] = vector.New(c.Kind(), b.Len())
+		}
+		p.batch = vector.NewBatch(cols...)
+	}
+	for i, c := range b.Cols {
+		p.batch.Cols[i].AppendVector(c)
+	}
+}
+
+// Commit publishes the assembled entry under the given span and releases
+// the reservation. A pending insertion that never saw a batch commits
+// nothing (the file had no rows to retain), and one whose URI was
+// dropped or cleared mid-stream commits nothing either — the
+// invalidation wins.
+func (p *Pending) Commit(span Span) {
+	if p == nil {
+		return
+	}
+	m := p.m
+	if m.cfg.Granularity == FileGranular {
+		span = FullSpan()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p.aborted {
+		return
+	}
+	delete(m.pending, p.uri)
+	if p.batch != nil {
+		m.putLocked(p.uri, p.batch, span)
+	}
+}
+
+// Abort discards the pending entry and releases the reservation.
+func (p *Pending) Abort() {
+	if p == nil {
+		return
+	}
+	p.m.mu.Lock()
+	defer p.m.mu.Unlock()
+	if !p.aborted {
+		p.aborted = true
+		delete(p.m.pending, p.uri)
+	}
+	p.batch = nil
+}
+
+// Drop removes one entry (e.g. when the underlying file changed). A
+// streaming insertion in progress for the URI is invalidated too: its
+// Commit becomes a no-op, so dropped data cannot be resurrected.
 func (m *Manager) Drop(uri string) {
 	if m == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if p, ok := m.pending[uri]; ok {
+		p.aborted = true
+		delete(m.pending, uri)
+	}
 	if el, ok := m.entries[uri]; ok {
 		m.bytes -= el.Value.(*entry).bytes
 		m.order.Remove(el)
@@ -199,13 +319,18 @@ func (m *Manager) Drop(uri string) {
 	}
 }
 
-// Clear empties the cache.
+// Clear empties the cache and invalidates in-progress streaming
+// insertions: a flight racing the clear must not repopulate it.
 func (m *Manager) Clear() {
 	if m == nil {
 		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	for _, p := range m.pending {
+		p.aborted = true
+	}
+	m.pending = make(map[string]*Pending)
 	m.entries = make(map[string]*list.Element)
 	m.order = list.New()
 	m.bytes = 0

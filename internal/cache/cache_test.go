@@ -189,3 +189,136 @@ func TestPolicyAndGranularityStrings(t *testing.T) {
 		t.Error("granularity names wrong")
 	}
 }
+
+func TestStreamingPutAssemblesEntry(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	if p == nil {
+		t.Fatal("BeginPut refused a fresh URI")
+	}
+	p.Append(batchOfRows(3))
+	p.Append(batchOfRows(2))
+	// Invisible until committed.
+	if _, ok := m.Get("f1", FullSpan()); ok {
+		t.Fatal("pending entry visible before Commit")
+	}
+	p.Commit(FullSpan())
+	b, ok := m.Get("f1", FullSpan())
+	if !ok || b.Len() != 5 {
+		t.Fatalf("committed entry has %d rows, want 5", b.Len())
+	}
+}
+
+func TestStreamingPutCopiesBatches(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	src := batchOfRows(4)
+	p.Append(src)
+	src.Cols[0].Int64s()[0] = -77 // the flight's batch is mutated later
+	p.Commit(FullSpan())
+	b, _ := m.Get("f1", FullSpan())
+	if b.Cols[0].Int64s()[0] != 0 {
+		t.Error("streaming Put aliased the appended batch")
+	}
+}
+
+func TestReservationBlocksDoubleInsert(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	if p == nil {
+		t.Fatal("BeginPut failed")
+	}
+	if m.BeginPut("f1") != nil {
+		t.Error("second streaming insertion reserved an already reserved URI")
+	}
+	// A plain Put racing the streaming insertion is dropped.
+	m.Put("f1", batchOfRows(9), FullSpan())
+	if _, ok := m.Get("f1", FullSpan()); ok {
+		t.Error("Put bypassed the reservation")
+	}
+	p.Append(batchOfRows(2))
+	p.Commit(FullSpan())
+	if b, ok := m.Get("f1", FullSpan()); !ok || b.Len() != 2 {
+		t.Error("streaming insertion lost to the racing Put")
+	}
+	// Reservation released: both paths work again.
+	if m.BeginPut("f1") == nil {
+		t.Error("reservation not released by Commit")
+	}
+}
+
+func TestAbortReleasesReservation(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	p.Append(batchOfRows(3))
+	p.Abort()
+	if _, ok := m.Get("f1", FullSpan()); ok {
+		t.Error("aborted insertion left an entry")
+	}
+	p2 := m.BeginPut("f1")
+	if p2 == nil {
+		t.Error("reservation not released by Abort")
+	}
+	p2.Abort()
+	m.Put("f1", batchOfRows(1), FullSpan())
+	if _, ok := m.Get("f1", FullSpan()); !ok {
+		t.Error("Put blocked after Abort")
+	}
+}
+
+func TestNilPendingIsSafe(t *testing.T) {
+	never := New(Config{Policy: NeverCache})
+	p := never.BeginPut("f1")
+	if p != nil {
+		t.Fatal("NeverCache manager handed out a pending insertion")
+	}
+	p.Append(batchOfRows(1)) // must not panic
+	p.Commit(FullSpan())
+	p.Abort()
+	var nilMgr *Manager
+	if nilMgr.BeginPut("x") != nil {
+		t.Error("nil manager handed out a pending insertion")
+	}
+}
+
+func TestEmptyCommitStoresNothing(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	p.Commit(FullSpan())
+	if st := m.Stats(); st.Entries != 0 {
+		t.Errorf("empty commit stored %d entries", st.Entries)
+	}
+}
+
+func TestDropInvalidatesPendingInsert(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	p.Append(batchOfRows(3))
+	// The underlying file changed mid-stream: the drop must win.
+	m.Drop("f1")
+	p.Commit(FullSpan())
+	if _, ok := m.Get("f1", FullSpan()); ok {
+		t.Error("Commit resurrected a dropped URI")
+	}
+	// The reservation is gone too: a fresh stream can start.
+	p2 := m.BeginPut("f1")
+	if p2 == nil {
+		t.Fatal("drop did not release the reservation")
+	}
+	p2.Append(batchOfRows(1))
+	p2.Commit(FullSpan())
+	if b, ok := m.Get("f1", FullSpan()); !ok || b.Len() != 1 {
+		t.Error("fresh stream after drop failed")
+	}
+}
+
+func TestClearInvalidatesPendingInserts(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	p := m.BeginPut("f1")
+	p.Append(batchOfRows(3))
+	m.Clear()
+	p.Commit(FullSpan())
+	if st := m.Stats(); st.Entries != 0 {
+		t.Errorf("pending insert repopulated a cleared cache: %d entries", st.Entries)
+	}
+}

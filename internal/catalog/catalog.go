@@ -159,6 +159,15 @@ type FormatAdapter interface {
 	// non-nil, records whose metadata fails it may be skipped without
 	// decoding (the fused σ∘mount access path).
 	Mount(path, uri string, keep func(RecordMeta) bool) (*vector.Batch, error)
+	// MountStream is the streaming form of Mount: instead of
+	// materializing the whole file it yields batches of rows through
+	// emit, in file order, as extraction progresses. Batches are
+	// record-aligned — a batch never splits one record's rows — and hold
+	// at most batchRows rows except when a single record alone exceeds
+	// that (record alignment wins). batchRows <= 0 selects
+	// vector.DefaultBatchSize. A non-nil error from emit aborts the
+	// extraction and is returned unchanged.
+	MountStream(path, uri string, keep func(RecordMeta) bool, batchRows int, emit func(*vector.Batch) error) error
 	// DataSpanColumn names the data-table column (typically a TIMESTAMP)
 	// whose values are bounded by each record's span, enabling record
 	// pruning inside σ∘mount. Empty if the format has no such column.
@@ -166,6 +175,36 @@ type FormatAdapter interface {
 	// RecordSpan returns the [lo, hi] bounds of DataSpanColumn within one
 	// record, and whether the bounds are known.
 	RecordSpan(rm RecordMeta) (lo, hi int64, ok bool)
+}
+
+// CollectMount drains an adapter's MountStream into a single batch: the
+// materializing Mount behaviour, shared by adapter implementations so
+// the two entry points cannot diverge.
+func CollectMount(a FormatAdapter, path, uri string, keep func(RecordMeta) bool) (*vector.Batch, error) {
+	var out *vector.Batch
+	err := a.MountStream(path, uri, keep, int(^uint(0)>>1), func(b *vector.Batch) error {
+		if out == nil {
+			out = b
+			return nil
+		}
+		for i, c := range b.Cols {
+			out.Cols[i].AppendVector(c)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		// No record survived: an empty batch with the data-table schema.
+		_, _, data := a.Tables()
+		cols := make([]*vector.Vector, len(data.Columns))
+		for i, c := range data.Columns {
+			cols[i] = vector.New(c.Kind, 0)
+		}
+		out = vector.NewBatch(cols...)
+	}
+	return out, nil
 }
 
 // AdapterRegistry holds the known format adapters.

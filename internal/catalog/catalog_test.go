@@ -92,6 +92,9 @@ func (f *fakeAdapter) ExtractMetadata(path, uri string) (FileMeta, []RecordMeta,
 func (f *fakeAdapter) Mount(path, uri string, keep func(RecordMeta) bool) (*vector.Batch, error) {
 	return nil, nil
 }
+func (f *fakeAdapter) MountStream(path, uri string, keep func(RecordMeta) bool, batchRows int, emit func(*vector.Batch) error) error {
+	return nil
+}
 
 func TestAdapterRegistry(t *testing.T) {
 	r := NewRegistry()

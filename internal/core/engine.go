@@ -26,6 +26,7 @@ import (
 	"repro/internal/derived"
 	"repro/internal/exec"
 	"repro/internal/ingest"
+	"repro/internal/mountsvc"
 	"repro/internal/seismic"
 	"repro/internal/storage"
 	"repro/internal/vector"
@@ -100,6 +101,12 @@ type Options struct {
 	// default) selects runtime.GOMAXPROCS(0); 1 forces the sequential
 	// paths. Query results are identical at every setting.
 	Parallelism int
+	// MountBudgetBytes bounds the total repository-file bytes being
+	// extracted at once ACROSS all concurrent queries of this engine —
+	// the mount service's admission gate. Requests beyond the budget
+	// wait instead of OOMing the server; a single file larger than the
+	// whole budget is admitted alone. <= 0 means unlimited.
+	MountBudgetBytes int64
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.
@@ -131,6 +138,7 @@ type Engine struct {
 	indexes []exec.IndexInfo
 	cache   *cache.Manager
 	derived *derived.Store
+	mounts  *mountsvc.Service
 	report  IngestReport
 	allURIs []string
 	qfSeq   atomic.Int64
@@ -184,6 +192,25 @@ func Open(opts Options) (*Engine, error) {
 	if err := e.locateDataColumns(); err != nil {
 		return nil, err
 	}
+	// The engine-owned mount service: all queries share one extraction
+	// path, so concurrent identical queries coalesce onto single flights
+	// and the admission budget holds across the whole engine.
+	svcCfg := mountsvc.Config{
+		RepoDir:     opts.RepoDir,
+		Pool:        pool,
+		Cache:       e.cache,
+		BudgetBytes: opts.MountBudgetBytes,
+	}
+	if e.derived != nil && e.dataValCol >= 0 && e.dataRIDCol >= 0 && e.dataSpanCol >= 0 {
+		rid, span, val := e.dataRIDCol, e.dataSpanCol, e.dataValCol
+		store := e.derived
+		// Batches are record-aligned, so per-record summaries derived per
+		// batch are exactly the summaries of the whole file.
+		svcCfg.OnMount = func(uri string, full *vector.Batch) {
+			store.Observe(uri, full, rid, span, val)
+		}
+	}
+	e.mounts = mountsvc.New(svcCfg)
 	uris, err := listRepoFiles(opts.RepoDir)
 	if err != nil {
 		return nil, err
@@ -274,6 +301,10 @@ func (e *Engine) Cache() *cache.Manager { return e.cache }
 
 // Derived exposes the derived-metadata store (nil unless enabled).
 func (e *Engine) Derived() *derived.Store { return e.derived }
+
+// MountService exposes the shared mount service (single-flight and
+// admission-budget statistics).
+func (e *Engine) MountService() *mountsvc.Service { return e.mounts }
 
 // RepoFiles returns the URIs of every repository file.
 func (e *Engine) RepoFiles() []string {

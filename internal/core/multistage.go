@@ -209,7 +209,7 @@ func (b *Breakpoint) assembleResult(mat *exec.Materialized, env *exec.Env, start
 		Stage2Wall:      time.Since(start),
 		Stage2IO:        e.clock.Elapsed() - ioStart,
 		FilesOfInterest: len(b.files),
-		Mounts:          *env.Mounts,
+		Mounts:          env.MountsSnapshot(),
 		Estimate:        b.Est,
 		Strategy:        e.opts.Strategy,
 		StoppedEarly:    stopped,

@@ -10,7 +10,6 @@ import (
 	"repro/internal/explore"
 	"repro/internal/plan"
 	"repro/internal/sql"
-	"repro/internal/vector"
 )
 
 // Prepared is a parsed, bound and optimized query, decomposed into
@@ -265,7 +264,7 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 		Stage2Wall:      time.Since(start),
 		Stage2IO:        e.clock.Elapsed() - ioStart,
 		FilesOfInterest: len(b.files),
-		Mounts:          *env.Mounts,
+		Mounts:          env.MountsSnapshot(),
 		Estimate:        b.Est,
 		Strategy:        e.opts.Strategy,
 	}
@@ -291,7 +290,8 @@ func (e *Engine) Query(sqlText string) (*Result, error) {
 }
 
 // newExecEnv builds the execution environment, wiring the Qf result for
-// result-scans and the derived-metadata observation hook.
+// result-scans and the engine's shared mount service (which carries the
+// derived-metadata observation hook).
 func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
 	env := &exec.Env{
 		Store:       e.store,
@@ -303,16 +303,10 @@ func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
 		BatchSize:   e.opts.BatchSize,
 		Parallelism: e.opts.Parallelism,
 		Mounts:      &exec.MountStats{},
+		MountSvc:    e.mounts,
 	}
 	if bp != nil && bp.qfResult != nil {
 		env.Results[bp.pq.Dec.Name] = bp.qfResult
-	}
-	if e.derived != nil && e.dataValCol >= 0 && e.dataRIDCol >= 0 && e.dataSpanCol >= 0 {
-		rid, span, val := e.dataRIDCol, e.dataSpanCol, e.dataValCol
-		store := e.derived
-		env.OnMount = func(uri string, full *vector.Batch) {
-			store.Observe(uri, full, rid, span, val)
-		}
 	}
 	return env
 }

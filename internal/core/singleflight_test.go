@@ -1,0 +1,350 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// fileGranularLRU is the cache configuration the single-flight tests
+// use: retention closes the window between a flight completing and a
+// straggler query re-requesting the file, making mount counts exact.
+func fileGranularLRU() cache.Config {
+	return cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+}
+
+// TestConcurrentIdenticalColdQueriesMountOnce is the headline acceptance
+// test of the mount service: K identical cold queries against one ALi
+// engine must together mount each file of interest once — not K times —
+// and return answers identical to sequential execution.
+func TestConcurrentIdenticalColdQueriesMountOnce(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi, Cache: fileGranularLRU()})
+
+	// Sequential ground truth, then back to cold.
+	want, err := e.Query(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := want.Float(0, 0)
+	filesOfInterest := want.Stats.FilesOfInterest
+	if filesOfInterest != 1 {
+		t.Fatalf("query1 should touch exactly 1 file, got %d", filesOfInterest)
+	}
+	e.FlushCold()
+	e.Cache().Clear()
+
+	const k = 8
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			results[i], errs[i] = e.Query(query1)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	mounted := 0
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got := results[i].Float(0, 0); math.Abs(got-wantAvg) > 1e-9 {
+			t.Errorf("query %d answered %v, want %v", i, got, wantAvg)
+		}
+		mounted += results[i].Stats.Mounts.FilesMounted
+	}
+	if mounted != filesOfInterest {
+		t.Errorf("total FilesMounted = %d across %d queries, want %d (one extraction per file)",
+			mounted, k, filesOfInterest)
+	}
+}
+
+// TestConcurrentWideColdQueriesMountOncePerFile widens the workload: K
+// identical cold queries each needing EVERY repository file must still
+// extract each file exactly once in total.
+func TestConcurrentWideColdQueriesMountOncePerFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide concurrent workload")
+	}
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi, Cache: fileGranularLRU(), Parallelism: 4})
+	wide := `SELECT AVG(D.sample_value)
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE R.start_time > '2010-01-01T00:00:00.000'`
+
+	want, err := e.Query(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := want.Float(0, 0)
+	nFiles := want.Stats.FilesOfInterest
+	if nFiles != len(m.Files) {
+		t.Fatalf("wide query touches %d files, want all %d", nFiles, len(m.Files))
+	}
+	e.FlushCold()
+	e.Cache().Clear()
+
+	const k = 4
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			results[i], errs[i] = e.Query(wide)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	mounted := 0
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if got := results[i].Float(0, 0); math.Abs(got-wantAvg) > 1e-9 {
+			t.Errorf("query %d answered %v, want %v", i, got, wantAvg)
+		}
+		mounted += results[i].Stats.Mounts.FilesMounted
+	}
+	if mounted != nFiles {
+		t.Errorf("total FilesMounted = %d, want %d (not %d×%d)", mounted, nFiles, k, nFiles)
+	}
+}
+
+// TestAbortAtBreakpointOthersStillServed: one explorer stops at the
+// breakpoint (never proceeds past stage one) while others sharing the
+// same files proceed — they must still get complete, correct batches.
+func TestAbortAtBreakpointOthersStillServed(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi})
+	want, err := e.Query(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAvg := want.Float(0, 0)
+	e.FlushCold()
+
+	const k = 4
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	errs := make([]error, k)
+	answers := make([]float64, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := e.Prepare(query1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			start.Wait()
+			bp, err := p.Stage1()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if i == 0 {
+				// This explorer looks at the estimate and walks away; its
+				// abandoned breakpoint must not starve anyone.
+				answers[i] = wantAvg
+				return
+			}
+			res, err := bp.Proceed()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			answers[i] = res.Float(0, 0)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if math.Abs(answers[i]-wantAvg) > 1e-9 {
+			t.Errorf("explorer %d got %v, want %v", i, answers[i], wantAvg)
+		}
+	}
+}
+
+// TestMountBudgetRespected mounts files whose aggregate size exceeds the
+// configured budget and asserts the admission gate held: peak in-flight
+// bytes never passed the budget, and the answer is still exact.
+func TestMountBudgetRespected(t *testing.T) {
+	m := testRepo(t)
+	// The budget admits one file and a bit: with aggregate file bytes far
+	// beyond it, extractions must serialize rather than run wide open.
+	var maxSize int64
+	for _, f := range m.Files {
+		st, err := os.Stat(filepath.Join(m.Dir, f.URI))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() > maxSize {
+			maxSize = st.Size()
+		}
+	}
+	budget := maxSize * 3 / 2
+	e := openEngine(t, m.Dir, Options{
+		Mode: ModeALi, Parallelism: 4, MountBudgetBytes: budget,
+	})
+	unbounded := openEngine(t, m.Dir, Options{Mode: ModeALi, Parallelism: 4})
+	wide := `SELECT AVG(D.sample_value)
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE R.start_time > '2010-01-01T00:00:00.000'`
+
+	want, err := unbounded.Query(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Float(0, 0); math.Abs(got-want.Float(0, 0)) > 1e-9 {
+		t.Errorf("budgeted answer %v, want %v", got, want.Float(0, 0))
+	}
+	st := e.MountService().Stats()
+	if st.PeakInFlightBytes > budget {
+		t.Errorf("peak in-flight bytes %d exceeded budget %d", st.PeakInFlightBytes, budget)
+	}
+	if st.PeakInFlightBytes == 0 {
+		t.Error("budget accounting saw no traffic")
+	}
+	if st.InFlightBytes != 0 {
+		t.Errorf("in-flight bytes %d not released after the query", st.InFlightBytes)
+	}
+	// The unbounded engine's scheduler really did go wider than the
+	// budgeted one was allowed to (sanity that the gate constrained it).
+	if u := unbounded.MountService().Stats(); u.PeakInFlightBytes <= budget && e.opts.Parallelism > 1 {
+		t.Logf("note: unbounded peak %d within budget %d — workload too small to contend", u.PeakInFlightBytes, budget)
+	}
+}
+
+// TestSingleFlightStatsAttribution: queries that ride another query's
+// flight report SingleFlightHits, keeping per-query mount accounting
+// honest under concurrency.
+func TestSingleFlightStatsAttribution(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi, Cache: fileGranularLRU()})
+	if _, err := e.Query(query1); err != nil {
+		t.Fatal(err)
+	}
+	e.FlushCold()
+	e.Cache().Clear()
+
+	const k = 6
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			results[i], errs[i] = e.Query(query1)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	var mounted, shared int
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		ms := results[i].Stats.Mounts
+		mounted += ms.FilesMounted
+		shared += ms.SingleFlightHits + ms.CacheHits
+	}
+	if mounted+shared < k {
+		t.Errorf("accounting lost queries: mounted=%d shared=%d of %d", mounted, shared, k)
+	}
+	if mounted != 1 {
+		t.Errorf("FilesMounted total = %d, want 1", mounted)
+	}
+}
+
+// TestConcurrentRowQueriesByteIdentical checks the strong form of the
+// determinism contract under concurrency: a row-returning query (not a
+// scalar aggregate, which could mask reordering or duplication) must
+// produce exactly the sequential row sequence from every concurrent
+// client riding shared flights.
+func TestConcurrentRowQueriesByteIdentical(t *testing.T) {
+	m := testRepo(t)
+	e := openEngine(t, m.Dir, Options{Mode: ModeALi, Cache: fileGranularLRU(), Parallelism: 4})
+
+	render := func(r *Result) []string {
+		flat := r.Mat.Flatten()
+		out := make([]string, flat.Len())
+		for i := range out {
+			out[i] = flat.FormatRow(i)
+		}
+		return out
+	}
+	want, err := e.Query(query2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := render(want)
+	if len(wantRows) == 0 {
+		t.Fatal("query2 returned no rows; test would be vacuous")
+	}
+	e.FlushCold()
+	e.Cache().Clear()
+
+	const k = 6
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	results := make([]*Result, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			results[i], errs[i] = e.Query(query2)
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		got := render(results[i])
+		if len(got) != len(wantRows) {
+			t.Fatalf("client %d: %d rows, want %d", i, len(got), len(wantRows))
+		}
+		for r := range got {
+			if got[r] != wantRows[r] {
+				t.Fatalf("client %d row %d = %q, want %q (row order/content diverged)", i, r, got[r], wantRows[r])
+			}
+		}
+	}
+}

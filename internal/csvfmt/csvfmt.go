@@ -247,30 +247,94 @@ func (a *Adapter) ExtractMetadata(path, uri string) (catalog.FileMeta, []catalog
 // Mount implements catalog.FormatAdapter: parse readings and materialize
 // timestamps.
 func (a *Adapter) Mount(path, uri string, keep func(catalog.RecordMeta) bool) (*vector.Batch, error) {
-	h, segs, data, err := scanFile(path, true)
-	if err != nil {
-		return nil, err
+	return catalog.CollectMount(a, path, uri, keep)
+}
+
+// MountStream implements catalog.FormatAdapter. A first structure-only
+// pass (the same cheap scan metadata extraction uses) fixes the header
+// and segment boundaries; the second pass then parses reading values
+// segment by segment, skipping the value parse entirely for segments
+// rejected by keep — a tighter σ∘mount than the materializing path ever
+// had — and yields segment-aligned batches as it goes.
+func (a *Adapter) MountStream(path, uri string, keep func(catalog.RecordMeta) bool, batchRows int, emit func(*vector.Batch) error) error {
+	if batchRows <= 0 {
+		batchRows = vector.DefaultBatchSize
 	}
+	h, segs, _, err := scanFile(path, false)
+	if err != nil {
+		return err
+	}
+	wanted := make([]bool, len(segs))
+	for i, s := range segs {
+		wanted[i] = keep == nil || keep(a.recordMeta(uri, s, h.periodNS))
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 	var uris []string
 	var ids, times []int64
 	var vals []float64
-	for i, s := range segs {
-		if keep != nil && !keep(a.recordMeta(uri, s, h.periodNS)) {
+	flush := func() error {
+		if len(uris) == 0 {
+			return nil
+		}
+		b := vector.NewBatch(
+			vector.FromString(uris),
+			vector.FromInt64(ids),
+			vector.FromTime(times),
+			vector.FromFloat64(vals),
+		)
+		uris, ids, times, vals = nil, nil, nil, nil
+		return emit(b)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	seg := -1       // index into segs of the segment being read
+	row := int64(0) // reading index within the segment
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "#segment") {
+				seg++
+				row = 0
+				if seg >= len(segs) {
+					return fmt.Errorf("csvfmt: %s:%d: segment appeared after structure scan", path, lineNo)
+				}
+				// Segment alignment: flush before a segment that would
+				// overflow; one oversized segment goes out alone.
+				if len(uris) > 0 && int64(len(uris))+segs[seg].rows > int64(batchRows) {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
 			continue
 		}
-		for j, v := range data[i] {
-			uris = append(uris, uri)
-			ids = append(ids, s.id)
-			times = append(times, s.start+int64(j)*h.periodNS)
-			vals = append(vals, v)
+		if seg < 0 {
+			return fmt.Errorf("csvfmt: %s:%d: reading before any #segment", path, lineNo)
 		}
+		if !wanted[seg] {
+			continue // σ∘mount: rejected segments are never parsed
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return fmt.Errorf("csvfmt: %s:%d: bad reading %q", path, lineNo, line)
+		}
+		uris = append(uris, uri)
+		ids = append(ids, segs[seg].id)
+		times = append(times, segs[seg].start+row*h.periodNS)
+		vals = append(vals, v)
+		row++
 	}
-	return vector.NewBatch(
-		vector.FromString(uris),
-		vector.FromInt64(ids),
-		vector.FromTime(times),
-		vector.FromFloat64(vals),
-	), nil
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
 }
 
 // WriteFile generates a sensor CSV file; used by tests, examples and the

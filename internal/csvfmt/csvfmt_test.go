@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/vector"
 )
 
 func writeSample(t *testing.T, dir, name string) string {
@@ -201,5 +202,69 @@ func TestTimeWindowPushdownCSV(t *testing.T) {
 	}
 	if got := res.Value(0, 0).I; got != 3 {
 		t.Errorf("COUNT = %d, want 3", got)
+	}
+}
+
+// TestMountStreamParity proves the streaming path yields exactly the
+// rows of the materializing path, segment-aligned.
+func TestMountStreamParity(t *testing.T) {
+	a := NewAdapter()
+	path := writeSample(t, t.TempDir(), "s1.csv")
+	whole, err := a.Mount(path, "s1.csv", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []*vector.Batch
+	err = a.MountStream(path, "s1.csv", nil, 3, func(b *vector.Batch) error {
+		streamed = append(streamed, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 0
+	for _, b := range streamed {
+		for i := 0; i < b.Len(); i++ {
+			for c := range b.Cols {
+				if vector.Compare(b.Cols[c].Get(i), whole.Cols[c].Get(row)) != 0 {
+					t.Fatalf("row %d col %d differs between stream and mount", row, c)
+				}
+			}
+			row++
+		}
+	}
+	if row != whole.Len() {
+		t.Fatalf("stream yielded %d rows, mount %d", row, whole.Len())
+	}
+	if len(streamed) < 2 {
+		t.Errorf("expected segment-aligned flushes, got %d batch(es)", len(streamed))
+	}
+}
+
+// TestMountStreamSkipsRejectedSegments: the streaming path never parses
+// the float values of segments the fused selection rejects.
+func TestMountStreamRejectedSegmentsNotParsed(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.csv")
+	// Segment 1's values are not valid floats: parsing them would error.
+	content := "#sensor: S1\n#site: x\n#quantity: q\n#period_ns: 1000\n" +
+		"#segment 0 1000000\n1.5\n2.5\n" +
+		"#segment 1 2000000\nnot-a-number\nstill-not\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAdapter()
+	rows := 0
+	err := a.MountStream(path, "bad.csv", func(rm catalog.RecordMeta) bool {
+		return rm.RecordID == 0
+	}, 0, func(b *vector.Batch) error {
+		rows += b.Len()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("rejected segment was parsed: %v", err)
+	}
+	if rows != 2 {
+		t.Errorf("rows = %d, want 2", rows)
 	}
 }

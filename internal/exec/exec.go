@@ -12,6 +12,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/index"
+	"repro/internal/mountsvc"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/vector"
@@ -72,13 +73,23 @@ type IndexInfo struct {
 	KeyColumns []string
 }
 
-// MountStats counts ALi activity during one execution.
+// MountStats counts ALi activity during one execution. Mount work is
+// attributed to the query that led the extraction: a query served by
+// another query's in-progress flight records a SingleFlightHit, not a
+// FilesMounted.
 type MountStats struct {
 	FilesMounted   int
 	BytesRead      int64
 	RecordsPruned  int
 	RecordsMounted int
 	CacheHits      int
+	// SingleFlightHits counts mounts coalesced onto another query's
+	// in-progress extraction by the mount service.
+	SingleFlightHits int
+	// CacheFallbacks counts cache-scans whose entry was evicted between
+	// planning and execution, forcing a fresh mount — without this the
+	// re-mount would silently inflate apparent cache efficacy.
+	CacheFallbacks int
 }
 
 // Env is everything operators need to run: storage, adapters, the
@@ -99,15 +110,62 @@ type Env struct {
 	// Values <= 1 keep execution single-threaded.
 	Parallelism int
 	// Mounts accumulates ALi statistics (optional). Concurrent operators
-	// update it under statsMu via addMountStats.
+	// and mount-service flights update it under statsMu via
+	// addMountStats; read it through MountsSnapshot.
 	Mounts *MountStats
-	// OnMount, when set, observes every mounted file's full batch before
-	// predicates are applied — the hook used to derive metadata "as a
-	// side-effect of ALi, without the explorer noticing". It must be safe
-	// for concurrent use when Parallelism > 1.
+	// OnMount, when set, observes every mounted pre-filter batch
+	// (record-aligned, possibly several per file) — the hook used to
+	// derive metadata "as a side-effect of ALi, without the explorer
+	// noticing". It must be safe for concurrent use. When MountSvc is
+	// set the engine wires the hook into the service instead and this
+	// field is ignored.
 	OnMount func(uri string, full *vector.Batch)
+	// MountSvc is the engine-owned mount service every query of the
+	// engine shares: single-flight extraction, streaming fan-out and the
+	// cross-query admission budget. When nil (operator-level tests and
+	// standalone envs) a private service is built on first use from the
+	// env's own fields.
+	MountSvc *mountsvc.Service
+	// MountBudgetBytes configures the lazily built private service's
+	// admission budget; ignored when MountSvc is set.
+	MountBudgetBytes int64
 
 	statsMu sync.Mutex
+	svcOnce sync.Once
+	lazySvc *mountsvc.Service
+}
+
+// service returns the mount service operators stream files through.
+func (e *Env) service() *mountsvc.Service {
+	if e.MountSvc != nil {
+		return e.MountSvc
+	}
+	e.svcOnce.Do(func() {
+		var pool *storage.BufferPool
+		if e.Store != nil {
+			pool = e.Store.Pool()
+		}
+		e.lazySvc = mountsvc.New(mountsvc.Config{
+			RepoDir:     e.RepoDir,
+			Pool:        pool,
+			Cache:       e.Cache,
+			OnMount:     e.OnMount,
+			BudgetBytes: e.MountBudgetBytes,
+		})
+	})
+	return e.lazySvc
+}
+
+// MountsSnapshot returns a copy of the accumulated mount statistics,
+// taken under the stats lock: mount-service flights may attribute stats
+// from their own goroutines.
+func (e *Env) MountsSnapshot() MountStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	if e.Mounts == nil {
+		return MountStats{}
+	}
+	return *e.Mounts
 }
 
 func (e *Env) batchSize() int {

@@ -3,31 +3,37 @@ package exec
 import (
 	"fmt"
 	"math"
-	"os"
-	"path/filepath"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/mountsvc"
 	"repro/internal/plan"
 	"repro/internal/vector"
 )
 
-// mountOp performs ALi for one file: extract, transform and ingest its
-// actual data as a dangling partial table, never touching table storage.
-// A fused selection (σ∘mount) both prunes whole records before
-// decompression (via the adapter's record span) and filters the decoded
-// rows. Depending on the cache policy the mounted data is retained for
-// later cache-scans; otherwise it is discarded when the query ends.
+// mountOp performs ALi for one file: a thin cursor over the engine's
+// shared mount service. The service owns extraction (single-flight
+// across queries, streaming, budget-gated); the operator owns what is
+// query-specific — evaluating the fused σ∘mount predicate on every
+// record batch as it arrives, and tuple-granular cache retention of the
+// rows that survived it. Mounted data is a dangling partial table: it
+// vanishes with the query unless the cache policy retains it.
 type mountOp struct {
 	node    *plan.Mount
 	env     *Env
 	adapter catalog.FormatAdapter
 	schema  []plan.ColInfo
 
-	out  *vector.Batch
-	pos  int
-	done bool
+	cur      mountsvc.Cursor
+	started  bool
+	finished bool
+
+	// Tuple-granular retention: the filtered rows and the span they
+	// cover, inserted only after the stream fully drains (a partial
+	// entry would serve wrong answers to later queries).
+	retain     *Materialized
+	retainSpan cache.Span
 }
 
 func newMount(n *plan.Mount, env *Env) (Operator, error) {
@@ -41,125 +47,131 @@ func newMount(n *plan.Mount, env *Env) (Operator, error) {
 // Schema implements Operator.
 func (m *mountOp) Schema() []plan.ColInfo { return m.schema }
 
-// Next implements Operator.
-func (m *mountOp) Next() (*vector.Batch, error) {
-	if !m.done {
-		if err := m.mount(); err != nil {
-			return nil, err
-		}
-		m.done = true
-	}
-	return emitChunk(m.out, &m.pos, m.env.batchSize()), nil
-}
-
-func (m *mountOp) mount() error {
-	path := filepath.Join(m.env.RepoDir, m.node.URI)
-	st, err := os.Stat(path)
-	if err != nil {
-		return fmt.Errorf("exec: mount %s: %w", m.node.URI, err)
-	}
-	// Model the cost of reading the external file by pulling its pages
-	// through the buffer pool: a cold mount pays seek+transfer, a hot
-	// repeat is free (the paper's hot protocol has the file in the OS
-	// page cache).
-	pool := m.env.Store.Pool()
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("exec: mount %s: %w", m.node.URI, err)
-	}
-	touchErr := pool.Touch(path, f, st.Size())
-	f.Close()
-	if touchErr != nil {
-		return fmt.Errorf("exec: mount %s: %w", m.node.URI, touchErr)
-	}
-
-	// Record pruning from the fused selection: only when the cache policy
-	// does not require the whole file to be retained.
-	fileGranularCaching := m.env.Cache != nil &&
-		m.env.Cache.Config().Policy != cache.NeverCache &&
-		m.env.Cache.Config().Granularity == cache.FileGranular
-	var keep func(catalog.RecordMeta) bool
-	pruned := 0
-	if m.node.Pred != nil && !fileGranularCaching {
-		if sp, ok := predSpan(m.node.Pred, m.node.Binding, m.adapter.DataSpanColumn()); ok {
-			keep = func(rm catalog.RecordMeta) bool {
-				lo, hi, known := m.adapter.RecordSpan(rm)
-				if !known {
-					return true
-				}
-				if hi < sp.Lo || lo > sp.Hi {
-					pruned++
-					return false
-				}
-				return true
-			}
-		}
-	}
-
-	full, err := m.adapter.Mount(path, m.node.URI, keep)
-	if err != nil {
-		return err
-	}
-	m.env.addMountStats(func(ms *MountStats) {
-		ms.FilesMounted++
-		ms.BytesRead += st.Size()
-		ms.RecordsPruned += pruned
-		ms.RecordsMounted += full.Len()
-	})
-	if m.env.OnMount != nil {
-		m.env.OnMount(m.node.URI, full)
-	}
-
-	filtered := full
+// start attaches the cursor to the mount service.
+func (m *mountOp) start() error {
+	span := cache.FullSpan()
 	if m.node.Pred != nil {
-		pv, err := m.node.Pred.Eval(full)
-		if err != nil {
-			return err
-		}
-		sel := vector.SelFromBools(pv)
-		if len(sel) != full.Len() {
-			filtered = full.Gather(sel)
+		if sp, ok := predSpan(m.node.Pred, m.node.Binding, m.adapter.DataSpanColumn()); ok {
+			span = cache.Span{Lo: sp.Lo, Hi: sp.Hi}
 		}
 	}
-
-	// Cache retention per policy and granularity.
-	if m.env.Cache != nil {
-		switch m.env.Cache.Config().Granularity {
-		case cache.FileGranular:
-			if keep == nil { // full file was mounted
-				m.env.Cache.Put(m.node.URI, full, cache.FullSpan())
-			}
-		case cache.TupleGranular:
-			span := cache.FullSpan()
-			if m.node.Pred != nil {
-				if sp, ok := predSpan(m.node.Pred, m.node.Binding, m.adapter.DataSpanColumn()); ok {
-					span = cache.Span{Lo: sp.Lo, Hi: sp.Hi}
+	if m.env.Cache != nil &&
+		m.env.Cache.Config().Policy != cache.NeverCache &&
+		m.env.Cache.Config().Granularity == cache.TupleGranular {
+		m.retain = &Materialized{Schema: m.schema}
+		m.retainSpan = span
+	}
+	env := m.env
+	cur, err := env.service().Mount(mountsvc.Request{
+		URI:       m.node.URI,
+		Adapter:   m.adapter,
+		Span:      span,
+		BatchRows: env.batchSize(),
+		Observe: func(d mountsvc.Delta) {
+			env.addMountStats(func(ms *MountStats) {
+				switch {
+				case d.FileMounted:
+					ms.FilesMounted++
+					ms.BytesRead += d.BytesRead
+					ms.RecordsPruned += d.RecordsPruned
+					ms.RecordsMounted += d.RecordsMounted
+				case d.SingleFlight:
+					ms.SingleFlightHits++
+				case d.FromCache:
+					ms.CacheHits++
 				}
-			}
-			m.env.Cache.Put(m.node.URI, filtered, span)
-		}
+			})
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("exec: mount %s: %w", m.node.URI, err)
 	}
-	m.out = filtered
+	m.cur = cur
 	return nil
 }
 
-// Close implements Operator.
+// Next implements Operator: pull a record batch from the service, apply
+// the fused predicate, emit the survivors.
+func (m *mountOp) Next() (*vector.Batch, error) {
+	if !m.started {
+		if err := m.start(); err != nil {
+			return nil, err
+		}
+		m.started = true
+	}
+	for {
+		if m.finished {
+			return nil, nil
+		}
+		b, err := m.cur.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			m.finished = true
+			if m.retain != nil {
+				flat := m.retain.Flatten()
+				if len(m.retain.Batches) == 1 {
+					// Flatten returned the emitted batch itself; the cache
+					// must own its storage.
+					flat = flat.Clone()
+				}
+				m.env.Cache.Put(m.node.URI, flat, m.retainSpan)
+			}
+			return nil, nil
+		}
+		filtered := b
+		if m.node.Pred != nil {
+			pv, err := m.node.Pred.Eval(b)
+			if err != nil {
+				return nil, err
+			}
+			sel := vector.SelFromBools(pv)
+			if len(sel) != b.Len() {
+				filtered = b.Gather(sel)
+			}
+		}
+		if filtered == b {
+			// Flight batches are shared with every query riding the same
+			// extraction (and with its replay buffer); emit a copy so a
+			// client mutating this query's result can never corrupt
+			// another query's. Gather above already produced fresh storage.
+			filtered = b.Clone()
+		}
+		if m.retain != nil && filtered.Len() > 0 {
+			m.retain.Batches = append(m.retain.Batches, filtered)
+		}
+		if filtered.Len() == 0 {
+			continue
+		}
+		return filtered, nil
+	}
+}
+
+// Close implements Operator. A stream closed before draining skips
+// tuple-granular retention (the entry would be incomplete) and detaches
+// from the flight without affecting other queries riding it.
 func (m *mountOp) Close() error {
-	m.out = nil // unmount: dangling partial tables vanish with the query
+	m.retain = nil
+	if m.cur != nil {
+		return m.cur.Close()
+	}
 	return nil
 }
 
 // cacheScanOp serves previously mounted data from the ingestion cache.
-// If the entry was evicted between planning and execution it falls back
-// to a fresh mount.
+// If the entry was evicted between planning and execution it records the
+// fallback and streams a fresh mount instead.
 type cacheScanOp struct {
 	node   *plan.CacheScan
 	env    *Env
 	schema []plan.ColInfo
 
-	out  *vector.Batch
-	pos  int
-	done bool
+	started  bool
+	fallback Operator
+
+	out *vector.Batch
+	pos int
 }
 
 func newCacheScan(n *plan.CacheScan, env *Env) (Operator, error) {
@@ -174,11 +186,14 @@ func (c *cacheScanOp) Schema() []plan.ColInfo { return c.schema }
 
 // Next implements Operator.
 func (c *cacheScanOp) Next() (*vector.Batch, error) {
-	if !c.done {
+	if !c.started {
 		if err := c.load(); err != nil {
 			return nil, err
 		}
-		c.done = true
+		c.started = true
+	}
+	if c.fallback != nil {
+		return c.fallback.Next()
 	}
 	return emitChunk(c.out, &c.pos, c.env.batchSize()), nil
 }
@@ -196,7 +211,12 @@ func (c *cacheScanOp) load() error {
 	}
 	cached, ok := c.env.Cache.Get(c.node.URI, need)
 	if !ok {
-		// Evicted since rule (1) decided f ∈ C: fall back to mounting.
+		// Evicted since rule (1) decided f ∈ C: fall back to a streaming
+		// mount, and record the miss so benchmark numbers can't
+		// misattribute cache efficacy.
+		c.env.addMountStats(func(ms *MountStats) {
+			ms.CacheFallbacks++
+		})
 		mountNode := &plan.Mount{
 			URI: c.node.URI, Adapter: c.node.Adapter,
 			Binding: c.node.Binding, Def: c.node.Def, Pred: c.node.Pred,
@@ -205,19 +225,7 @@ func (c *cacheScanOp) load() error {
 		if err != nil {
 			return err
 		}
-		defer op.Close()
-		mat := &Materialized{Schema: c.schema}
-		for {
-			b, err := op.Next()
-			if err != nil {
-				return err
-			}
-			if b == nil {
-				break
-			}
-			mat.Batches = append(mat.Batches, b)
-		}
-		c.out = mat.Flatten()
+		c.fallback = op
 		return nil
 	}
 	c.env.addMountStats(func(ms *MountStats) {
@@ -234,12 +242,22 @@ func (c *cacheScanOp) load() error {
 			filtered = cached.Gather(sel)
 		}
 	}
+	if filtered == cached {
+		// Read-only discipline at the cache boundary: never hand out
+		// batches aliasing the shared entry (Gather above already copies).
+		filtered = cached.Clone()
+	}
 	c.out = filtered
 	return nil
 }
 
 // Close implements Operator.
-func (c *cacheScanOp) Close() error { return nil }
+func (c *cacheScanOp) Close() error {
+	if c.fallback != nil {
+		return c.fallback.Close()
+	}
+	return nil
+}
 
 // emitChunk slices the materialized batch into batch-sized outputs.
 func emitChunk(out *vector.Batch, pos *int, size int) *vector.Batch {

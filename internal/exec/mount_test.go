@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/cache"
@@ -221,5 +222,139 @@ func TestTupleGranularCachePutsFilteredSpan(t *testing.T) {
 	}
 	if _, ok := env.Cache.Get(f.URI, cache.FullSpan()); ok {
 		t.Error("tuple entry wrongly covers the full file")
+	}
+}
+
+func TestCacheFallbackCounted(t *testing.T) {
+	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+	env, m, def := mountEnv(t, cfg)
+	if _, err := Run(mountNode(m, def, nil), env); err != nil {
+		t.Fatal(err)
+	}
+	cs := &plan.CacheScan{URI: m.Files[0].URI, Adapter: seismic.AdapterName, Binding: "D", Def: def}
+	if _, err := Run(cs, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Mounts.CacheFallbacks != 0 {
+		t.Errorf("hit counted as fallback: %+v", env.Mounts)
+	}
+	// Evict between planning and execution: the re-mount must be
+	// recorded, or benchmark numbers misattribute cache efficacy.
+	env.Cache.Clear()
+	if _, err := Run(cs, env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Mounts.CacheFallbacks != 1 {
+		t.Errorf("CacheFallbacks = %d, want 1 (stats %+v)", env.Mounts.CacheFallbacks, env.Mounts)
+	}
+}
+
+// TestCachedEntrySurvivesDownstreamMutation is the aliasing regression:
+// batches served from the ingestion cache must not share storage with
+// what operators (or clients) receive, so a downstream sort — or any
+// in-place mutation — leaves the cached entry untouched.
+func TestCachedEntrySurvivesDownstreamMutation(t *testing.T) {
+	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
+	env, m, def := mountEnv(t, cfg)
+	if _, err := Run(mountNode(m, def, nil), env); err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := env.Cache.Get(m.Files[0].URI, cache.FullSpan())
+	if !ok {
+		t.Fatal("file not cached")
+	}
+	wantFirst := entry.Cols[3].Float64s()[0]
+
+	cs := &plan.CacheScan{URI: m.Files[0].URI, Adapter: seismic.AdapterName, Binding: "D", Def: def}
+	// A descending sort over the cache-scan reorders every row.
+	sorted, err := Run(&plan.Sort{Keys: []plan.SortKey{{Index: 2, Desc: true}}, Child: cs}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate the query's output in place, as a hostile client might.
+	for _, b := range sorted.Batches {
+		vals := b.Cols[3].Float64s()
+		for i := range vals {
+			vals[i] = -12345
+		}
+	}
+	entry2, ok := env.Cache.Get(m.Files[0].URI, cache.FullSpan())
+	if !ok {
+		t.Fatal("entry vanished")
+	}
+	if got := entry2.Cols[3].Float64s()[0]; got != wantFirst {
+		t.Fatalf("cached entry corrupted: first value %v, want %v", got, wantFirst)
+	}
+	ts := entry2.Cols[2].Int64s()
+	for i := 1; i < len(ts); i++ {
+		if ts[i] < ts[i-1] {
+			t.Fatal("cached entry row order changed by downstream sort")
+		}
+	}
+}
+
+// TestResultScanEmitsCopies proves the same discipline for replayed
+// materialized results: per-file subplans and incremental rounds replay
+// one shared Qf result, so emitted batches must be copies.
+func TestResultScanEmitsCopies(t *testing.T) {
+	env, _, _ := mountEnv(t, cache.Config{})
+	schema := []plan.ColInfo{{Table: "qf", Name: "x", Kind: vector.KindInt64}}
+	mat := &Materialized{
+		Schema:  schema,
+		Batches: []*vector.Batch{vector.NewBatch(vector.FromInt64([]int64{1, 2, 3}))},
+	}
+	env.Results["qf"] = mat
+	rs := &plan.ResultScan{Name: "qf", Cols: schema}
+	out, err := Run(rs, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Batches[0].Cols[0].Int64s()[0] = -99
+	if got := mat.Batches[0].Cols[0].Int64s()[0]; got != 1 {
+		t.Fatalf("shared materialized result corrupted: %d", got)
+	}
+}
+
+// TestConcurrentMountsOfOneFile drives K mount operators of the same
+// file in parallel against one env: the shared service must coalesce
+// them onto a single extraction while every operator sees every row.
+func TestConcurrentMountsOfOneFile(t *testing.T) {
+	env, m, def := mountEnv(t, cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular})
+	const k = 8
+	var wg sync.WaitGroup
+	rows := make([]int, k)
+	errs := make([]error, k)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			mat, err := Run(mountNode(m, def, nil), env)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = mat.Rows()
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if rows[i] != 1000 {
+			t.Errorf("query %d saw %d rows, want 1000", i, rows[i])
+		}
+	}
+	ms := env.MountsSnapshot()
+	if ms.FilesMounted != 1 {
+		t.Errorf("FilesMounted = %d, want 1 (single-flight)", ms.FilesMounted)
+	}
+	if ms.SingleFlightHits+ms.CacheHits != k-1 {
+		t.Errorf("SingleFlightHits=%d + CacheHits=%d, want %d: every other query rides the flight or its cache entry",
+			ms.SingleFlightHits, ms.CacheHits, k-1)
 	}
 }

@@ -198,7 +198,10 @@ func (u *unionOp) Close() error {
 	return first
 }
 
-// resultScanOp replays a materialized result.
+// resultScanOp replays a materialized result. The same result is
+// replayed by every per-file subplan and every incremental-ingestion
+// round, so emitted batches are deep copies: downstream operators can
+// never corrupt the shared materialization.
 type resultScanOp struct {
 	schema []plan.ColInfo
 	mat    *Materialized
@@ -213,7 +216,7 @@ func (r *resultScanOp) Next() (*vector.Batch, error) {
 	if r.pos >= len(r.mat.Batches) {
 		return nil, nil
 	}
-	b := r.mat.Batches[r.pos]
+	b := r.mat.Batches[r.pos].Clone()
 	r.pos++
 	return b, nil
 }

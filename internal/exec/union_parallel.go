@@ -13,6 +13,11 @@ import (
 // one Mount per file of interest, so this operator is what overlaps
 // file I/O, decompression and transformation across files. Results are
 // deterministic: batch order is exactly the sequential union's.
+//
+// Mount inputs are cursors over the engine's shared mount service, and
+// the service's admission budget backpressures this pool naturally: a
+// worker whose flight is waiting for budget blocks in the input's Next,
+// occupying its slot instead of buffering bytes.
 type parallelUnion struct {
 	schema  []plan.ColInfo
 	inputs  []Operator
@@ -24,7 +29,7 @@ type parallelUnion struct {
 	sem     chan struct{} // bounds drained-but-unemitted inputs to O(workers)
 	wg      sync.WaitGroup
 
-	cur     int            // next input to emit from
+	cur     int             // next input to emit from
 	pending []*vector.Batch // batches of the current input
 	pos     int
 	err     error

@@ -1,0 +1,498 @@
+// Package mountsvc is the engine-owned mount service: the shared,
+// streaming implementation of ALi's second stage. Before it existed the
+// extract/decompress/transform path lived inside per-operator code, so N
+// concurrent queries needing the same file paid N full extractions and
+// every mount materialized the whole file before chunking. The service
+// inverts that ownership — the data path is engine-global and queries
+// attach cursors to it:
+//
+//   - Single-flight mounting: concurrent requests for the same (uri,
+//     span) coalesce onto one extraction ("flight") whose record batches
+//     are fanned out to every waiter and, per cache policy, streamed
+//     into the ingestion cache. Joining is span-containment aware: a
+//     request may ride any in-progress flight whose extraction span
+//     covers its own.
+//   - Streaming extraction: flights drive the adapter's MountStream
+//     API, so batches reach waiters (and the operator tree above them)
+//     while the file is still being decoded.
+//   - Admission budget: a cross-query gate bounds the total bytes of
+//     repository files being extracted at once; requests beyond the
+//     budget block until capacity frees, backpressuring the mount
+//     scheduler instead of OOMing.
+package mountsvc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// RepoDir is the scientific file repository root; request URIs are
+	// resolved against it.
+	RepoDir string
+	// Pool, when set, models the cost of reading repository files (cold
+	// pages are charged to the disk model; hot repeats are free).
+	Pool *storage.BufferPool
+	// Cache is the ingestion cache the service fills under file-granular
+	// retention. May be nil.
+	Cache *cache.Manager
+	// OnMount, when set, observes every extracted pre-filter batch
+	// (record-aligned, so per-record summaries stay correct). It is
+	// invoked from flight goroutines and must be safe for concurrent use.
+	OnMount func(uri string, batch *vector.Batch)
+	// BudgetBytes bounds the total repository-file bytes being extracted
+	// at once across all queries; <= 0 means unlimited. A single file
+	// larger than the budget is admitted alone.
+	BudgetBytes int64
+}
+
+// Delta attributes one request's outcome to the requesting query's
+// mount statistics. Exactly one of the booleans is set.
+type Delta struct {
+	// FileMounted marks the request that led a real extraction, with the
+	// flight's totals.
+	FileMounted    bool
+	BytesRead      int64
+	RecordsPruned  int
+	RecordsMounted int
+	// SingleFlight marks a request served by joining another request's
+	// in-progress flight.
+	SingleFlight bool
+	// FromCache marks a request short-circuited by a cache entry that
+	// already covered its span.
+	FromCache bool
+}
+
+// Request describes one query's need for a mounted file.
+type Request struct {
+	// URI names the repository file.
+	URI string
+	// Adapter extracts the file's format.
+	Adapter catalog.FormatAdapter
+	// Span is the restriction the caller's predicate places on the data
+	// span column: records entirely outside it may be pruned without
+	// decoding. FullSpan means the whole file is needed.
+	Span cache.Span
+	// BatchRows caps rows per yielded batch (record-aligned; see
+	// catalog.FormatAdapter.MountStream). <= 0 selects the default.
+	BatchRows int
+	// Observe, when set, receives the request's statistics attribution.
+	// It may fire from a flight goroutine.
+	Observe func(Delta)
+}
+
+// Cursor yields the record batches of one mounted file, in file order.
+// Next returns nil at end of stream. Batches are shared with other
+// waiters of the same flight and must be treated as read-only.
+type Cursor interface {
+	Next() (*vector.Batch, error)
+	Close() error
+}
+
+// Stats is a snapshot of service-wide counters.
+type Stats struct {
+	// FlightsStarted counts real extractions.
+	FlightsStarted int64
+	// SingleFlightHits counts requests that joined an in-progress flight.
+	SingleFlightHits int64
+	// CacheServes counts requests short-circuited by the ingestion cache.
+	CacheServes int64
+	// InFlightBytes / PeakInFlightBytes track the admission budget.
+	InFlightBytes     int64
+	PeakInFlightBytes int64
+}
+
+// Service is the shared mount service. It is safe for concurrent use by
+// any number of queries.
+type Service struct {
+	cfg Config
+
+	// budget gate
+	bmu   sync.Mutex
+	bcond *sync.Cond
+	used  int64
+	peak  int64
+
+	// single-flight table
+	fmu     sync.Mutex
+	flights map[string][]*flight
+	started int64
+	joined  int64
+	cached  int64
+}
+
+// New returns a service over the given configuration.
+func New(cfg Config) *Service {
+	s := &Service{cfg: cfg, flights: make(map[string][]*flight)}
+	s.bcond = sync.NewCond(&s.bmu)
+	return s
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.fmu.Lock()
+	st := Stats{FlightsStarted: s.started, SingleFlightHits: s.joined, CacheServes: s.cached}
+	s.fmu.Unlock()
+	s.bmu.Lock()
+	st.InFlightBytes, st.PeakInFlightBytes = s.used, s.peak
+	s.bmu.Unlock()
+	return st
+}
+
+// fileGranular reports whether the cache retains whole files, in which
+// case flights must extract (and cache) the full file regardless of the
+// requested span.
+func (s *Service) fileGranular() bool {
+	return s.cfg.Cache != nil &&
+		s.cfg.Cache.Config().Policy != cache.NeverCache &&
+		s.cfg.Cache.Config().Granularity == cache.FileGranular
+}
+
+// Mount resolves a request to a batch cursor: joining an in-progress
+// flight when one covers the span, serving straight from a covering
+// cache entry, or starting a new extraction flight.
+func (s *Service) Mount(req Request) (Cursor, error) {
+	path := filepath.Join(s.cfg.RepoDir, req.URI)
+	st, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("mountsvc: mount %s: %w", req.URI, err)
+	}
+	span := req.Span
+	if s.fileGranular() {
+		// Whole-file retention: pruning would cache an incomplete entry.
+		span = cache.FullSpan()
+	}
+
+	s.fmu.Lock()
+	for _, f := range s.flights[req.URI] {
+		if f.span.Contains(span) {
+			s.joined++
+			s.fmu.Unlock()
+			if req.Observe != nil {
+				req.Observe(Delta{SingleFlight: true})
+			}
+			f.ref()
+			return &flightCursor{f: f}, nil
+		}
+	}
+	// Planning races: rule (1) may have chosen Mount while the cache was
+	// still empty; by execution time a completed flight may have filled
+	// it. Only file-granular entries are safe to serve here (they hold
+	// the whole file; tuple-granular entries hold another query's
+	// filtered rows and stay the planner's business).
+	if s.fileGranular() {
+		if b, ok := s.cfg.Cache.Get(req.URI, span); ok {
+			s.cached++
+			s.fmu.Unlock()
+			if req.Observe != nil {
+				req.Observe(Delta{FromCache: true})
+			}
+			return newStaticCursor(b, req.batchRows()), nil
+		}
+	}
+	f := newFlight(req.URI, span, st.Size(), s)
+	s.flights[req.URI] = append(s.flights[req.URI], f)
+	s.started++
+	s.fmu.Unlock()
+
+	f.ref()
+	go s.run(f, req, path, st.Size())
+	return &flightCursor{f: f}, nil
+}
+
+func (r Request) batchRows() int {
+	if r.BatchRows > 0 {
+		return r.BatchRows
+	}
+	return vector.DefaultBatchSize
+}
+
+// run is the flight goroutine: admission, modeled I/O, streaming
+// extraction, fan-out and cache fill. The budget stays held until the
+// extraction is done AND every cursor has drained or closed — the
+// replay buffer, not just the decode, is what the budget bounds (see
+// flight.unref).
+func (s *Service) run(f *flight, req Request, path string, size int64) {
+	s.acquire(size)
+
+	finish := func(err error) {
+		s.fmu.Lock()
+		fs := s.flights[f.uri]
+		for i, other := range fs {
+			if other == f {
+				s.flights[f.uri] = append(fs[:i], fs[i+1:]...)
+				break
+			}
+		}
+		if len(s.flights[f.uri]) == 0 {
+			delete(s.flights, f.uri)
+		}
+		s.fmu.Unlock()
+		// Extraction-done must be visible before done is: a cursor that
+		// observes done and detaches must synchronously release the
+		// budget when it was the last reference.
+		f.extractionFinished()
+		f.finish(err)
+	}
+
+	// Model the cost of reading the external file by pulling its pages
+	// through the buffer pool: a cold mount pays seek+transfer, a hot
+	// repeat is free (the paper's hot protocol has the file in the OS
+	// page cache). Single-flight means concurrent queries pay it once.
+	if s.cfg.Pool != nil {
+		fh, err := os.Open(path)
+		if err != nil {
+			finish(fmt.Errorf("mountsvc: mount %s: %w", f.uri, err))
+			return
+		}
+		touchErr := s.cfg.Pool.Touch(path, fh, size)
+		fh.Close()
+		if touchErr != nil {
+			finish(fmt.Errorf("mountsvc: mount %s: %w", f.uri, touchErr))
+			return
+		}
+	}
+
+	// Record pruning from the flight span (disabled for full-span
+	// flights, including all flights under file-granular caching).
+	pruned := 0
+	var keep func(catalog.RecordMeta) bool
+	if !f.span.Full {
+		lo, hi := f.span.Lo, f.span.Hi
+		keep = func(rm catalog.RecordMeta) bool {
+			rlo, rhi, known := req.Adapter.RecordSpan(rm)
+			if !known {
+				return true
+			}
+			if rhi < lo || rlo > hi {
+				pruned++
+				return false
+			}
+			return true
+		}
+	}
+
+	// File-granular retention streams into the cache as batches arrive;
+	// the reservation keeps a concurrent Put from double-inserting.
+	var pending *cache.Pending
+	if s.fileGranular() {
+		pending = s.cfg.Cache.BeginPut(f.uri)
+	}
+
+	rows := 0
+	err := req.Adapter.MountStream(path, f.uri, keep, req.batchRows(), func(b *vector.Batch) error {
+		if s.cfg.OnMount != nil {
+			s.cfg.OnMount(f.uri, b)
+		}
+		pending.Append(b)
+		rows += b.Len()
+		f.append(b)
+		return nil
+	})
+	if err != nil {
+		pending.Abort()
+		finish(err)
+		return
+	}
+	pending.Commit(cache.FullSpan())
+	if req.Observe != nil {
+		req.Observe(Delta{
+			FileMounted:    true,
+			BytesRead:      size,
+			RecordsPruned:  pruned,
+			RecordsMounted: rows,
+		})
+	}
+	finish(nil)
+}
+
+// acquire blocks until the flight's bytes fit the budget. A request
+// larger than the whole budget is admitted only when nothing else is in
+// flight, so it can never deadlock but may exceed the budget alone.
+func (s *Service) acquire(n int64) {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	if s.cfg.BudgetBytes > 0 {
+		for s.used > 0 && s.used+n > s.cfg.BudgetBytes {
+			s.bcond.Wait()
+		}
+	}
+	s.used += n
+	if s.used > s.peak {
+		s.peak = s.used
+	}
+}
+
+func (s *Service) release(n int64) {
+	s.bmu.Lock()
+	s.used -= n
+	s.bmu.Unlock()
+	s.bcond.Broadcast()
+}
+
+// flight is one in-progress extraction with replay: batches accumulate
+// so waiters joining mid-flight still see the file from the beginning.
+// Its budget bytes are held until the extraction is done AND the last
+// cursor has drained or closed — the replay buffer is resident memory,
+// so releasing at decode-end alone would let K queries over K distinct
+// files keep K whole decoded files live with the budget showing zero.
+type flight struct {
+	uri  string
+	span cache.Span
+	size int64
+	svc  *Service
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	batches   []*vector.Batch
+	done      bool
+	err       error
+	refs      int  // attached cursors still replaying
+	extracted bool // the flight goroutine is finished
+	released  bool // budget bytes given back
+}
+
+func newFlight(uri string, span cache.Span, size int64, svc *Service) *flight {
+	f := &flight{uri: uri, span: span, size: size, svc: svc}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// ref attaches one cursor to the flight's replay buffer.
+func (f *flight) ref() {
+	f.mu.Lock()
+	f.refs++
+	f.mu.Unlock()
+}
+
+// unref detaches a cursor (it drained to the end, errored, or closed);
+// the last detach after extraction releases the budget.
+func (f *flight) unref() {
+	f.mu.Lock()
+	f.refs--
+	f.maybeReleaseLocked()
+	f.mu.Unlock()
+}
+
+// extractionFinished marks the flight goroutine done for budget
+// purposes (called whether extraction succeeded or failed).
+func (f *flight) extractionFinished() {
+	f.mu.Lock()
+	f.extracted = true
+	f.maybeReleaseLocked()
+	f.mu.Unlock()
+}
+
+func (f *flight) maybeReleaseLocked() {
+	if f.extracted && f.refs <= 0 && !f.released {
+		f.released = true
+		f.svc.release(f.size)
+	}
+}
+
+func (f *flight) append(b *vector.Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	f.mu.Lock()
+	f.batches = append(f.batches, b)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+func (f *flight) finish(err error) {
+	f.mu.Lock()
+	f.done = true
+	f.err = err
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// flightCursor is one waiter's position in a flight. Closing a cursor
+// detaches the waiter without affecting the flight or other waiters —
+// an aborting query never starves the rest. A cursor detaches (for
+// budget accounting) as soon as it reaches end of stream, not only at
+// Close: a sequential union closes its inputs at query end, and holding
+// the budget that long would deadlock later mounts of the same query.
+type flightCursor struct {
+	f        *flight
+	i        int
+	detached bool
+}
+
+// Next implements Cursor.
+func (c *flightCursor) Next() (*vector.Batch, error) {
+	if c.detached {
+		return nil, nil
+	}
+	f := c.f
+	f.mu.Lock()
+	for {
+		if c.i < len(f.batches) {
+			b := f.batches[c.i]
+			c.i++
+			f.mu.Unlock()
+			return b, nil
+		}
+		if f.done {
+			err := f.err
+			f.mu.Unlock()
+			c.detached = true
+			f.unref()
+			return nil, err
+		}
+		f.cond.Wait()
+	}
+}
+
+// Close implements Cursor.
+func (c *flightCursor) Close() error {
+	if !c.detached {
+		c.detached = true
+		c.f.unref()
+	}
+	return nil
+}
+
+// staticCursor chunks an already resident batch (a cache entry). Chunks
+// are slices sharing the entry's storage — the Cursor contract already
+// declares batches read-only, and consumers that pass rows onward make
+// their own copy (mount operators Gather or Clone every emitted batch),
+// so cloning here would double-copy the hot cache-served path.
+type staticCursor struct {
+	b    *vector.Batch
+	pos  int
+	size int
+}
+
+func newStaticCursor(b *vector.Batch, size int) *staticCursor {
+	return &staticCursor{b: b, size: size}
+}
+
+// Next implements Cursor.
+func (c *staticCursor) Next() (*vector.Batch, error) {
+	if c.b == nil || c.pos >= c.b.Len() {
+		return nil, nil
+	}
+	hi := c.pos + c.size
+	if hi > c.b.Len() {
+		hi = c.b.Len()
+	}
+	out := c.b.Slice(c.pos, hi)
+	c.pos = hi
+	return out, nil
+}
+
+// Close implements Cursor.
+func (c *staticCursor) Close() error {
+	c.b = nil
+	return nil
+}

@@ -1,0 +1,430 @@
+package mountsvc
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// slowAdapter is a synthetic format: each "file" yields nBatches batches
+// of batchLen rows. Extraction counts are tracked and each extraction
+// can be gated on a channel so tests can hold flights open while more
+// requests arrive.
+type slowAdapter struct {
+	nBatches    int
+	batchLen    int
+	extractions atomic.Int64
+	gate        chan struct{} // when non-nil, each extraction waits here once
+	failWith    error
+}
+
+func (a *slowAdapter) Name() string { return "slow" }
+func (a *slowAdapter) Tables() (f, r, d catalog.TableDef) {
+	d = catalog.TableDef{
+		Name: "SLOW_D", Kind: catalog.ActualData,
+		Columns: []storage.Column{
+			{Name: "uri", Kind: vector.KindString},
+			{Name: "record_id", Kind: vector.KindInt64},
+			{Name: "t", Kind: vector.KindTime},
+			{Name: "v", Kind: vector.KindFloat64},
+		},
+	}
+	return f, r, d
+}
+func (a *slowAdapter) URIColumn() string      { return "uri" }
+func (a *slowAdapter) RecordIDColumn() string { return "record_id" }
+func (a *slowAdapter) DataSpanColumn() string { return "t" }
+func (a *slowAdapter) RecordSpan(rm catalog.RecordMeta) (int64, int64, bool) {
+	return rm.Values[0].I, rm.Values[1].I, true
+}
+func (a *slowAdapter) ExtractMetadata(path, uri string) (catalog.FileMeta, []catalog.RecordMeta, error) {
+	return catalog.FileMeta{URI: uri}, nil, nil
+}
+func (a *slowAdapter) Mount(path, uri string, keep func(catalog.RecordMeta) bool) (*vector.Batch, error) {
+	return catalog.CollectMount(a, path, uri, keep)
+}
+func (a *slowAdapter) MountStream(path, uri string, keep func(catalog.RecordMeta) bool, batchRows int, emit func(*vector.Batch) error) error {
+	a.extractions.Add(1)
+	if a.gate != nil {
+		<-a.gate
+	}
+	if a.failWith != nil {
+		return a.failWith
+	}
+	for rec := 0; rec < a.nBatches; rec++ {
+		rm := catalog.RecordMeta{
+			URI: uri, RecordID: int64(rec),
+			Values: []vector.Value{vector.Time(int64(rec) * 100), vector.Time(int64(rec)*100 + 99)},
+		}
+		if keep != nil && !keep(rm) {
+			continue
+		}
+		var uris []string
+		var ids, times []int64
+		var vals []float64
+		for i := 0; i < a.batchLen; i++ {
+			uris = append(uris, uri)
+			ids = append(ids, int64(rec))
+			times = append(times, int64(rec)*100+int64(i))
+			vals = append(vals, float64(rec*1000+i))
+		}
+		b := vector.NewBatch(
+			vector.FromString(uris), vector.FromInt64(ids),
+			vector.FromTime(times), vector.FromFloat64(vals),
+		)
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// testFiles creates size-controlled dummy files (the service only stats
+// and opens them; the fake adapter never reads the contents).
+func testFiles(t *testing.T, sizes map[string]int) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, size := range sizes {
+		if err := os.WriteFile(filepath.Join(dir, name), make([]byte, size), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func drain(t *testing.T, c Cursor) int {
+	t.Helper()
+	rows, err := drainCount(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// drainCount is the goroutine-safe form of drain.
+func drainCount(c Cursor) (int, error) {
+	rows := 0
+	for {
+		b, err := c.Next()
+		if err != nil {
+			return rows, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		rows += b.Len()
+	}
+}
+
+func TestSingleFlightCoalesces(t *testing.T) {
+	ad := &slowAdapter{nBatches: 4, batchLen: 10, gate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": 1 << 12})
+	svc := New(Config{RepoDir: dir})
+
+	const k = 8
+	var mounted, joined atomic.Int64
+	cursors := make([]Cursor, k)
+	for i := range cursors {
+		cur, err := svc.Mount(Request{
+			URI: "a.slow", Adapter: ad, Span: cache.FullSpan(),
+			Observe: func(d Delta) {
+				if d.FileMounted {
+					mounted.Add(1)
+				}
+				if d.SingleFlight {
+					joined.Add(1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cursors[i] = cur
+	}
+	close(ad.gate) // all k requests are attached; let the extraction run
+
+	var wg sync.WaitGroup
+	rows := make([]int, k)
+	for i, cur := range cursors {
+		wg.Add(1)
+		go func(i int, cur Cursor) {
+			defer wg.Done()
+			rows[i], _ = drainCount(cur)
+		}(i, cur)
+	}
+	wg.Wait()
+
+	if got := ad.extractions.Load(); got != 1 {
+		t.Errorf("extractions = %d, want 1", got)
+	}
+	for i, n := range rows {
+		if n != 40 {
+			t.Errorf("cursor %d saw %d rows, want 40", i, n)
+		}
+	}
+	if mounted.Load() != 1 || joined.Load() != k-1 {
+		t.Errorf("mounted=%d joined=%d, want 1 and %d", mounted.Load(), joined.Load(), k-1)
+	}
+	st := svc.Stats()
+	if st.FlightsStarted != 1 || st.SingleFlightHits != k-1 {
+		t.Errorf("service stats = %+v", st)
+	}
+}
+
+func TestSpanContainmentJoining(t *testing.T) {
+	ad := &slowAdapter{nBatches: 4, batchLen: 10, gate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": 1 << 12})
+	svc := New(Config{RepoDir: dir})
+
+	wide, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.Span{Lo: 0, Hi: 399}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrower span rides the wide flight; a wider one cannot.
+	narrow, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.Span{Lo: 100, Hi: 199}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(ad.gate)
+	if got := drain(t, wide); got != 40 {
+		t.Errorf("wide rows = %d", got)
+	}
+	if got := drain(t, narrow); got != 40 {
+		t.Errorf("narrow rows = %d (must see the containing flight's batches)", got)
+	}
+	if got := drain(t, full); got != 40 {
+		t.Errorf("full rows = %d", got)
+	}
+	// wide+narrow shared one flight; full needed its own.
+	if got := ad.extractions.Load(); got != 2 {
+		t.Errorf("extractions = %d, want 2", got)
+	}
+}
+
+func TestBudgetBoundsInFlightBytes(t *testing.T) {
+	const fileSize = 1000
+	sizes := make(map[string]int)
+	names := []string{"a.slow", "b.slow", "c.slow", "d.slow", "e.slow", "f.slow"}
+	for _, n := range names {
+		sizes[n] = fileSize
+	}
+	dir := testFiles(t, sizes)
+	ad := &slowAdapter{nBatches: 2, batchLen: 64}
+	// Budget fits one and a half files: at most one flight at a time.
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 3 / 2})
+
+	var wg sync.WaitGroup
+	for _, name := range names {
+		cur, err := svc.Mount(Request{URI: name, Adapter: ad, Span: cache.FullSpan()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cur Cursor) {
+			defer wg.Done()
+			drainCount(cur)
+		}(cur)
+	}
+	wg.Wait()
+	st := svc.Stats()
+	if st.PeakInFlightBytes > fileSize*3/2 {
+		t.Errorf("peak in-flight bytes %d exceeded budget %d", st.PeakInFlightBytes, fileSize*3/2)
+	}
+	if st.InFlightBytes != 0 {
+		t.Errorf("in-flight bytes %d not released", st.InFlightBytes)
+	}
+	if st.FlightsStarted != int64(len(names)) {
+		t.Errorf("flights = %d, want %d", st.FlightsStarted, len(names))
+	}
+}
+
+func TestOversizedFileAdmittedAlone(t *testing.T) {
+	dir := testFiles(t, map[string]int{"big.slow": 4000, "small.slow": 100})
+	ad := &slowAdapter{nBatches: 1, batchLen: 8}
+	svc := New(Config{RepoDir: dir, BudgetBytes: 1000})
+	for _, name := range []string{"big.slow", "small.slow"} {
+		cur, err := svc.Mount(Request{URI: name, Adapter: ad, Span: cache.FullSpan()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := drain(t, cur); got != 8 {
+			t.Errorf("%s rows = %d", name, got)
+		}
+	}
+	if st := svc.Stats(); st.InFlightBytes != 0 {
+		t.Errorf("in-flight bytes %d not released", st.InFlightBytes)
+	}
+}
+
+func TestWaiterCancelOthersStillServed(t *testing.T) {
+	ad := &slowAdapter{nBatches: 4, batchLen: 10, gate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": 1 << 12})
+	svc := New(Config{RepoDir: dir})
+
+	quitter, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stayer, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quitter.Close() // aborts before the extraction even starts
+	close(ad.gate)
+	if got := drain(t, stayer); got != 40 {
+		t.Errorf("surviving waiter saw %d rows, want 40", got)
+	}
+	if b, err := quitter.Next(); b != nil || err != nil {
+		t.Errorf("closed cursor Next = (%v, %v), want (nil, nil)", b, err)
+	}
+}
+
+func TestFlightErrorReachesAllWaiters(t *testing.T) {
+	boom := errors.New("boom")
+	ad := &slowAdapter{nBatches: 2, batchLen: 4, gate: make(chan struct{}), failWith: boom}
+	dir := testFiles(t, map[string]int{"a.slow": 64})
+	svc := New(Config{RepoDir: dir})
+	c1, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(ad.gate)
+	for i, c := range []Cursor{c1, c2} {
+		if _, err := c.Next(); !errors.Is(err, boom) {
+			t.Errorf("waiter %d got %v, want the extraction error", i, err)
+		}
+	}
+}
+
+func TestMissingFileErrors(t *testing.T) {
+	svc := New(Config{RepoDir: t.TempDir()})
+	if _, err := svc.Mount(Request{URI: "nope.slow", Adapter: &slowAdapter{}}); err == nil {
+		t.Error("mount of missing file succeeded")
+	}
+}
+
+func TestFileGranularFlightFillsCacheAndShortCircuits(t *testing.T) {
+	ad := &slowAdapter{nBatches: 4, batchLen: 10}
+	dir := testFiles(t, map[string]int{"a.slow": 1 << 12})
+	mgr := cache.New(cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular})
+	svc := New(Config{RepoDir: dir, Cache: mgr})
+
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.Span{Lo: 0, Hi: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File-granular caching forces a full extraction despite the span.
+	if got := drain(t, cur); got != 40 {
+		t.Errorf("rows = %d, want the full 40 under file-granular caching", got)
+	}
+	if b, ok := mgr.Get("a.slow", cache.FullSpan()); !ok || b.Len() != 40 {
+		t.Fatalf("flight did not stream the whole file into the cache")
+	}
+
+	// A second request is served from the cache without extracting.
+	var fromCache atomic.Int64
+	cur2, err := svc.Mount(Request{
+		URI: "a.slow", Adapter: ad, Span: cache.FullSpan(), BatchRows: 16,
+		Observe: func(d Delta) {
+			if d.FromCache {
+				fromCache.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur2); got != 40 {
+		t.Errorf("cache-served rows = %d", got)
+	}
+	if ad.extractions.Load() != 1 || fromCache.Load() != 1 {
+		t.Errorf("extractions=%d fromCache=%d, want 1 and 1", ad.extractions.Load(), fromCache.Load())
+	}
+}
+
+func TestOnMountSeesPreFilterBatches(t *testing.T) {
+	ad := &slowAdapter{nBatches: 4, batchLen: 10}
+	dir := testFiles(t, map[string]int{"a.slow": 1 << 12})
+	var hookRows atomic.Int64
+	svc := New(Config{RepoDir: dir, OnMount: func(uri string, b *vector.Batch) {
+		hookRows.Add(int64(b.Len()))
+	}})
+	// Span keeps only record 1: the hook must still see every kept
+	// record's rows exactly once.
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.Span{Lo: 100, Hi: 199}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); got != 10 {
+		t.Errorf("rows = %d, want 10 (three records span-pruned)", got)
+	}
+	if hookRows.Load() != 10 {
+		t.Errorf("hook saw %d rows, want 10", hookRows.Load())
+	}
+}
+
+func TestModeledIOChargedOncePerFlight(t *testing.T) {
+	ad := &slowAdapter{nBatches: 1, batchLen: 4, gate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": int(storage.PageSize) * 3})
+	clock := &storage.Clock{}
+	pool := storage.NewBufferPool(64, storage.HDD7200(), clock)
+	svc := New(Config{RepoDir: dir, Pool: pool})
+
+	c1, _ := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	c2, _ := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	close(ad.gate)
+	drain(t, c1)
+	drain(t, c2)
+	if got := pool.Stats().PagesRead; got != 3 {
+		t.Errorf("pages read = %d, want 3 (one flight, one touch)", got)
+	}
+}
+
+// TestBudgetHeldUntilReplayDrained pins the budget's lifetime: the
+// bytes of a flight stay accounted while any cursor can still replay
+// its buffer, and are released synchronously when the last cursor
+// drains — resident decoded data is what the budget bounds, not just
+// the decode phase.
+func TestBudgetHeldUntilReplayDrained(t *testing.T) {
+	const fileSize = 1000
+	dir := testFiles(t, map[string]int{"a.slow": fileSize})
+	ad := &slowAdapter{nBatches: 2, batchLen: 4}
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 2})
+
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume both batches but do not reach end of stream yet.
+	for i := 0; i < 2; i++ {
+		if b, err := cur.Next(); err != nil || b == nil {
+			t.Fatalf("batch %d: (%v, %v)", i, b, err)
+		}
+	}
+	if got := svc.Stats().InFlightBytes; got != fileSize {
+		t.Errorf("budget released while the replay buffer is still referenced: in-flight %d", got)
+	}
+	// Drain to the end: release is synchronous with the detach.
+	if b, err := cur.Next(); b != nil || err != nil {
+		t.Fatalf("expected end of stream, got (%v, %v)", b, err)
+	}
+	if got := svc.Stats().InFlightBytes; got != 0 {
+		t.Errorf("in-flight bytes %d after last cursor drained, want 0", got)
+	}
+}

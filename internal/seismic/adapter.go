@@ -8,6 +8,8 @@ package seismic
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"repro/internal/catalog"
@@ -149,40 +151,74 @@ func (a *Adapter) ExtractMetadata(path, uri string) (catalog.FileMeta, []catalog
 // and materialize per-sample timestamps) and return the file's rows of D.
 // Records rejected by keep are skipped without decompression.
 func (a *Adapter) Mount(path, uri string, keep func(catalog.RecordMeta) bool) (*vector.Batch, error) {
-	filter := func(h mseed.Header) bool {
-		if keep == nil {
-			return true
-		}
-		return keep(recordMetaFromHeader(uri, h))
+	return catalog.CollectMount(a, path, uri, keep)
+}
+
+// MountStream implements catalog.FormatAdapter: records are decoded one
+// at a time off the mseed reader and yielded in record-aligned batches,
+// so consumers see data while the file is still being decompressed.
+func (a *Adapter) MountStream(path, uri string, keep func(catalog.RecordMeta) bool, batchRows int, emit func(*vector.Batch) error) error {
+	if batchRows <= 0 {
+		batchRows = vector.DefaultBatchSize
 	}
-	recs, err := mseed.ReadFileFiltered(path, filter)
+	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("seismic: mount %s: %w", uri, err)
+		return fmt.Errorf("seismic: mount %s: %w", uri, err)
 	}
-	total := 0
-	for _, r := range recs {
-		total += len(r.Samples)
+	defer f.Close()
+	r := mseed.NewReader(f)
+
+	var uris []string
+	var ids, times []int64
+	var vals []float64
+	flush := func() error {
+		if len(uris) == 0 {
+			return nil
+		}
+		b := vector.NewBatch(
+			vector.FromString(uris),
+			vector.FromInt64(ids),
+			vector.FromTime(times),
+			vector.FromFloat64(vals),
+		)
+		uris, ids, times, vals = nil, nil, nil, nil
+		return emit(b)
 	}
-	uris := make([]string, 0, total)
-	ids := make([]int64, 0, total)
-	times := make([]int64, 0, total)
-	vals := make([]float64, 0, total)
-	for _, r := range recs {
-		for i, s := range r.Samples {
+	for {
+		h, err := r.NextHeader()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("seismic: mount %s: %w", uri, err)
+		}
+		if keep != nil && !keep(recordMetaFromHeader(uri, h)) {
+			if err := r.SkipPayload(h); err != nil {
+				return fmt.Errorf("seismic: mount %s: %w", uri, err)
+			}
+			continue
+		}
+		samples, err := r.ReadPayload(h)
+		if err != nil {
+			return fmt.Errorf("seismic: mount %s: %w", uri, err)
+		}
+		// Record alignment: flush before a record that would overflow the
+		// batch; a record bigger than batchRows goes out alone.
+		if len(uris) > 0 && len(uris)+len(samples) > batchRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		for i, s := range samples {
 			uris = append(uris, uri)
-			ids = append(ids, int64(r.Seq))
+			ids = append(ids, int64(h.Seq))
 			// Use the header's own timestamp materialization so mounted
 			// sample_time values agree exactly with R.start_time/end_time.
-			times = append(times, r.Header.SampleTime(i))
+			times = append(times, h.SampleTime(i))
 			vals = append(vals, float64(s))
 		}
 	}
-	return vector.NewBatch(
-		vector.FromString(uris),
-		vector.FromInt64(ids),
-		vector.FromTime(times),
-		vector.FromFloat64(vals),
-	), nil
+	return flush()
 }
 
 func recordMetaFromHeader(uri string, h mseed.Header) catalog.RecordMeta {

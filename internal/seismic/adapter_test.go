@@ -175,3 +175,46 @@ func TestValuesMatchTableDefs(t *testing.T) {
 		t.Errorf("record row has %d values, def has %d columns", len(rms[0].Values), len(rdef.Columns))
 	}
 }
+
+// TestMountStreamParity proves the streaming and materializing mount
+// paths produce identical rows, with streamed batches record-aligned
+// and within the requested size.
+func TestMountStreamParity(t *testing.T) {
+	m, _ := genOne(t)
+	a := NewAdapter()
+	uri := m.Files[0].URI
+	whole, err := a.Mount(m.Path(uri), uri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchRows = 256 // smaller than one record's 400 samples
+	var streamed []*vector.Batch
+	err = a.MountStream(m.Path(uri), uri, nil, batchRows, func(b *vector.Batch) error {
+		streamed = append(streamed, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 0
+	for bi, b := range streamed {
+		if b.Len() > 400 { // one oversized record may exceed batchRows, never two
+			t.Errorf("batch %d has %d rows", bi, b.Len())
+		}
+		ids := b.Cols[1].Int64s()
+		if ids[0] != ids[len(ids)-1] && b.Len() > batchRows {
+			t.Errorf("batch %d splits records AND exceeds batchRows", bi)
+		}
+		for i := 0; i < b.Len(); i++ {
+			for c := range b.Cols {
+				if vector.Compare(b.Cols[c].Get(i), whole.Cols[c].Get(row)) != 0 {
+					t.Fatalf("row %d col %d differs between stream and mount", row, c)
+				}
+			}
+			row++
+		}
+	}
+	if row != whole.Len() {
+		t.Fatalf("stream yielded %d rows, mount %d", row, whole.Len())
+	}
+}

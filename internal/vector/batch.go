@@ -57,6 +57,18 @@ func (b *Batch) Slice(lo, hi int) *Batch {
 	return &Batch{Cols: cols}
 }
 
+// Clone returns a deep copy of the batch: mutations of either copy can
+// never be observed through the other. Shared-state boundaries (the
+// ingestion cache, replayed materialized results) emit clones to enforce
+// read-only discipline on their stored batches.
+func (b *Batch) Clone() *Batch {
+	cols := make([]*Vector, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Clone()
+	}
+	return &Batch{Cols: cols}
+}
+
 // Row returns the values of row i across all columns.
 func (b *Batch) Row(i int) []Value {
 	out := make([]Value, len(b.Cols))
