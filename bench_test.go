@@ -25,6 +25,7 @@ import (
 	"repro/internal/repo"
 	"repro/internal/seismic"
 	"repro/internal/storage"
+	"repro/internal/vector"
 	"repro/internal/waveform"
 )
 
@@ -517,5 +518,45 @@ func newCatalog(b *testing.B, store *storage.Store, ad *seismic.Adapter) {
 	b.Helper()
 	if err := ingest.EnsureTables(store, catalog.New(), ad); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkCoWSharedReplay measures the shared-Qf-replay path (per-file
+// merge strategy replays one Qf result across every file of interest)
+// under the old deep-clone discipline versus copy-on-write shares.
+// allocs/op and B/op are the headline metrics: share mode performs O(1)
+// deep copies total instead of one per file.
+func BenchmarkCoWSharedReplay(b *testing.B) {
+	sc := benchScale()
+	query := benchutil.SweepQueryForDays(sc.Days)
+	for _, mode := range []struct {
+		name  string
+		clone bool
+	}{{"clone", true}, {"share", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			engineMu.Lock()
+			m := benchManifest(b, sc)
+			engineMu.Unlock()
+			e, err := benchutil.OpenEngine(m, benchDir(b), core.Options{
+				Mode: core.ModeALi, Strategy: core.StrategyPerFile,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			prev := vector.SetForceCloneShares(mode.clone)
+			defer vector.SetForceCloneShares(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e.FlushCold()
+				e.Cache().Clear()
+				b.StartTimer()
+				if _, err := e.Query(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

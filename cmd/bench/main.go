@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent]
+//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow]
 //	      [-runs 3] [-parallelism N] [-clients 8]
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
@@ -14,6 +14,9 @@
 // worker counts 1, 4 and 8 regardless of the flag. The "concurrent"
 // experiment issues -clients identical cold queries at once against one
 // engine, demonstrating the mount service's single-flight coalescing.
+// The "cow" experiment measures bytes allocated on the shared-Qf-replay
+// and K-concurrent-cold-clients paths under the old deep-clone
+// discipline versus copy-on-write shares.
 package main
 
 import (
@@ -28,7 +31,7 @@ import "repro/internal/benchutil"
 func main() {
 	var (
 		scaleName   = flag.String("scale", "small", "dataset scale: tiny, small or medium")
-		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel, concurrent")
+		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel, concurrent, cow")
 		runs        = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
 		keep        = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
 		parallelism = flag.Int("parallelism", 0, "ingestion/mount workers per engine (0 = one per CPU)")
@@ -83,6 +86,9 @@ func main() {
 	})
 	run("concurrent", func() (fmt.Stringer, error) {
 		return benchutil.ExperimentConcurrency(base, sc, *clients)
+	})
+	run("cow", func() (fmt.Stringer, error) {
+		return benchutil.ExperimentCoW(base, sc, *clients)
 	})
 }
 

@@ -1,0 +1,197 @@
+package benchutil
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/vector"
+)
+
+// CoWMeasure is one workload run under one sharing discipline.
+type CoWMeasure struct {
+	AllocBytes int64 // bytes allocated during the run (runtime.MemStats.TotalAlloc delta)
+	CowCopies  int64 // copy-on-write materializations during the run
+	DeepCopies int64 // forced deep copies at sharing boundaries (clone mode only)
+	Value      float64
+}
+
+// CoW is the copy-on-write ablation: the same two sharing-heavy
+// workloads — replaying one Qf result across every file of interest
+// (per-file merge strategy) and K concurrent identical cold clients —
+// run under the old deep-clone discipline (every sharing boundary
+// copies) and under O(1) copy-on-write shares. The clone column is what
+// every cache hit, flight fan-out and result replay used to cost; the
+// share column is what they cost now, with copies deferred until a
+// mutation actually happens.
+type CoW struct {
+	Scale Scale
+	K     int
+	Files int
+
+	ReplayClone, ReplayShare CoWMeasure
+	ConcClone, ConcShare     CoWMeasure
+}
+
+// String renders the comparison.
+func (c *CoW) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Copy-on-write ablation (scale %s, %d files, K=%d clients)\n",
+		c.Scale.Name, c.Files, c.K)
+	row := func(name string, clone, share CoWMeasure) {
+		saved := 0.0
+		if clone.AllocBytes > 0 {
+			saved = 100 * (1 - float64(share.AllocBytes)/float64(clone.AllocBytes))
+		}
+		fmt.Fprintf(&sb, "  %-24s clone: %-10s (%d deep-copied boundaries)  share: %-10s (%d CoW copies)  allocation saved: %.0f%%\n",
+			name, FormatBytes(clone.AllocBytes), clone.DeepCopies,
+			FormatBytes(share.AllocBytes), share.CowCopies, saved)
+	}
+	row("shared-Qf replay:", c.ReplayClone, c.ReplayShare)
+	row("K concurrent cold:", c.ConcClone, c.ConcShare)
+	// A report only exists when both workloads produced the same answer
+	// in both modes; divergence fails the experiment instead.
+	fmt.Fprintf(&sb, "  answers cross-checked identical across modes\n")
+	return sb.String()
+}
+
+// measureAlloc runs f and reports the bytes allocated and CoW copies
+// performed while it ran. TotalAlloc is monotonic, so no GC pacing can
+// hide allocations; the number is process-wide, which is exactly what
+// the concurrent workload needs.
+func measureAlloc(f func() error) (CoWMeasure, error) {
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	copies0 := vector.CowCopies()
+	deep0 := vector.ForcedClones()
+	runtime.ReadMemStats(&m0)
+	err := f()
+	runtime.ReadMemStats(&m1)
+	return CoWMeasure{
+		AllocBytes: int64(m1.TotalAlloc - m0.TotalAlloc),
+		CowCopies:  vector.CowCopies() - copies0,
+		DeepCopies: vector.ForcedClones() - deep0,
+	}, err
+}
+
+// ExperimentCoW measures the two sharing-heavy paths under clone and
+// share discipline. A share-mode answer differing from clone mode is an
+// error — the whole point of the differential is that sharing is free
+// only if it is invisible.
+func ExperimentCoW(baseDir string, sc Scale, k int) (*CoW, error) {
+	if k < 2 {
+		k = 2
+	}
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &CoW{Scale: sc, K: k, Files: sc.Files()}
+	q := sweepQuery(sc.Days)
+
+	// Workload 1: per-file merge strategy replays the Qf result once per
+	// file of interest. Under clone discipline that is one deep copy per
+	// file and per replayed batch; under CoW it is O(1) handle bumps.
+	replay, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi, Strategy: core.StrategyPerFile})
+	if err != nil {
+		return nil, err
+	}
+	runReplay := func(dst *CoWMeasure, cloneMode bool) error {
+		prev := vector.SetForceCloneShares(cloneMode)
+		defer vector.SetForceCloneShares(prev)
+		replay.FlushCold()
+		replay.Cache().Clear()
+		var value float64
+		meas, err := measureAlloc(func() error {
+			res, err := replay.Query(q)
+			if err != nil {
+				return err
+			}
+			value = res.Float(0, 0)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		meas.Value = value
+		*dst = meas
+		return nil
+	}
+	if err := runReplay(&out.ReplayClone, true); err != nil {
+		replay.Close()
+		return nil, err
+	}
+	if err := runReplay(&out.ReplayShare, false); err != nil {
+		replay.Close()
+		return nil, err
+	}
+	replay.Close()
+
+	// Workload 2: K identical cold clients at once. The mount service
+	// fans every extracted batch out to K waiters and fills the cache;
+	// under clone discipline each fan-out and cache serve copies.
+	conc, err := OpenEngine(m, baseDir, core.Options{
+		Mode:  core.ModeALi,
+		Cache: cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer conc.Close()
+	runConc := func(dst *CoWMeasure, cloneMode bool) error {
+		prev := vector.SetForceCloneShares(cloneMode)
+		defer vector.SetForceCloneShares(prev)
+		conc.FlushCold()
+		conc.Cache().Clear()
+		values := make([]float64, k)
+		errs := make([]error, k)
+		meas, err := measureAlloc(func() error {
+			var wg sync.WaitGroup
+			for i := 0; i < k; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					res, err := conc.Query(q)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					values[i] = res.Float(0, 0)
+				}(i)
+			}
+			wg.Wait()
+			for _, e := range errs {
+				if e != nil {
+					return e
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		meas.Value = values[0]
+		for _, v := range values {
+			if v != values[0] {
+				return fmt.Errorf("benchutil: concurrent clients disagreed: %v vs %v", v, values[0])
+			}
+		}
+		*dst = meas
+		return nil
+	}
+	if err := runConc(&out.ConcClone, true); err != nil {
+		return nil, err
+	}
+	if err := runConc(&out.ConcShare, false); err != nil {
+		return nil, err
+	}
+
+	if out.ReplayClone.Value != out.ReplayShare.Value || out.ConcClone.Value != out.ConcShare.Value {
+		return nil, fmt.Errorf("benchutil: cow modes disagreed: replay %v vs %v, concurrent %v vs %v",
+			out.ReplayClone.Value, out.ReplayShare.Value, out.ConcClone.Value, out.ConcShare.Value)
+	}
+	return out, nil
+}

@@ -142,10 +142,10 @@ func (m *Manager) Contains(uri string, need Span) bool {
 	return ok && el.Value.(*entry).span.Contains(need)
 }
 
-// Get returns the cached batch for uri if it covers the needed span.
-// The batch is shared with the cache and every other reader and MUST be
-// treated as read-only; consumers that hand rows to code that may
-// mutate them clone at the boundary (see exec's cache-scan operator).
+// Get returns a copy-on-write share of the cached batch for uri if it
+// covers the needed span. The share is O(1): consumers read the entry's
+// storage directly and may mutate their share freely — the first write
+// materializes a private copy, so the entry can never be corrupted.
 func (m *Manager) Get(uri string, need Span) (*vector.Batch, bool) {
 	if m == nil || m.cfg.Policy == NeverCache {
 		return nil, false
@@ -161,7 +161,7 @@ func (m *Manager) Get(uri string, need Span) (*vector.Batch, bool) {
 		m.order.MoveToFront(el)
 	}
 	m.hits++
-	return el.Value.(*entry).batch, true
+	return el.Value.(*entry).batch.Share(), true
 }
 
 // Put stores mounted data. With FileGranular configuration the span is
@@ -185,7 +185,9 @@ func (m *Manager) Put(uri string, b *vector.Batch, span Span) {
 	m.putLocked(uri, b, span)
 }
 
-// putLocked inserts an entry; callers hold the lock.
+// putLocked inserts an entry; callers hold the lock. The entry holds its
+// own frozen share of b: the caller keeps mutating its handle without
+// affecting the entry, and no later handle mistake can corrupt it.
 func (m *Manager) putLocked(uri string, b *vector.Batch, span Span) {
 	if el, ok := m.entries[uri]; ok {
 		old := el.Value.(*entry)
@@ -193,7 +195,9 @@ func (m *Manager) putLocked(uri string, b *vector.Batch, span Span) {
 		m.order.Remove(el)
 		delete(m.entries, uri)
 	}
-	e := &entry{uri: uri, batch: b, span: span, bytes: BatchBytes(b)}
+	stored := b.Share()
+	stored.Freeze()
+	e := &entry{uri: uri, batch: stored, span: span, bytes: stored.Bytes()}
 	m.entries[uri] = m.order.PushFront(e)
 	m.bytes += e.bytes
 	m.evict()
@@ -201,8 +205,10 @@ func (m *Manager) putLocked(uri string, b *vector.Batch, span Span) {
 
 // Pending is an in-progress streaming insertion started by BeginPut: the
 // entry is assembled batch by batch while a file is being mounted, and
-// becomes visible atomically at Commit. Batches are copied on Append, so
-// the finished entry never aliases execution-owned storage. All methods
+// becomes visible atomically at Commit. Append takes copy-on-write
+// shares: a single-batch file is adopted in O(1), and only a second
+// batch materializes a private accumulation buffer — the finished entry
+// can never observe execution-side mutations either way. All methods
 // are nil-safe (a nil Pending ignores every call), letting callers
 // thread the result of BeginPut through unconditionally.
 type Pending struct {
@@ -234,10 +240,11 @@ func (m *Manager) BeginPut(uri string) *Pending {
 	return p
 }
 
-// Append adds a batch's rows to the pending entry (deep-copied). Once
-// the insertion is aborted (directly, or by Drop/Clear racing the
-// stream) appends become no-ops rather than copying rows Commit will
-// discard anyway.
+// Append adds a batch's rows to the pending entry. The first batch is
+// adopted as an O(1) share; a second batch triggers the copy-on-write
+// materialization and appends. Once the insertion is aborted (directly,
+// or by Drop/Clear racing the stream) appends become no-ops rather than
+// accumulating rows Commit will discard anyway.
 func (p *Pending) Append(b *vector.Batch) {
 	if p == nil || b == nil || b.Len() == 0 {
 		return
@@ -250,11 +257,8 @@ func (p *Pending) Append(b *vector.Batch) {
 		return
 	}
 	if p.batch == nil {
-		cols := make([]*vector.Vector, len(b.Cols))
-		for i, c := range b.Cols {
-			cols[i] = vector.New(c.Kind(), b.Len())
-		}
-		p.batch = vector.NewBatch(cols...)
+		p.batch = b.Share()
+		return
 	}
 	for i, c := range b.Cols {
 		p.batch.Cols[i].AppendVector(c)
@@ -364,24 +368,12 @@ func (m *Manager) evict() {
 	}
 }
 
-// BatchBytes estimates the resident size of a batch.
+// BatchBytes estimates the resident size of a batch. It is the
+// vector-level estimate (Batch.Bytes), kept exported so cache consumers
+// size their budgets in the same unit the cache charges.
 func BatchBytes(b *vector.Batch) int64 {
 	if b == nil {
 		return 0
 	}
-	var total int64
-	n := int64(b.Len())
-	for _, c := range b.Cols {
-		switch c.Kind() {
-		case vector.KindBool:
-			total += n
-		case vector.KindString:
-			for _, s := range c.Strings() {
-				total += int64(len(s)) + 16
-			}
-		default:
-			total += n * 8
-		}
-	}
-	return total
+	return b.Bytes()
 }

@@ -209,16 +209,37 @@ func TestStreamingPutAssemblesEntry(t *testing.T) {
 	}
 }
 
-func TestStreamingPutCopiesBatches(t *testing.T) {
+func TestStreamingPutIsolatedFromAppendedBatches(t *testing.T) {
 	m := New(Config{Policy: LRU, Granularity: FileGranular})
 	p := m.BeginPut("f1")
 	src := batchOfRows(4)
 	p.Append(src)
-	src.Cols[0].Int64s()[0] = -77 // the flight's batch is mutated later
+	src.Cols[0].Set(0, vector.Int64(-77)) // the flight's batch is mutated later
 	p.Commit(FullSpan())
 	b, _ := m.Get("f1", FullSpan())
 	if b.Cols[0].Int64s()[0] != 0 {
 		t.Error("streaming Put aliased the appended batch")
+	}
+}
+
+// TestGetSharesAreCopyOnWrite pins the new boundary contract: Get hands
+// out O(1) shares, and a consumer mutating its share (through the
+// sanctioned mutation API) never corrupts the entry.
+func TestGetSharesAreCopyOnWrite(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular})
+	m.Put("f1", batchOfRows(4), FullSpan())
+	got, ok := m.Get("f1", FullSpan())
+	if !ok {
+		t.Fatal("miss")
+	}
+	got.Cols[0].Set(0, vector.Int64(-1))
+	vals := got.Cols[0].MutableInt64s()
+	for i := range vals {
+		vals[i] = -9
+	}
+	again, _ := m.Get("f1", FullSpan())
+	if again.Cols[0].Int64s()[0] != 0 {
+		t.Error("cached entry corrupted through a consumer's share")
 	}
 }
 

@@ -147,6 +147,11 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The Qf result is replayed by every per-file subplan of stage
+		// two, possibly concurrently at any parallelism: freeze it so the
+		// replays are O(1) shares and any mutation anywhere materializes
+		// a private copy instead of corrupting the shared result.
+		mat.Freeze()
 		bp.qfResult = mat
 	}
 	if err := e.identifyFiles(p, bp); err != nil {

@@ -20,6 +20,17 @@ import (
 
 // Operator is a pull-based, vectorized physical operator. Next returns
 // nil at end of stream. Operators are single-use.
+//
+// Ownership contract: a batch returned by Next carries exactly one
+// handle, and the caller becomes its owner — it may mutate the batch
+// through the vector mutation API (Set, Append*, Permute, Mutable*),
+// which materializes a private copy whenever the underlying storage is
+// still shared with a cache entry, a flight replay buffer or a replayed
+// result. An operator that keeps rows beyond the next call (retention
+// buffers, materializations) takes its own Share instead of retaining
+// the handle it emitted. No operator in this package mutates its input
+// in place except sort, whose Permute goes through the copy-on-write
+// entry points.
 type Operator interface {
 	Schema() []plan.ColInfo
 	Next() (*vector.Batch, error)
@@ -42,7 +53,18 @@ func (m *Materialized) Rows() int {
 	return n
 }
 
-// Flatten concatenates all batches into one.
+// Freeze permanently marks every batch's storage as shared, so any
+// later mutation through any handle copies first: the engine freezes
+// results it is about to replay across subplans or hand to clients.
+func (m *Materialized) Freeze() {
+	for _, b := range m.Batches {
+		b.Freeze()
+	}
+}
+
+// Flatten concatenates all batches into one. With a single batch it
+// returns that batch's handle itself (callers that need a second owner
+// take a Share).
 func (m *Materialized) Flatten() *vector.Batch {
 	if len(m.Batches) == 1 {
 		return m.Batches[0]

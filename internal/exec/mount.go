@@ -110,16 +110,17 @@ func (m *mountOp) Next() (*vector.Batch, error) {
 		if b == nil {
 			m.finished = true
 			if m.retain != nil {
-				flat := m.retain.Flatten()
-				if len(m.retain.Batches) == 1 {
-					// Flatten returned the emitted batch itself; the cache
-					// must own its storage.
-					flat = flat.Clone()
-				}
-				m.env.Cache.Put(m.node.URI, flat, m.retainSpan)
+				// Put takes its own share of the flattened retention
+				// batches; no deep copy is needed even when Flatten
+				// returned an emitted batch itself.
+				m.env.Cache.Put(m.node.URI, m.retain.Flatten(), m.retainSpan)
 			}
 			return nil, nil
 		}
+		// b is a copy-on-write share of the flight's replay buffer: it
+		// can be emitted downstream as-is. A client mutating this query's
+		// result materializes a private copy and can never corrupt
+		// another query riding the same extraction.
 		filtered := b
 		if m.node.Pred != nil {
 			pv, err := m.node.Pred.Eval(b)
@@ -131,15 +132,11 @@ func (m *mountOp) Next() (*vector.Batch, error) {
 				filtered = b.Gather(sel)
 			}
 		}
-		if filtered == b {
-			// Flight batches are shared with every query riding the same
-			// extraction (and with its replay buffer); emit a copy so a
-			// client mutating this query's result can never corrupt
-			// another query's. Gather above already produced fresh storage.
-			filtered = b.Clone()
-		}
 		if m.retain != nil && filtered.Len() > 0 {
-			m.retain.Batches = append(m.retain.Batches, filtered)
+			// The retention buffer is a second owner of these rows: it
+			// keeps its own handle so downstream mutations of the emitted
+			// batch cannot reach the future cache entry.
+			m.retain.Batches = append(m.retain.Batches, filtered.Share())
 		}
 		if filtered.Len() == 0 {
 			continue
@@ -231,6 +228,10 @@ func (c *cacheScanOp) load() error {
 	c.env.addMountStats(func(ms *MountStats) {
 		ms.CacheHits++
 	})
+	// cached is a copy-on-write share of the entry: serving it (chunked
+	// by emitChunk below) costs no copy, and a consumer mutating the
+	// served rows materializes its own storage without touching the
+	// cache.
 	filtered := cached
 	if c.node.Pred != nil {
 		pv, err := c.node.Pred.Eval(cached)
@@ -241,11 +242,6 @@ func (c *cacheScanOp) load() error {
 		if len(sel) != cached.Len() {
 			filtered = cached.Gather(sel)
 		}
-	}
-	if filtered == cached {
-		// Read-only discipline at the cache boundary: never hand out
-		// batches aliasing the shared entry (Gather above already copies).
-		filtered = cached.Clone()
 	}
 	c.out = filtered
 	return nil

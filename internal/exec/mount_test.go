@@ -249,10 +249,12 @@ func TestCacheFallbackCounted(t *testing.T) {
 	}
 }
 
-// TestCachedEntrySurvivesDownstreamMutation is the aliasing regression:
-// batches served from the ingestion cache must not share storage with
-// what operators (or clients) receive, so a downstream sort — or any
-// in-place mutation — leaves the cached entry untouched.
+// TestCachedEntrySurvivesDownstreamMutation is the aliasing regression,
+// restated for copy-on-write: batches served from the ingestion cache
+// are O(1) shares of the entry, and any downstream mutation — a sort's
+// in-place permute, or a client writing through the vector mutation
+// API — materializes private storage and leaves the cached entry
+// untouched.
 func TestCachedEntrySurvivesDownstreamMutation(t *testing.T) {
 	cfg := cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular}
 	env, m, def := mountEnv(t, cfg)
@@ -273,7 +275,7 @@ func TestCachedEntrySurvivesDownstreamMutation(t *testing.T) {
 	}
 	// Mutate the query's output in place, as a hostile client might.
 	for _, b := range sorted.Batches {
-		vals := b.Cols[3].Float64s()
+		vals := b.Cols[3].MutableFloat64s()
 		for i := range vals {
 			vals[i] = -12345
 		}
@@ -293,10 +295,12 @@ func TestCachedEntrySurvivesDownstreamMutation(t *testing.T) {
 	}
 }
 
-// TestResultScanEmitsCopies proves the same discipline for replayed
-// materialized results: per-file subplans and incremental rounds replay
-// one shared Qf result, so emitted batches must be copies.
-func TestResultScanEmitsCopies(t *testing.T) {
+// TestResultScanSharesAreCopyOnWrite proves the same discipline for
+// replayed materialized results: per-file subplans and incremental
+// rounds replay one shared Qf result through O(1) shares, and mutating a
+// replayed batch materializes a private copy instead of corrupting the
+// shared materialization.
+func TestResultScanSharesAreCopyOnWrite(t *testing.T) {
 	env, _, _ := mountEnv(t, cache.Config{})
 	schema := []plan.ColInfo{{Table: "qf", Name: "x", Kind: vector.KindInt64}}
 	mat := &Materialized{
@@ -305,13 +309,28 @@ func TestResultScanEmitsCopies(t *testing.T) {
 	}
 	env.Results["qf"] = mat
 	rs := &plan.ResultScan{Name: "qf", Cols: schema}
+
+	// Replaying must not deep-copy: the share is O(1).
+	copies := vector.CowCopies()
 	out, err := Run(rs, env)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out.Batches[0].Cols[0].Int64s()[0] = -99
+	if got := vector.CowCopies() - copies; got != 0 {
+		t.Errorf("replay performed %d copies, want 0", got)
+	}
+
+	out.Batches[0].Cols[0].Set(0, vector.Int64(-99))
 	if got := mat.Batches[0].Cols[0].Int64s()[0]; got != 1 {
 		t.Fatalf("shared materialized result corrupted: %d", got)
+	}
+	// And replaying again still sees pristine values.
+	again, err := Run(&plan.ResultScan{Name: "qf", Cols: schema}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := again.Batches[0].Cols[0].Int64s()[0]; got != 1 {
+		t.Fatalf("second replay saw mutated value: %d", got)
 	}
 }
 

@@ -200,8 +200,10 @@ func (u *unionOp) Close() error {
 
 // resultScanOp replays a materialized result. The same result is
 // replayed by every per-file subplan and every incremental-ingestion
-// round, so emitted batches are deep copies: downstream operators can
-// never corrupt the shared materialization.
+// round, so emitted batches are copy-on-write shares: replaying a Qf
+// result across K files costs K handle bumps, not K deep copies, and a
+// downstream mutation materializes a private copy without corrupting
+// the shared materialization (which the engine additionally freezes).
 type resultScanOp struct {
 	schema []plan.ColInfo
 	mat    *Materialized
@@ -216,7 +218,7 @@ func (r *resultScanOp) Next() (*vector.Batch, error) {
 	if r.pos >= len(r.mat.Batches) {
 		return nil, nil
 	}
-	b := r.mat.Batches[r.pos].Clone()
+	b := r.mat.Batches[r.pos].Share()
 	r.pos++
 	return b, nil
 }

@@ -8,7 +8,12 @@ import (
 )
 
 // sortOp materializes its input and emits it ordered by the sort keys,
-// chunked to the environment's batch size like every other operator.
+// chunked to the environment's batch size like every other operator. It
+// is the engine's one in-place mutator: the materialized input is
+// permuted via Batch.Permute, which reorders exclusively owned storage
+// without allocating and transparently materializes a private copy when
+// the input batches are copy-on-write shares (cache entries, replayed
+// results, flight fan-out).
 type sortOp struct {
 	child Operator
 	keys  []plan.SortKey
@@ -55,7 +60,8 @@ func (s *sortOp) Next() (*vector.Batch, error) {
 			}
 			return false
 		})
-		s.out = all.Gather(idx)
+		all.Permute(idx)
+		s.out = all
 		s.done = true
 	}
 	return emitChunk(s.out, &s.pos, s.env.batchSize()), nil

@@ -391,7 +391,11 @@ func keyEntries(tbl *storage.Table, keys []string) ([]index.Entry, error) {
 }
 
 // rowBuffer accumulates value rows into column vectors for batched
-// appends.
+// appends. The buffer relies on the copy-on-write ownership contract:
+// storage.Appender.Append only reads the batch it is handed, so reset
+// truncates the vectors in place and reuses their storage for the next
+// batch instead of reallocating — Vector.Reset detaches (without
+// copying) only if someone unexpectedly still shares the storage.
 type rowBuffer struct {
 	def  catalog.TableDef
 	cols []*vector.Vector
@@ -400,14 +404,16 @@ type rowBuffer struct {
 
 func newRowBuffer(def catalog.TableDef) *rowBuffer {
 	b := &rowBuffer{def: def}
-	b.reset()
+	b.cols = make([]*vector.Vector, len(b.def.Columns))
+	for i, c := range b.def.Columns {
+		b.cols[i] = vector.New(c.Kind, 4096)
+	}
 	return b
 }
 
 func (b *rowBuffer) reset() {
-	b.cols = make([]*vector.Vector, len(b.def.Columns))
-	for i, c := range b.def.Columns {
-		b.cols[i] = vector.New(c.Kind, 4096)
+	for _, c := range b.cols {
+		c.Reset()
 	}
 	b.rows = 0
 }

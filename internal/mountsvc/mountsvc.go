@@ -19,9 +19,20 @@
 //     repository files being extracted at once; requests beyond the
 //     budget block until capacity frees, backpressuring the mount
 //     scheduler instead of OOMing.
+//   - Cancel-aware flights: a flight refcounts its live cursors; when
+//     every waiter has closed or drained, an extraction still running is
+//     stopped at the next batch boundary, its budget released and any
+//     pending cache fill aborted — a fully abandoned query stops paying
+//     for data nobody will read.
+//
+// Batches fanned out by cursors are copy-on-write shares of the
+// flight's replay buffer (vector.Batch.Share): waiters may mutate what
+// they receive and the first write materializes a private copy, so no
+// waiter can ever corrupt another's view.
 package mountsvc
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -90,8 +101,10 @@ type Request struct {
 }
 
 // Cursor yields the record batches of one mounted file, in file order.
-// Next returns nil at end of stream. Batches are shared with other
-// waiters of the same flight and must be treated as read-only.
+// Next returns nil at end of stream. Batches are copy-on-write shares of
+// storage common to every waiter of the same flight: reading is free and
+// a consumer mutating its batch (through the vector mutation API)
+// materializes a private copy without affecting anyone else.
 type Cursor interface {
 	Next() (*vector.Batch, error)
 	Close() error
@@ -105,9 +118,19 @@ type Stats struct {
 	SingleFlightHits int64
 	// CacheServes counts requests short-circuited by the ingestion cache.
 	CacheServes int64
-	// InFlightBytes / PeakInFlightBytes track the admission budget.
+	// FlightsCancelled counts extractions stopped mid-file because every
+	// waiter had abandoned the flight.
+	FlightsCancelled int64
+	// InFlightBytes / PeakInFlightBytes track the admission budget
+	// (denominated in repository-file bytes, the pre-extraction
+	// admission estimate).
 	InFlightBytes     int64
 	PeakInFlightBytes int64
+	// ReplayBytes / PeakReplayBytes track the decoded replay buffers of
+	// live flights, measured with vector.Batch.Bytes rather than any
+	// ad-hoc estimate.
+	ReplayBytes     int64
+	PeakReplayBytes int64
 }
 
 // Service is the shared mount service. It is safe for concurrent use by
@@ -115,19 +138,27 @@ type Stats struct {
 type Service struct {
 	cfg Config
 
-	// budget gate
-	bmu   sync.Mutex
-	bcond *sync.Cond
-	used  int64
-	peak  int64
+	// budget gate and replay-buffer accounting
+	bmu        sync.Mutex
+	bcond      *sync.Cond
+	used       int64
+	peak       int64
+	replay     int64
+	replayPeak int64
 
 	// single-flight table
-	fmu     sync.Mutex
-	flights map[string][]*flight
-	started int64
-	joined  int64
-	cached  int64
+	fmu       sync.Mutex
+	flights   map[string][]*flight
+	started   int64
+	joined    int64
+	cached    int64
+	cancelled int64
 }
+
+// errFlightAbandoned is the internal sentinel the flight goroutine
+// returns through the adapter's emit callback to stop an extraction
+// whose every waiter has detached.
+var errFlightAbandoned = errors.New("mountsvc: flight abandoned by all waiters")
 
 // New returns a service over the given configuration.
 func New(cfg Config) *Service {
@@ -139,10 +170,14 @@ func New(cfg Config) *Service {
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.fmu.Lock()
-	st := Stats{FlightsStarted: s.started, SingleFlightHits: s.joined, CacheServes: s.cached}
+	st := Stats{
+		FlightsStarted: s.started, SingleFlightHits: s.joined,
+		CacheServes: s.cached, FlightsCancelled: s.cancelled,
+	}
 	s.fmu.Unlock()
 	s.bmu.Lock()
 	st.InFlightBytes, st.PeakInFlightBytes = s.used, s.peak
+	st.ReplayBytes, st.PeakReplayBytes = s.replay, s.replayPeak
 	s.bmu.Unlock()
 	return st
 }
@@ -174,12 +209,15 @@ func (s *Service) Mount(req Request) (Cursor, error) {
 	s.fmu.Lock()
 	for _, f := range s.flights[req.URI] {
 		if f.span.Contains(span) {
+			// ref before releasing fmu: cancellation checks refs under
+			// both locks, so a flight visible in the table can never be
+			// abandoned between the containment check and the attach.
+			f.ref()
 			s.joined++
 			s.fmu.Unlock()
 			if req.Observe != nil {
 				req.Observe(Delta{SingleFlight: true})
 			}
-			f.ref()
 			return &flightCursor{f: f}, nil
 		}
 	}
@@ -201,9 +239,9 @@ func (s *Service) Mount(req Request) (Cursor, error) {
 	f := newFlight(req.URI, span, st.Size(), s)
 	s.flights[req.URI] = append(s.flights[req.URI], f)
 	s.started++
+	f.ref()
 	s.fmu.Unlock()
 
-	f.ref()
 	go s.run(f, req, path, st.Size())
 	return &flightCursor{f: f}, nil
 }
@@ -225,16 +263,7 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 
 	finish := func(err error) {
 		s.fmu.Lock()
-		fs := s.flights[f.uri]
-		for i, other := range fs {
-			if other == f {
-				s.flights[f.uri] = append(fs[:i], fs[i+1:]...)
-				break
-			}
-		}
-		if len(s.flights[f.uri]) == 0 {
-			delete(s.flights, f.uri)
-		}
+		s.removeLocked(f)
 		s.fmu.Unlock()
 		// Extraction-done must be visible before done is: a cursor that
 		// observes done and detaches must synchronously release the
@@ -289,6 +318,9 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 
 	rows := 0
 	err := req.Adapter.MountStream(path, f.uri, keep, req.batchRows(), func(b *vector.Batch) error {
+		if s.abandonIfUnreferenced(f) {
+			return errFlightAbandoned
+		}
 		if s.cfg.OnMount != nil {
 			s.cfg.OnMount(f.uri, b)
 		}
@@ -297,6 +329,14 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 		f.append(b)
 		return nil
 	})
+	if errors.Is(err, errFlightAbandoned) {
+		// Nobody is left to read (abandonIfUnreferenced removed the
+		// flight from the table, so nobody new can join either): drop the
+		// partial cache fill and release the budget.
+		pending.Abort()
+		finish(nil)
+		return
+	}
 	if err != nil {
 		pending.Abort()
 		finish(err)
@@ -331,11 +371,60 @@ func (s *Service) acquire(n int64) {
 	}
 }
 
-func (s *Service) release(n int64) {
+// releaseFlight gives back a finished flight's admission bytes and
+// retires its replay-buffer accounting.
+func (s *Service) releaseFlight(admitted, buffered int64) {
 	s.bmu.Lock()
-	s.used -= n
+	s.used -= admitted
+	s.replay -= buffered
 	s.bmu.Unlock()
 	s.bcond.Broadcast()
+}
+
+// addReplay charges one appended batch to the replay-buffer gauge.
+func (s *Service) addReplay(n int64) {
+	s.bmu.Lock()
+	s.replay += n
+	if s.replay > s.replayPeak {
+		s.replayPeak = s.replay
+	}
+	s.bmu.Unlock()
+}
+
+// abandonIfUnreferenced cancels a flight whose every cursor has detached:
+// it is removed from the single-flight table (so no later request can
+// join a dying extraction) and the caller stops the adapter stream. The
+// refs check happens under both locks, mirroring the join path, so a
+// request that found the flight in the table has always ref'd it before
+// this can observe zero.
+func (s *Service) abandonIfUnreferenced(f *flight) bool {
+	s.fmu.Lock()
+	f.mu.Lock()
+	if f.refs > 0 {
+		f.mu.Unlock()
+		s.fmu.Unlock()
+		return false
+	}
+	f.mu.Unlock()
+	s.removeLocked(f)
+	s.cancelled++
+	s.fmu.Unlock()
+	return true
+}
+
+// removeLocked drops a flight from the single-flight table; callers hold
+// fmu. Removing an already-removed flight is a no-op.
+func (s *Service) removeLocked(f *flight) {
+	fs := s.flights[f.uri]
+	for i, other := range fs {
+		if other == f {
+			s.flights[f.uri] = append(fs[:i], fs[i+1:]...)
+			break
+		}
+	}
+	if len(s.flights[f.uri]) == 0 {
+		delete(s.flights, f.uri)
+	}
 }
 
 // flight is one in-progress extraction with replay: batches accumulate
@@ -353,6 +442,7 @@ type flight struct {
 	mu        sync.Mutex
 	cond      *sync.Cond
 	batches   []*vector.Batch
+	buffered  int64 // replay-buffer bytes (vector.Batch.Bytes)
 	done      bool
 	err       error
 	refs      int  // attached cursors still replaying
@@ -394,17 +484,23 @@ func (f *flight) extractionFinished() {
 func (f *flight) maybeReleaseLocked() {
 	if f.extracted && f.refs <= 0 && !f.released {
 		f.released = true
-		f.svc.release(f.size)
+		f.svc.releaseFlight(f.size, f.buffered)
 	}
 }
 
+// append stores one extracted batch in the replay buffer, charging its
+// decoded size to the service's replay gauge. The flight keeps its own
+// handle; cursors take copy-on-write shares of it on the way out.
 func (f *flight) append(b *vector.Batch) {
 	if b == nil || b.Len() == 0 {
 		return
 	}
+	n := b.Bytes()
 	f.mu.Lock()
 	f.batches = append(f.batches, b)
+	f.buffered += n
 	f.mu.Unlock()
+	f.svc.addReplay(n)
 	f.cond.Broadcast()
 }
 
@@ -437,7 +533,9 @@ func (c *flightCursor) Next() (*vector.Batch, error) {
 	f.mu.Lock()
 	for {
 		if c.i < len(f.batches) {
-			b := f.batches[c.i]
+			// Fan out a copy-on-write share: every waiter gets its own
+			// handle over the replay buffer's storage in O(1).
+			b := f.batches[c.i].Share()
 			c.i++
 			f.mu.Unlock()
 			return b, nil
@@ -462,11 +560,10 @@ func (c *flightCursor) Close() error {
 	return nil
 }
 
-// staticCursor chunks an already resident batch (a cache entry). Chunks
-// are slices sharing the entry's storage — the Cursor contract already
-// declares batches read-only, and consumers that pass rows onward make
-// their own copy (mount operators Gather or Clone every emitted batch),
-// so cloning here would double-copy the hot cache-served path.
+// staticCursor chunks an already resident batch (a cache entry share).
+// Chunks are copy-on-write slices aliasing the entry's storage: reads
+// are free, and a consumer writing to a chunk materializes a private
+// copy without touching the entry.
 type staticCursor struct {
 	b    *vector.Batch
 	pos  int

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
@@ -22,7 +23,9 @@ type slowAdapter struct {
 	nBatches    int
 	batchLen    int
 	extractions atomic.Int64
+	streamed    atomic.Int64  // batches successfully emitted
 	gate        chan struct{} // when non-nil, each extraction waits here once
+	stepGate    chan struct{} // when non-nil, each batch waits for one token
 	failWith    error
 }
 
@@ -80,9 +83,13 @@ func (a *slowAdapter) MountStream(path, uri string, keep func(catalog.RecordMeta
 			vector.FromString(uris), vector.FromInt64(ids),
 			vector.FromTime(times), vector.FromFloat64(vals),
 		)
+		if a.stepGate != nil {
+			<-a.stepGate
+		}
 		if err := emit(b); err != nil {
 			return err
 		}
+		a.streamed.Add(1)
 	}
 	return nil
 }
@@ -288,6 +295,128 @@ func TestWaiterCancelOthersStillServed(t *testing.T) {
 	}
 	if b, err := quitter.Next(); b != nil || err != nil {
 		t.Errorf("closed cursor Next = (%v, %v), want (nil, nil)", b, err)
+	}
+}
+
+// TestAbandonedFlightStopsMidFile is the cancel-aware-flight contract:
+// when every waiter closes its cursor, the extraction is stopped at the
+// next batch boundary, the budget released, and any partial cache fill
+// aborted — instead of decoding the rest of a file nobody will read.
+func TestAbandonedFlightStopsMidFile(t *testing.T) {
+	const fileSize = 1000
+	ad := &slowAdapter{nBatches: 50, batchLen: 8, stepGate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": fileSize})
+	mgr := cache.New(cache.Config{Policy: cache.LRU, Granularity: cache.FileGranular})
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 4, Cache: mgr})
+
+	c1, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let two batches fully through, then abandon the flight entirely.
+	ad.stepGate <- struct{}{}
+	ad.stepGate <- struct{}{}
+	for deadline := time.Now().Add(5 * time.Second); ad.streamed.Load() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("adapter never emitted the first two batches")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c1.Close()
+	c2.Close()
+	// The third emit runs into the refcount check and stops the stream.
+	ad.stepGate <- struct{}{}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := svc.Stats()
+		if st.FlightsCancelled == 1 && st.InFlightBytes == 0 && st.ReplayBytes == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight not cancelled/released: stats %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := ad.streamed.Load(); got >= 50 {
+		t.Errorf("extraction ran to completion (%d batches) despite abandonment", got)
+	}
+	if _, ok := mgr.Get("a.slow", cache.FullSpan()); ok {
+		t.Error("abandoned flight committed a partial cache entry")
+	}
+	// The service stays usable for the same URI afterwards.
+	ad2 := &slowAdapter{nBatches: 2, batchLen: 4}
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad2, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, cur); got != 8 {
+		t.Errorf("post-cancel mount rows = %d, want 8", got)
+	}
+}
+
+// TestReplayBytesTrackedWithBatchBytes pins the replay-buffer gauge to
+// the vector-level size estimate rather than any ad-hoc guess.
+func TestReplayBytesTrackedWithBatchBytes(t *testing.T) {
+	dir := testFiles(t, map[string]int{"a.slow": 64})
+	ad := &slowAdapter{nBatches: 2, batchLen: 4}
+	svc := New(Config{RepoDir: dir})
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := 0; i < 2; i++ {
+		b, err := cur.Next()
+		if err != nil || b == nil {
+			t.Fatalf("batch %d: (%v, %v)", i, b, err)
+		}
+		want += b.Bytes()
+	}
+	if got := svc.Stats().ReplayBytes; got != want {
+		t.Errorf("ReplayBytes = %d, want %d (sum of Batch.Bytes)", got, want)
+	}
+	if b, err := cur.Next(); b != nil || err != nil {
+		t.Fatalf("expected end of stream, got (%v, %v)", b, err)
+	}
+	st := svc.Stats()
+	if st.ReplayBytes != 0 {
+		t.Errorf("ReplayBytes = %d after last cursor drained, want 0", st.ReplayBytes)
+	}
+	if st.PeakReplayBytes != want {
+		t.Errorf("PeakReplayBytes = %d, want %d", st.PeakReplayBytes, want)
+	}
+}
+
+// TestFlightSharesIsolateWaiters: two waiters of one flight mutate the
+// batches they receive; neither observes the other's writes.
+func TestFlightSharesIsolateWaiters(t *testing.T) {
+	dir := testFiles(t, map[string]int{"a.slow": 64})
+	ad := &slowAdapter{nBatches: 1, batchLen: 4}
+	svc := New(Config{RepoDir: dir})
+	c1, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := c1.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1.Cols[3].Set(0, vector.Float64(-1e9))
+	if got := b2.Cols[3].Get(0).F; got == -1e9 {
+		t.Error("one waiter's mutation leaked into another waiter's batch")
 	}
 }
 

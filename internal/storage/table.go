@@ -149,7 +149,10 @@ func (t *Table) ReadColumn(col int, from, to int64) (*vector.Vector, error) {
 	return decodeVector(kind, buf, n, dict), nil
 }
 
-// ReadBatch reads rows [from, to) of the given columns.
+// ReadBatch reads rows [from, to) of the given columns. The returned
+// batch is freshly decoded, exclusively owned storage: post-ingestion
+// tables are frozen on disk, and every reader gets its own copy to
+// mutate freely.
 func (t *Table) ReadBatch(cols []int, from, to int64) (*vector.Batch, error) {
 	out := make([]*vector.Vector, len(cols))
 	for i, c := range cols {
@@ -275,7 +278,10 @@ func (t *Table) NewAppender() (*Appender, error) {
 
 // Append writes one batch whose columns must match the table schema in
 // order and kind (VARCHAR accepts string vectors; TIMESTAMP accepts
-// BIGINT and vice versa).
+// BIGINT and vice versa). Append only reads the batch and retains no
+// reference to it: callers may pass copy-on-write shares and reuse or
+// truncate their buffers as soon as Append returns (ingest's row
+// buffers do exactly that).
 func (a *Appender) Append(b *vector.Batch) error {
 	if a.closed {
 		return fmt.Errorf("storage: append on closed appender")

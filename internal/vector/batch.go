@@ -39,7 +39,8 @@ func (b *Batch) Len() int {
 // NumCols returns the number of columns.
 func (b *Batch) NumCols() int { return len(b.Cols) }
 
-// Gather returns a new batch with only the selected row indexes.
+// Gather returns a new batch with only the selected row indexes. It
+// always copies: the result is exclusively owned.
 func (b *Batch) Gather(sel []int) *Batch {
 	cols := make([]*Vector, len(b.Cols))
 	for i, c := range b.Cols {
@@ -48,7 +49,9 @@ func (b *Batch) Gather(sel []int) *Batch {
 	return &Batch{Cols: cols}
 }
 
-// Slice returns a batch sharing storage over rows [lo, hi).
+// Slice returns a batch over rows [lo, hi) aliasing b's storage until
+// written: the columns join b's share groups, so mutations through
+// either side materialize private copies (see Vector.Slice).
 func (b *Batch) Slice(lo, hi int) *Batch {
 	cols := make([]*Vector, len(b.Cols))
 	for i, c := range b.Cols {
@@ -58,15 +61,69 @@ func (b *Batch) Slice(lo, hi int) *Batch {
 }
 
 // Clone returns a deep copy of the batch: mutations of either copy can
-// never be observed through the other. Shared-state boundaries (the
-// ingestion cache, replayed materialized results) emit clones to enforce
-// read-only discipline on their stored batches.
+// never be observed through the other, and no copy-on-write accounting
+// ties them together. Prefer Share at shared-state boundaries — it is
+// O(1) and defers the copy until a mutation actually happens.
 func (b *Batch) Clone() *Batch {
 	cols := make([]*Vector, len(b.Cols))
 	for i, c := range b.Cols {
 		cols[i] = c.Clone()
 	}
 	return &Batch{Cols: cols}
+}
+
+// Share returns a new batch handle over the same storage in O(1). This
+// is the sanctioned way to hand one batch to a second owner (the
+// ingestion cache, a flight's replay buffer, a retained result): each
+// owner holds its own handle, reads are free, and the first mutation
+// through any handle materializes a private copy for that handle only.
+func (b *Batch) Share() *Batch {
+	cols := make([]*Vector, len(b.Cols))
+	for i, c := range b.Cols {
+		cols[i] = c.Share()
+	}
+	return &Batch{Cols: cols}
+}
+
+// Freeze permanently marks every column's storage as shared: any later
+// mutation through any handle copies first. Long-lived read-mostly
+// batches (replayed Qf results, cache entries) freeze themselves as
+// belt-and-braces against handle-ownership mistakes.
+func (b *Batch) Freeze() {
+	for _, c := range b.Cols {
+		c.Freeze()
+	}
+}
+
+// Shared reports whether any column's storage may still be referenced by
+// another handle.
+func (b *Batch) Shared() bool {
+	for _, c := range b.Cols {
+		if c.Shared() {
+			return true
+		}
+	}
+	return false
+}
+
+// Bytes estimates the resident size of the batch: the unit the ingestion
+// cache and the mount service's replay accounting are denominated in.
+func (b *Batch) Bytes() int64 {
+	var total int64
+	for _, c := range b.Cols {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// Permute reorders the batch in place so that new row i is old row
+// perm[i]; perm must be a permutation of [0, Len()) and is left
+// unchanged. Shared columns are materialized first; exclusively owned
+// columns are permuted without allocating (sort's gather-in-place path).
+func (b *Batch) Permute(perm []int) {
+	for _, c := range b.Cols {
+		c.Permute(perm)
+	}
 }
 
 // Row returns the values of row i across all columns.

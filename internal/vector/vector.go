@@ -71,17 +71,24 @@ func (k Kind) Width() int {
 
 // Vector is a growable, homogeneous column of values. The zero Vector is
 // not usable; construct with New or one of the FromX helpers.
+//
+// Vectors are copy-on-write (see cow.go): Share and Slice hand out O(1)
+// handles over the same storage, and mutation entry points materialize a
+// private copy only when the storage is actually shared. The raw slice
+// accessors (Bools, Int64s, ...) are read-only views; in-place writes go
+// through Set, Permute or the Mutable accessors.
 type Vector struct {
 	kind Kind
 	bs   []bool
 	is   []int64 // also backs KindTime
 	fs   []float64
 	ss   []string
+	sh   *share // copy-on-write share record, never nil
 }
 
 // New returns an empty vector of the given kind with capacity hint n.
 func New(kind Kind, n int) *Vector {
-	v := &Vector{kind: kind}
+	v := &Vector{kind: kind, sh: newShare()}
 	switch kind {
 	case KindBool:
 		v.bs = make([]bool, 0, n)
@@ -98,19 +105,19 @@ func New(kind Kind, n int) *Vector {
 }
 
 // FromInt64 wraps the given slice (no copy) as a BIGINT vector.
-func FromInt64(vals []int64) *Vector { return &Vector{kind: KindInt64, is: vals} }
+func FromInt64(vals []int64) *Vector { return &Vector{kind: KindInt64, is: vals, sh: newShare()} }
 
 // FromTime wraps the given epoch-nanosecond slice (no copy) as a TIMESTAMP vector.
-func FromTime(vals []int64) *Vector { return &Vector{kind: KindTime, is: vals} }
+func FromTime(vals []int64) *Vector { return &Vector{kind: KindTime, is: vals, sh: newShare()} }
 
 // FromFloat64 wraps the given slice (no copy) as a DOUBLE vector.
-func FromFloat64(vals []float64) *Vector { return &Vector{kind: KindFloat64, fs: vals} }
+func FromFloat64(vals []float64) *Vector { return &Vector{kind: KindFloat64, fs: vals, sh: newShare()} }
 
 // FromString wraps the given slice (no copy) as a VARCHAR vector.
-func FromString(vals []string) *Vector { return &Vector{kind: KindString, ss: vals} }
+func FromString(vals []string) *Vector { return &Vector{kind: KindString, ss: vals, sh: newShare()} }
 
 // FromBool wraps the given slice (no copy) as a BOOLEAN vector.
-func FromBool(vals []bool) *Vector { return &Vector{kind: KindBool, bs: vals} }
+func FromBool(vals []bool) *Vector { return &Vector{kind: KindBool, bs: vals, sh: newShare()} }
 
 // Kind returns the vector's value kind.
 func (v *Vector) Kind() Kind { return v.kind }
@@ -131,10 +138,13 @@ func (v *Vector) Len() int {
 	}
 }
 
-// Bools returns the backing slice of a BOOLEAN vector.
+// Bools returns the backing slice of a BOOLEAN vector as a read-only
+// view; writes go through Set or MutableBools so shared storage can be
+// materialized first.
 func (v *Vector) Bools() []bool { v.mustKind(KindBool); return v.bs }
 
-// Int64s returns the backing slice of a BIGINT or TIMESTAMP vector.
+// Int64s returns the backing slice of a BIGINT or TIMESTAMP vector
+// (read-only view; see Bools).
 func (v *Vector) Int64s() []int64 {
 	if v.kind != KindInt64 && v.kind != KindTime {
 		panic(fmt.Sprintf("vector: Int64s on %s vector", v.kind))
@@ -142,10 +152,12 @@ func (v *Vector) Int64s() []int64 {
 	return v.is
 }
 
-// Float64s returns the backing slice of a DOUBLE vector.
+// Float64s returns the backing slice of a DOUBLE vector (read-only view;
+// see Bools).
 func (v *Vector) Float64s() []float64 { v.mustKind(KindFloat64); return v.fs }
 
-// Strings returns the backing slice of a VARCHAR vector.
+// Strings returns the backing slice of a VARCHAR vector (read-only view;
+// see Bools).
 func (v *Vector) Strings() []string { v.mustKind(KindString); return v.ss }
 
 func (v *Vector) mustKind(k Kind) {
@@ -155,25 +167,35 @@ func (v *Vector) mustKind(k Kind) {
 }
 
 // AppendBool appends to a BOOLEAN vector.
-func (v *Vector) AppendBool(b bool) { v.mustKind(KindBool); v.bs = append(v.bs, b) }
+func (v *Vector) AppendBool(b bool) { v.mustKind(KindBool); v.materialize(); v.bs = append(v.bs, b) }
 
 // AppendInt64 appends to a BIGINT or TIMESTAMP vector.
 func (v *Vector) AppendInt64(i int64) {
 	if v.kind != KindInt64 && v.kind != KindTime {
 		panic(fmt.Sprintf("vector: AppendInt64 on %s vector", v.kind))
 	}
+	v.materialize()
 	v.is = append(v.is, i)
 }
 
 // AppendFloat64 appends to a DOUBLE vector.
-func (v *Vector) AppendFloat64(f float64) { v.mustKind(KindFloat64); v.fs = append(v.fs, f) }
+func (v *Vector) AppendFloat64(f float64) {
+	v.mustKind(KindFloat64)
+	v.materialize()
+	v.fs = append(v.fs, f)
+}
 
 // AppendString appends to a VARCHAR vector.
-func (v *Vector) AppendString(s string) { v.mustKind(KindString); v.ss = append(v.ss, s) }
+func (v *Vector) AppendString(s string) {
+	v.mustKind(KindString)
+	v.materialize()
+	v.ss = append(v.ss, s)
+}
 
 // AppendValue appends a scalar Value, which must match the vector kind
 // (TIMESTAMP accepts BIGINT values and vice versa).
 func (v *Vector) AppendValue(val Value) {
+	v.materialize()
 	switch v.kind {
 	case KindBool:
 		v.bs = append(v.bs, val.B)
@@ -206,23 +228,29 @@ func (v *Vector) Get(i int) Value {
 	}
 }
 
-// Slice returns a new vector sharing storage with v over [lo, hi).
+// Slice returns a new vector over rows [lo, hi) of v, aliasing v's
+// storage until either side is written: the handles join one share
+// group, so any mutation through either materializes a private copy
+// first (capacity is capped at the window, so even an append can never
+// bleed into the parent's tail).
 func (v *Vector) Slice(lo, hi int) *Vector {
-	out := &Vector{kind: v.kind}
+	v.sh.refs.Add(1)
+	out := &Vector{kind: v.kind, sh: v.sh}
 	switch v.kind {
 	case KindBool:
-		out.bs = v.bs[lo:hi]
+		out.bs = v.bs[lo:hi:hi]
 	case KindInt64, KindTime:
-		out.is = v.is[lo:hi]
+		out.is = v.is[lo:hi:hi]
 	case KindFloat64:
-		out.fs = v.fs[lo:hi]
+		out.fs = v.fs[lo:hi:hi]
 	case KindString:
-		out.ss = v.ss[lo:hi]
+		out.ss = v.ss[lo:hi:hi]
 	}
 	return out
 }
 
 // Gather returns a new vector containing v[sel[0]], v[sel[1]], ... .
+// Unlike Slice it always copies: the result is exclusively owned.
 func (v *Vector) Gather(sel []int) *Vector {
 	out := New(v.kind, len(sel))
 	switch v.kind {
@@ -246,12 +274,14 @@ func (v *Vector) Gather(sel []int) *Vector {
 	return out
 }
 
-// AppendVector appends all values of src (same kind) to v.
+// AppendVector appends all values of src (same kind) to v. src is only
+// read; v materializes shared storage first.
 func (v *Vector) AppendVector(src *Vector) {
 	if src.kind != v.kind && !(v.kind == KindTime && src.kind == KindInt64) &&
 		!(v.kind == KindInt64 && src.kind == KindTime) {
 		panic(fmt.Sprintf("vector: AppendVector kind mismatch: %s vs %s", v.kind, src.kind))
 	}
+	v.materialize()
 	switch v.kind {
 	case KindBool:
 		v.bs = append(v.bs, src.bs...)
@@ -264,7 +294,9 @@ func (v *Vector) AppendVector(src *Vector) {
 	}
 }
 
-// Clone returns a deep copy of v.
+// Clone returns a deep copy of v: exclusively owned storage, regardless
+// of how widely v is shared. Prefer Share at read-mostly boundaries —
+// copy-on-write makes the copy lazy.
 func (v *Vector) Clone() *Vector {
 	out := New(v.kind, v.Len())
 	out.AppendVector(v)
