@@ -560,3 +560,60 @@ func BenchmarkCoWSharedReplay(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkResultCacheConcurrentClients measures K identical concurrent
+// queries against one warm engine with and without the result cache:
+// without it every client pays a full Qf+Qs execution; with it one
+// client leads and the riders receive O(1) CoW shares. The
+// "executions-per-burst" metric is total file mounts divided by the
+// repository size — 1.0 means single-flight collapsed the burst to one
+// execution.
+func BenchmarkResultCacheConcurrentClients(b *testing.B) {
+	sc := benchScale()
+	query := benchutil.SweepQueryForDays(sc.Days)
+	for _, mode := range []struct {
+		name       string
+		cacheBytes int64
+	}{{"nocache", 0}, {"resultcache", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			engineMu.Lock()
+			m := benchManifest(b, sc)
+			engineMu.Unlock()
+			e, err := benchutil.OpenEngine(m, benchDir(b), core.Options{
+				Mode:             core.ModeALi,
+				ResultCacheBytes: mode.cacheBytes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			const k = 8
+			var mounts int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e.FlushCold()
+				e.Cache().Clear() // also bumps the result-cache epoch: every burst is cold
+				b.StartTimer()
+				var wg sync.WaitGroup
+				results := make([]*core.Result, k)
+				errs := make([]error, k)
+				for c := 0; c < k; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						results[c], errs[c] = e.Query(query)
+					}(c)
+				}
+				wg.Wait()
+				for c := 0; c < k; c++ {
+					if errs[c] != nil {
+						b.Fatal(errs[c])
+					}
+					mounts += results[c].Stats.Mounts.FilesMounted
+				}
+			}
+			b.ReportMetric(float64(mounts)/float64(b.N)/float64(sc.Files()), "executions-per-burst")
+		})
+	}
+}

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	bench [-scale tiny|small|medium] [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow]
+//	bench [-scale tiny|small|medium]
+//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache]
 //	      [-runs 3] [-parallelism N] [-clients 8]
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
@@ -16,26 +17,40 @@
 // engine, demonstrating the mount service's single-flight coalescing.
 // The "cow" experiment measures bytes allocated on the shared-Qf-replay
 // and K-concurrent-cold-clients paths under the old deep-clone
-// discipline versus copy-on-write shares.
+// discipline versus copy-on-write shares. The "resultcache" experiment
+// issues -clients identical queries at once against an engine with the
+// result cache enabled: one full execution, riders served as O(1) CoW
+// shares, and repeats (including equivalently spelled variants) hitting
+// the stored entry.
+//
+// An unrecognized -exp name is an error listing the valid experiments.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 )
 
 import "repro/internal/benchutil"
 
+// experiment is one registered benchmark; keeping the registry as a
+// slice preserves the canonical run order for -exp all.
+type experiment struct {
+	name string
+	run  func() (fmt.Stringer, error)
+}
+
 func main() {
 	var (
 		scaleName   = flag.String("scale", "small", "dataset scale: tiny, small or medium")
-		exp         = flag.String("exp", "all", "experiment: all, table1, figure3, ingest, sweep, cache, strategy, derived, parallel, concurrent, cow")
+		exp         = flag.String("exp", "all", "experiment to run, or all")
 		runs        = flag.Int("runs", 3, "identical runs averaged per measurement (paper uses 3)")
 		keep        = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
 		parallelism = flag.Int("parallelism", 0, "ingestion/mount workers per engine (0 = one per CPU)")
-		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent experiment")
+		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent/cow/resultcache experiments")
 	)
 	flag.Parse()
 	sc := benchutil.ScaleByName(*scaleName)
@@ -55,41 +70,64 @@ func main() {
 		defer os.RemoveAll(dir)
 		base = dir
 	}
+
+	experiments := []experiment{
+		{"table1", func() (fmt.Stringer, error) { return benchutil.ExperimentTable1(base, sc) }},
+		{"ingest", func() (fmt.Stringer, error) { return benchutil.ExperimentIngestion(base, sc) }},
+		{"figure3", func() (fmt.Stringer, error) { return benchutil.ExperimentFigure3(base, sc, *runs) }},
+		{"sweep", func() (fmt.Stringer, error) {
+			steps := []int{1, 2, 4, 7, sc.Days}
+			return benchutil.ExperimentSweep(base, sc, steps)
+		}},
+		{"cache", func() (fmt.Stringer, error) { return benchutil.ExperimentCacheGranularity(base, sc) }},
+		{"strategy", func() (fmt.Stringer, error) { return benchutil.ExperimentMergeStrategy(base, sc) }},
+		{"derived", func() (fmt.Stringer, error) { return benchutil.ExperimentDerived(base, sc) }},
+		{"parallel", func() (fmt.Stringer, error) {
+			return benchutil.ExperimentParallelism(base, sc, []int{1, 4, 8}, *runs)
+		}},
+		{"concurrent", func() (fmt.Stringer, error) {
+			return benchutil.ExperimentConcurrency(base, sc, *clients)
+		}},
+		{"cow", func() (fmt.Stringer, error) { return benchutil.ExperimentCoW(base, sc, *clients) }},
+		{"resultcache", func() (fmt.Stringer, error) {
+			return benchutil.ExperimentResultCache(base, sc, *clients)
+		}},
+	}
+
+	// An unrecognized experiment name must be an error, not a silent
+	// zero-experiment success.
+	if *exp != "all" {
+		known := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				known = true
+				break
+			}
+		}
+		if !known {
+			names := make([]string, len(experiments))
+			for i, e := range experiments {
+				names[i] = e.name
+			}
+			fatal(fmt.Errorf("unknown experiment %q; valid experiments: all, %s",
+				*exp, strings.Join(names, ", ")))
+		}
+	}
+
 	fmt.Printf("== reproduction benchmarks: scale %s (%d files, %d samples) ==\n\n",
 		sc.Name, sc.Files(), sc.Samples())
-
-	run := func(name string, f func() (fmt.Stringer, error)) {
-		if *exp != "all" && *exp != name {
-			return
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
 		}
 		start := time.Now()
-		out, err := f()
+		out, err := e.run()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+			fatal(fmt.Errorf("%s: %w", e.name, err))
 		}
 		fmt.Print(out.String())
 		fmt.Printf("  [experiment wall time: %v]\n\n", time.Since(start).Round(time.Millisecond))
 	}
-
-	run("table1", func() (fmt.Stringer, error) { return benchutil.ExperimentTable1(base, sc) })
-	run("ingest", func() (fmt.Stringer, error) { return benchutil.ExperimentIngestion(base, sc) })
-	run("figure3", func() (fmt.Stringer, error) { return benchutil.ExperimentFigure3(base, sc, *runs) })
-	run("sweep", func() (fmt.Stringer, error) {
-		steps := []int{1, 2, 4, 7, sc.Days}
-		return benchutil.ExperimentSweep(base, sc, steps)
-	})
-	run("cache", func() (fmt.Stringer, error) { return benchutil.ExperimentCacheGranularity(base, sc) })
-	run("strategy", func() (fmt.Stringer, error) { return benchutil.ExperimentMergeStrategy(base, sc) })
-	run("derived", func() (fmt.Stringer, error) { return benchutil.ExperimentDerived(base, sc) })
-	run("parallel", func() (fmt.Stringer, error) {
-		return benchutil.ExperimentParallelism(base, sc, []int{1, 4, 8}, *runs)
-	})
-	run("concurrent", func() (fmt.Stringer, error) {
-		return benchutil.ExperimentConcurrency(base, sc, *clients)
-	})
-	run("cow", func() (fmt.Stringer, error) {
-		return benchutil.ExperimentCoW(base, sc, *clients)
-	})
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
+//	         [-resultcache MB]
 //
 // Shell commands:
 //
@@ -13,7 +14,8 @@
 //	\stage <sql>  run only the first stage and show the breakpoint
 //	\multi <sql>  multi-stage execution: ingest file-by-file, show partials
 //	\tables       list catalog tables
-//	\stats        show session statistics
+//	\stats        session statistics plus the engine's mount-service,
+//	              ingestion-cache and result-cache counters
 //	\quit         exit
 //
 // Any other input is executed as SQL.
@@ -30,6 +32,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/unit"
 )
 
 func main() {
@@ -39,6 +42,7 @@ func main() {
 		mode     = flag.String("mode", "ali", "ingestion mode: ali or ei")
 		cacheCfg = flag.String("cache", "off", "ingestion cache: off, file or tuple")
 		budget   = flag.Duration("budget", 0, "abort queries whose estimated cost exceeds this (0 = off)")
+		rcacheMB = flag.Int64("resultcache", 0, "result-cache budget in MiB (0 = off, -1 = unlimited)")
 	)
 	flag.Parse()
 	if *repoDir == "" {
@@ -73,6 +77,12 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "explorer: -cache must be off, file or tuple")
 		os.Exit(2)
+	}
+	switch {
+	case *rcacheMB > 0:
+		opts.ResultCacheBytes = *rcacheMB << 20
+	case *rcacheMB < 0:
+		opts.ResultCacheBytes = -1
 	}
 
 	fmt.Printf("opening %s repository (%s mode)...\n", *repoDir, opts.Mode)
@@ -114,9 +124,7 @@ func main() {
 			}
 		case line == `\stats`:
 			fmt.Print(session.Summary())
-			cs := eng.Cache().Stats()
-			fmt.Printf("cache: %d entries, %d hits, %d misses, %d evictions\n",
-				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+			printEngineStats(eng)
 		case strings.HasPrefix(line, `\plan `):
 			showPlan(eng, strings.TrimPrefix(line, `\plan `))
 		case strings.HasPrefix(line, `\stage `):
@@ -127,6 +135,28 @@ func main() {
 			runSQL(eng, session, line)
 		}
 		fmt.Print("explorer> ")
+	}
+}
+
+// printEngineStats renders the engine-wide counters: the shared mount
+// service (single-flight extraction, admission budget), the ingestion
+// cache, and the result cache.
+func printEngineStats(eng *core.Engine) {
+	ms := eng.MountService().Stats()
+	fmt.Printf("mount service: %d flights started, %d single-flight joins, %d cache serves, %d cancelled; in-flight %s (peak %s), replay %s (peak %s)\n",
+		ms.FlightsStarted, ms.SingleFlightHits, ms.CacheServes, ms.FlightsCancelled,
+		unit.FormatBytes(ms.InFlightBytes), unit.FormatBytes(ms.PeakInFlightBytes),
+		unit.FormatBytes(ms.ReplayBytes), unit.FormatBytes(ms.PeakReplayBytes))
+	cs := eng.Cache().Stats()
+	fmt.Printf("ingestion cache: %d entries (%s), %d hits, %d misses, %d evictions\n",
+		cs.Entries, unit.FormatBytes(cs.BytesResident), cs.Hits, cs.Misses, cs.Evictions)
+	if rc := eng.ResultCache(); rc != nil {
+		rs := rc.Stats()
+		fmt.Printf("result cache: %d entries (%s), %d hits, %d riders, %d misses; %d stores, %d rejected, %d evictions; epoch %d (%d invalidated)\n",
+			rs.Entries, unit.FormatBytes(rs.BytesResident), rs.Hits, rs.Riders, rs.Misses,
+			rs.Stores, rs.RejectedStores, rs.Evictions, rs.Epoch, rs.Invalidations)
+	} else {
+		fmt.Println("result cache: disabled (run with -resultcache to enable)")
 	}
 }
 
@@ -208,10 +238,20 @@ func runSQL(eng *core.Engine, session *explore.Session, sql string) {
 	session.Log(rec)
 	fmt.Print(res.Format(20))
 	st := res.Stats
-	fmt.Printf("%d rows; stage1 %v, stage2 %v (modeled %v); %d files of interest, %d mounted, %d cache hits\n",
-		res.Rows(), st.Stage1Wall.Round(time.Microsecond), st.Stage2Wall.Round(time.Microsecond),
-		st.Modeled().Round(time.Microsecond),
-		st.FilesOfInterest, st.Mounts.FilesMounted, st.Mounts.CacheHits)
+	if st.ServedFromResultCache {
+		how := "fingerprint hit"
+		if st.CoalescedRider {
+			how = "rode a concurrent identical query"
+		}
+		fmt.Printf("%d rows; served from the result cache (%s, %s shared) in %v\n",
+			res.Rows(), how, unit.FormatBytes(st.Mounts.ResultCacheBytes),
+			st.Stage1Wall.Round(time.Microsecond))
+	} else {
+		fmt.Printf("%d rows; stage1 %v, stage2 %v (modeled %v); %d files of interest, %d mounted, %d cache hits\n",
+			res.Rows(), st.Stage1Wall.Round(time.Microsecond), st.Stage2Wall.Round(time.Microsecond),
+			st.Modeled().Round(time.Microsecond),
+			st.FilesOfInterest, st.Mounts.FilesMounted, st.Mounts.CacheHits)
+	}
 }
 
 // runMulti executes a query with multi-stage ingestion, printing the

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/repo"
+	"repro/internal/unit"
 )
 
 // Query1 is the paper's Figure 2 verbatim: the short-term-average task.
@@ -208,18 +209,7 @@ func runOnce(e *core.Engine, query string) (Measurement, error) {
 }
 
 // FormatBytes renders a byte count with a binary-unit suffix.
-func FormatBytes(n int64) string {
-	switch {
-	case n >= 1<<30:
-		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
-	case n >= 1<<20:
-		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
-	case n >= 1<<10:
-		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
-	default:
-		return fmt.Sprintf("%d B", n)
-	}
-}
+func FormatBytes(n int64) string { return unit.FormatBytes(n) }
 
 // Ratio renders a "/" ratio guarding against division by zero.
 func Ratio(a, b time.Duration) string {

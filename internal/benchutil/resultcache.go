@@ -1,0 +1,190 @@
+package benchutil
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ResultCacheExperiment reports the result-cache layer above the mount
+// service: K clients issuing the identical cold wide query at once.
+// Without the cache every client pays a full Qf+Qs execution (the mount
+// service already dedups extraction, but joins, filters and aggregation
+// still run K times); with it the executions coalesce query-granularly —
+// one client leads, the riders receive O(1) copy-on-write shares of the
+// final result and mount nothing at all. A repeat query afterwards and
+// an equivalently-spelled variant both serve from the stored entry.
+type ResultCacheExperiment struct {
+	Scale Scale
+	K     int
+	Files int
+
+	// Without the result cache (mount service only).
+	BaselineMounts int
+	BaselineWall   time.Duration
+
+	// With the result cache: the concurrent burst...
+	Executions int // full executions (file-mount totals / files)
+	Mounts     int // total file mounts across all K clients
+	Riders     int // clients served as shares of the in-flight execution
+	CacheWall  time.Duration
+	// ...then a repeat of the same query and a differently spelled
+	// equivalent, both after the burst.
+	RepeatHit   bool
+	SpellingHit bool
+	SharedBytes int64 // bytes served as shares instead of recomputed
+
+	Value     float64
+	Identical bool
+}
+
+// String renders the experiment.
+func (r *ResultCacheExperiment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Result cache (scale %s, %d files, K=%d identical concurrent clients)\n",
+		r.Scale.Name, r.Files, r.K)
+	fmt.Fprintf(&sb, "  mount service only:  %4d file-mounts, %d full executions in %12s\n",
+		r.BaselineMounts, r.K, r.BaselineWall.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  with result cache:   %4d file-mounts, %d full execution(s) in %12s (%d riders served as CoW shares)\n",
+		r.Mounts, r.Executions, r.CacheWall.Round(time.Microsecond), r.Riders)
+	fmt.Fprintf(&sb, "  afterwards: repeat query hit=%v, equivalent spelling hit=%v, %s served as shares\n",
+		r.RepeatHit, r.SpellingHit, FormatBytes(r.SharedBytes))
+	fmt.Fprintf(&sb, "  answers identical across every client and serve: %v\n", r.Identical)
+	return sb.String()
+}
+
+// ExperimentResultCache measures K identical concurrent cold queries
+// with and without the engine-wide result cache.
+func ExperimentResultCache(baseDir string, sc Scale, k int) (*ResultCacheExperiment, error) {
+	if k < 2 {
+		k = 2
+	}
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	q := SweepQueryForDays(sc.Days)
+	out := &ResultCacheExperiment{Scale: sc, K: k, Files: sc.Files(), Identical: true}
+
+	burst := func(eng *core.Engine) ([]*core.Result, time.Duration, error) {
+		results := make([]*core.Result, k)
+		errs := make([]error, k)
+		var start, wg sync.WaitGroup
+		start.Add(1)
+		t0 := time.Now()
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				start.Wait()
+				results[i], errs[i] = eng.Query(q)
+			}(i)
+		}
+		start.Done()
+		wg.Wait()
+		wall := time.Since(t0)
+		for _, err := range errs {
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+		return results, wall, nil
+	}
+
+	// Baseline: the mount service dedups extraction, but every client
+	// still executes the full pipeline.
+	base, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi})
+	if err != nil {
+		return nil, err
+	}
+	baseResults, baseWall, err := burst(base)
+	base.Close()
+	if err != nil {
+		return nil, err
+	}
+	out.BaselineWall = baseWall
+	want := baseResults[0].Float(0, 0)
+	out.Value = want
+	for _, r := range baseResults {
+		out.BaselineMounts += r.Stats.Mounts.FilesMounted
+		if r.Float(0, 0) != want {
+			out.Identical = false
+		}
+	}
+
+	// With the result cache: one execution, K-1 riders.
+	eng, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi, ResultCacheBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	results, wall, err := burst(eng)
+	if err != nil {
+		return nil, err
+	}
+	out.CacheWall = wall
+	for _, r := range results {
+		out.Mounts += r.Stats.Mounts.FilesMounted
+		out.SharedBytes += r.Stats.Mounts.ResultCacheBytes
+		if r.Stats.ServedFromResultCache {
+			out.Riders++
+		}
+		if r.Float(0, 0) != want {
+			out.Identical = false
+		}
+	}
+	if out.Files > 0 {
+		out.Executions = out.Mounts / out.Files
+	}
+
+	// A later repeat and an equivalently spelled variant both hit the
+	// stored entry: zero mounts, O(1) serves.
+	repeat, err := eng.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	out.RepeatHit = repeat.Stats.ServedFromResultCache && repeat.Stats.Mounts.FilesMounted == 0
+	out.SharedBytes += repeat.Stats.Mounts.ResultCacheBytes
+	if repeat.Float(0, 0) != want {
+		out.Identical = false
+	}
+	variant, err := eng.Query(equivalentSpelling(q))
+	if err != nil {
+		return nil, err
+	}
+	out.SpellingHit = variant.Stats.ServedFromResultCache && variant.Stats.Mounts.FilesMounted == 0
+	out.SharedBytes += variant.Stats.Mounts.ResultCacheBytes
+	if variant.Float(0, 0) != want {
+		out.Identical = false
+	}
+	if out.Executions != 1 {
+		return nil, fmt.Errorf("benchutil: result cache let %d executions through, want 1 (mounts=%d files=%d)",
+			out.Executions, out.Mounts, out.Files)
+	}
+	if !out.Identical {
+		return nil, fmt.Errorf("benchutil: result-cache serves diverged from the cold answer")
+	}
+	return out, nil
+}
+
+// equivalentSpelling rewrites the sweep query into a semantically
+// identical but syntactically different shape: swapped join order and
+// ON sides, plus one comparison flipped around its constant. The
+// canonical fingerprint must map it to the same result-cache entry.
+func equivalentSpelling(q string) string {
+	q = strings.Replace(q,
+		"FROM F JOIN R ON F.uri = R.uri\nJOIN D ON R.uri = D.uri AND R.record_id = D.record_id",
+		"FROM R JOIN F ON R.uri = F.uri\nJOIN D ON D.record_id = R.record_id AND D.uri = R.uri", 1)
+	// Flip "R.start_time > 'X'" to "'X' < R.start_time".
+	if i := strings.Index(q, "R.start_time > '"); i >= 0 {
+		rest := q[i+len("R.start_time > '"):]
+		if j := strings.IndexByte(rest, '\''); j >= 0 {
+			lit := rest[:j]
+			q = q[:i] + "'" + lit + "' < R.start_time" + rest[j+1:]
+		}
+	}
+	return q
+}

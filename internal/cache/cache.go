@@ -108,6 +108,10 @@ type Manager struct {
 	hits    int64
 	misses  int64
 	evicted int64
+	// onInvalidate runs (outside the lock) after Drop or Clear: both mean
+	// "the underlying data may have changed", the signal layers above —
+	// the engine's result cache — use to bump their invalidation epoch.
+	onInvalidate func()
 }
 
 type entry struct {
@@ -129,6 +133,20 @@ func New(cfg Config) *Manager {
 
 // Config returns the manager's configuration.
 func (m *Manager) Config() Config { return m.cfg }
+
+// SetOnInvalidate registers fn to run after every Drop or Clear — the
+// two operations that signal the underlying data changed (an eviction by
+// byte budget does not: the repository files are still what they were).
+// fn is invoked outside the manager lock and must be safe for concurrent
+// use.
+func (m *Manager) SetOnInvalidate(fn func()) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.onInvalidate = fn
+	m.mu.Unlock()
+}
 
 // Contains reports whether a query needing the given span of uri can be
 // served from cache. This drives rewrite rule (1)'s f ∈ C test.
@@ -311,7 +329,6 @@ func (m *Manager) Drop(uri string) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if p, ok := m.pending[uri]; ok {
 		p.aborted = true
 		delete(m.pending, uri)
@@ -320,6 +337,13 @@ func (m *Manager) Drop(uri string) {
 		m.bytes -= el.Value.(*entry).bytes
 		m.order.Remove(el)
 		delete(m.entries, uri)
+	}
+	fn := m.onInvalidate
+	m.mu.Unlock()
+	// Drop means "this file changed" whether or not it was resident:
+	// layers above must hear about it either way.
+	if fn != nil {
+		fn()
 	}
 }
 
@@ -330,7 +354,6 @@ func (m *Manager) Clear() {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, p := range m.pending {
 		p.aborted = true
 	}
@@ -338,6 +361,11 @@ func (m *Manager) Clear() {
 	m.entries = make(map[string]*list.Element)
 	m.order = list.New()
 	m.bytes = 0
+	fn := m.onInvalidate
+	m.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // Stats returns a snapshot of cache counters.

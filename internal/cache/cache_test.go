@@ -343,3 +343,44 @@ func TestClearInvalidatesPendingInserts(t *testing.T) {
 		t.Errorf("pending insert repopulated a cleared cache: %d entries", st.Entries)
 	}
 }
+
+// TestOnInvalidateHook pins the result-cache wiring contract: Drop and
+// Clear fire the hook (Drop even for a URI that is not resident — it
+// still means "the file changed"), while plain gets, puts and budget
+// evictions never do.
+func TestOnInvalidateHook(t *testing.T) {
+	m := New(Config{Policy: LRU, Granularity: FileGranular, MaxBytes: 1})
+	fired := 0
+	m.SetOnInvalidate(func() { fired++ })
+
+	m.Put("f1", batchOfRows(3), FullSpan())
+	m.Put("f2", batchOfRows(3), FullSpan()) // evicts f1 (budget of 1 byte)
+	m.Get("f1", FullSpan())
+	if st := m.Stats(); st.Evictions == 0 {
+		t.Fatal("test setup: no eviction happened")
+	}
+	if fired != 0 {
+		t.Fatalf("hook fired %d times on put/get/evict, want 0", fired)
+	}
+
+	m.Drop("not-resident")
+	if fired != 1 {
+		t.Fatalf("hook fired %d times after Drop of a non-resident URI, want 1", fired)
+	}
+	m.Drop("f2")
+	if fired != 2 {
+		t.Fatalf("hook fired %d times after Drop, want 2", fired)
+	}
+	m.Clear()
+	if fired != 3 {
+		t.Fatalf("hook fired %d times after Clear, want 3", fired)
+	}
+
+	// A NeverCache manager carries the signal too.
+	n := New(Config{Policy: NeverCache})
+	n.SetOnInvalidate(func() { fired++ })
+	n.Drop("f1")
+	if fired != 4 {
+		t.Fatal("NeverCache Drop did not fire the hook")
+	}
+}

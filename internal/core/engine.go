@@ -27,6 +27,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/ingest"
 	"repro/internal/mountsvc"
+	"repro/internal/resultcache"
 	"repro/internal/seismic"
 	"repro/internal/storage"
 	"repro/internal/vector"
@@ -107,6 +108,18 @@ type Options struct {
 	// wait instead of OOMing the server; a single file larger than the
 	// whole budget is admitted alone. <= 0 means unlimited.
 	MountBudgetBytes int64
+	// ResultCacheBytes enables the engine-wide result cache: completed
+	// query results are retained frozen, keyed by canonical plan
+	// fingerprint + invalidation epoch, and served to later identical
+	// queries (and to concurrent identical queries, via query-granular
+	// single-flight) as O(1) copy-on-write shares. > 0 bounds resident
+	// result bytes; < 0 enables with no bound; 0 (the default) disables
+	// the cache, keeping the paper-reproduction measurements honest.
+	ResultCacheBytes int64
+	// ResultCacheMinCost gates result-cache admission: results whose
+	// recompute-cost signal (breakpoint estimate or measured modeled
+	// time) is below it are not retained. 0 admits everything.
+	ResultCacheMinCost time.Duration
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.
@@ -139,6 +152,7 @@ type Engine struct {
 	cache   *cache.Manager
 	derived *derived.Store
 	mounts  *mountsvc.Service
+	results *resultcache.Cache
 	report  IngestReport
 	allURIs []string
 	qfSeq   atomic.Int64
@@ -188,6 +202,20 @@ func Open(opts Options) (*Engine, error) {
 	}
 	if opts.EnableDerived {
 		e.derived = derived.NewStore()
+	}
+	if opts.ResultCacheBytes != 0 {
+		budget := opts.ResultCacheBytes
+		if budget < 0 {
+			budget = 0 // unlimited
+		}
+		e.results = resultcache.New(resultcache.Config{
+			MaxBytes: budget,
+			MinCost:  opts.ResultCacheMinCost,
+		})
+		// Invalidation wiring: any ingestion-cache Drop/Clear signals the
+		// underlying repository data may have changed, so every retained
+		// result becomes unservable at once.
+		e.cache.SetOnInvalidate(e.results.BumpEpoch)
 	}
 	if err := e.locateDataColumns(); err != nil {
 		return nil, err
@@ -305,6 +333,20 @@ func (e *Engine) Derived() *derived.Store { return e.derived }
 // MountService exposes the shared mount service (single-flight and
 // admission-budget statistics).
 func (e *Engine) MountService() *mountsvc.Service { return e.mounts }
+
+// ResultCache exposes the engine-wide result cache (nil when disabled;
+// its methods are nil-safe).
+func (e *Engine) ResultCache() *resultcache.Cache { return e.results }
+
+// NotifyFileChanged tells the engine one repository file's content
+// changed: its ingestion-cache entry is dropped and — through the
+// invalidation wiring — the result cache's epoch is bumped, forcing
+// every later query to re-execute against the new data.
+func (e *Engine) NotifyFileChanged(uri string) {
+	// Drop fires the invalidation hook whether or not the URI (or any
+	// entry at all — NeverCache) was resident.
+	e.cache.Drop(uri)
+}
 
 // RepoFiles returns the URIs of every repository file.
 func (e *Engine) RepoFiles() []string {

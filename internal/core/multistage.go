@@ -216,5 +216,9 @@ func (b *Breakpoint) assembleResult(mat *exec.Materialized, env *exec.Env, start
 	}
 	st.TotalWall = st.Stage1Wall + st.Stage2Wall
 	st.TotalIO = st.Stage1IO + st.Stage2IO
-	return &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}
+	res := &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}
+	// A completed multi-stage run is as cacheable as a one-shot one; a
+	// stopped-early partial never is (offerToResultCache checks).
+	e.offerToResultCache(b.pq, res)
+	return res
 }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/resultcache"
+	"repro/internal/sql"
+)
+
+// This file is the engine's staged query pipeline:
+//
+//	parse → bind → optimize → normalize → fingerprint
+//	      → result-cache probe → execute (stage 1 [→ breakpoint] → stage 2)
+//
+// All three entry points share it instead of duplicating steps: Prepare
+// runs the front half and stops before the probe; Stage1/Proceed (the
+// interactive breakpoint flow) and Query (end-to-end, with
+// query-granular single-flight) share the probe, the execution stages
+// and the result-cache offer on completion.
+
+// Prepare runs the pipeline's front half: parse, bind, optimize,
+// normalize and fingerprint (plus, in ALi mode, the Q = Qf ⋈ Qs
+// decomposition). This is the compile-time query optimization phase.
+func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
+	// parse
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	// bind
+	bound, err := plan.Bind(stmt, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	// optimize
+	optimized, err := plan.Optimize(bound, e.cat)
+	if err != nil {
+		return nil, err
+	}
+	// normalize: semantics-preserving canonicalization (constant folding,
+	// canonical conjunct order) of the plan that will execute.
+	normalized, err := plan.Normalize(optimized)
+	if err != nil {
+		return nil, err
+	}
+	// fingerprint: the canonical-plan hash equivalent spellings share;
+	// the result cache keys on it.
+	p := &Prepared{eng: e, SQL: sqlText, Root: normalized, Fingerprint: plan.FingerprintOf(normalized)}
+	if e.opts.Mode == ModeALi {
+		name := fmt.Sprintf("qf%d", e.qfSeq.Add(1))
+		if dec, ok := plan.Decompose(normalized, e.cat, name); ok {
+			p.Dec = dec
+			p.HasStages = true
+			if !dec.MetadataOnly {
+				p.actuals = plan.FindActualScans(dec.Qs, e.cat)
+			}
+		} else {
+			// No metadata reference at all: rule (1) still applies, with
+			// every repository file potentially of interest (worst case).
+			p.actuals = plan.FindActualScans(normalized, e.cat)
+		}
+	}
+	return p, nil
+}
+
+// run executes a prepared query end to end through the shared stages.
+func (p *Prepared) run() (*Result, error) {
+	bp, err := p.Stage1()
+	if err != nil {
+		return nil, err
+	}
+	if bp.Done() {
+		return bp.Result(), nil
+	}
+	return bp.Proceed()
+}
+
+// Query runs a query end to end: the full pipeline, with query-granular
+// single-flight when the result cache is enabled — concurrent identical
+// queries coalesce onto one execution and riders receive O(1)
+// copy-on-write shares of the leader's result, mirroring the mount
+// service's flights one layer up.
+func (e *Engine) Query(sqlText string) (*Result, error) {
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if e.results == nil {
+		return p.run()
+	}
+	start := time.Now()
+	var leader *Result
+	mat, out, err := e.results.Do(p.Fingerprint, func() (*exec.Materialized, time.Duration, error) {
+		// The flight publishes and stores the result; the stages must not
+		// offer it a second time.
+		p.inFlight = true
+		res, err := p.run()
+		if err != nil {
+			return nil, 0, err
+		}
+		leader = res
+		return res.Mat, recomputeCost(res), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if leader != nil {
+		return leader, nil
+	}
+	res, err := e.serveCached(mat, out)
+	if err != nil {
+		return nil, err
+	}
+	// The client's latency includes any wait on the ridden flight.
+	res.Stats.Stage1Wall = time.Since(start)
+	res.Stats.TotalWall = res.Stats.Stage1Wall
+	return res, nil
+}
+
+// probeResultCache is the pipeline's probe stage: a current-epoch entry
+// for the prepared fingerprint short-circuits both execution stages.
+func (e *Engine) probeResultCache(p *Prepared) (*Result, bool) {
+	if e.results == nil || p.inFlight {
+		return nil, false
+	}
+	mat, ok := e.results.Get(p.Fingerprint)
+	if !ok {
+		return nil, false
+	}
+	res, err := e.serveCached(mat, resultcache.Outcome{Hit: true})
+	if err != nil {
+		return nil, false
+	}
+	return res, true
+}
+
+// serveCached turns a frozen cache entry (or flight result) into a
+// client result through the executor's share-based result-scan path,
+// attributing the serve to the query's result-cache statistics. Callers
+// on a longer path (a flight ridden inside Query) overwrite the wall
+// times with their full elapsed time.
+func (e *Engine) serveCached(mat *exec.Materialized, out resultcache.Outcome) (*Result, error) {
+	start := time.Now()
+	env := e.newExecEnv(nil)
+	served, err := exec.ServeCachedResult(mat, env)
+	if err != nil {
+		return nil, err
+	}
+	st := Stats{
+		ServedFromResultCache: true,
+		CoalescedRider:        out.Rider,
+		Mounts:                env.MountsSnapshot(),
+	}
+	st.Stage1Wall = time.Since(start)
+	st.TotalWall = st.Stage1Wall
+	return &Result{Columns: columnNames(served.Schema), Mat: served, Stats: st}, nil
+}
+
+// offerToResultCache retains a completed result under the query's
+// fingerprint. Partial (stopped-early) results and results already
+// served from the cache are never offered; a query running under a
+// single-flight leader leaves storing to the flight; and an execution
+// that straddled an invalidation (the epoch moved past the one Stage1
+// observed) is rejected by PutAt — it may reflect pre-change data.
+func (e *Engine) offerToResultCache(p *Prepared, res *Result) {
+	if e.results == nil || p.inFlight || p.Fingerprint.IsZero() ||
+		res.Stats.StoppedEarly || res.Stats.ServedFromResultCache {
+		return
+	}
+	e.results.PutAt(p.Fingerprint, res.Mat, recomputeCost(res), p.startEpoch)
+}
+
+// recomputeCost is the admission signal: what it would cost to compute
+// this result again. The breakpoint's cardinality-derived estimate
+// (files, records and bytes of interest from metadata) and the measured
+// modeled time bound it from two sides; the larger wins.
+func recomputeCost(res *Result) time.Duration {
+	cost := res.Stats.Modeled()
+	if est := res.Stats.Estimate.EstCost; est > cost {
+		cost = est
+	}
+	return cost
+}

@@ -9,53 +9,31 @@ import (
 	"repro/internal/exec"
 	"repro/internal/explore"
 	"repro/internal/plan"
-	"repro/internal/sql"
 )
 
-// Prepared is a parsed, bound and optimized query, decomposed into
-// Q = Qf ⋈ Qs when the engine runs in ALi mode.
+// Prepared is a query that finished the pipeline's front half (see
+// pipeline.go): parsed, bound, optimized, normalized and fingerprinted,
+// and decomposed into Q = Qf ⋈ Qs when the engine runs in ALi mode.
 type Prepared struct {
 	eng  *Engine
 	SQL  string
 	Root plan.Node
+	// Fingerprint is the canonical-plan hash semantically equivalent
+	// spellings share; the engine's result cache keys on it.
+	Fingerprint plan.Fingerprint
 	// Dec is the two-stage decomposition; valid when HasStages.
 	Dec       plan.Decomposition
 	HasStages bool
 	// actuals are the actual-data scans rule (1) will expand.
 	actuals []plan.ActualScanInfo
-}
-
-// Prepare parses, binds, optimizes and (in ALi mode) decomposes a query.
-// This is the compile-time query optimization phase.
-func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
-	stmt, err := sql.Parse(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	bound, err := plan.Bind(stmt, e.cat)
-	if err != nil {
-		return nil, err
-	}
-	optimized, err := plan.Optimize(bound, e.cat)
-	if err != nil {
-		return nil, err
-	}
-	p := &Prepared{eng: e, SQL: sqlText, Root: optimized}
-	if e.opts.Mode == ModeALi {
-		name := fmt.Sprintf("qf%d", e.qfSeq.Add(1))
-		if dec, ok := plan.Decompose(optimized, e.cat, name); ok {
-			p.Dec = dec
-			p.HasStages = true
-			if !dec.MetadataOnly {
-				p.actuals = plan.FindActualScans(dec.Qs, e.cat)
-			}
-		} else {
-			// No metadata reference at all: rule (1) still applies, with
-			// every repository file potentially of interest (worst case).
-			p.actuals = plan.FindActualScans(optimized, e.cat)
-		}
-	}
-	return p, nil
+	// inFlight marks an execution led under the result cache's
+	// single-flight: the flight publishes the result, so the stages skip
+	// their own probe and offer.
+	inFlight bool
+	// startEpoch is the result-cache epoch observed when execution began
+	// (Stage1); an execution that straddles an invalidation must not be
+	// retained.
+	startEpoch uint64
 }
 
 // PlanString renders the optimized plan; in ALi mode the two stages are
@@ -104,15 +82,27 @@ func (b *Breakpoint) FilesOfInterest() []plan.MountSpec {
 	return out
 }
 
-// Stage1 runs the first execution stage. For Ei mode it simply runs the
-// whole plan (there is only one stage); for ALi it executes Qf,
-// identifies the files of interest and computes the informativeness
-// estimate — then pauses.
+// Stage1 runs the result-cache probe and the first execution stage. A
+// current-epoch cached result for the query's fingerprint answers it
+// outright (Done reports true and no stage executes). Otherwise, for Ei
+// mode Stage1 simply runs the whole plan (there is only one stage); for
+// ALi it executes Qf, identifies the files of interest and computes the
+// informativeness estimate — then pauses.
 func (p *Prepared) Stage1() (*Breakpoint, error) {
 	e := p.eng
 	start := time.Now()
 	ioStart := e.clock.Elapsed()
 	bp := &Breakpoint{pq: p}
+
+	p.startEpoch = e.results.Epoch()
+	// Pipeline probe stage: an O(1) share of a cached result makes both
+	// execution stages unnecessary.
+	if res, ok := e.probeResultCache(p); ok {
+		res.Stats.Stage1Wall = time.Since(start)
+		res.Stats.TotalWall = res.Stats.Stage1Wall
+		bp.final = res
+		return bp, nil
+	}
 
 	finish := func(mat *exec.Materialized, st Stats) {
 		st.Stage1Wall = time.Since(start)
@@ -120,6 +110,7 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 		st.TotalWall = st.Stage1Wall + st.Stage2Wall
 		st.TotalIO = st.Stage1IO + st.Stage2IO
 		bp.final = &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}
+		e.offerToResultCache(p, bp.final)
 	}
 
 	if e.opts.Mode == ModeEi || !p.HasStages && len(p.actuals) == 0 {
@@ -174,6 +165,7 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 			st.AnsweredFromDerived = true
 			res.Stats = st
 			bp.final = res
+			e.offerToResultCache(p, res)
 			return bp, nil
 		}
 	}
@@ -275,23 +267,9 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 	}
 	st.TotalWall = st.Stage1Wall + st.Stage2Wall
 	st.TotalIO = st.Stage1IO + st.Stage2IO
-	return &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}, nil
-}
-
-// Query runs a query end to end: both stages, no interaction.
-func (e *Engine) Query(sqlText string) (*Result, error) {
-	p, err := e.Prepare(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	bp, err := p.Stage1()
-	if err != nil {
-		return nil, err
-	}
-	if bp.Done() {
-		return bp.Result(), nil
-	}
-	return bp.Proceed()
+	res := &Result{Columns: columnNames(mat.Schema), Mat: mat, Stats: st}
+	b.pq.eng.offerToResultCache(b.pq, res)
+	return res, nil
 }
 
 // newExecEnv builds the execution environment, wiring the Qf result for

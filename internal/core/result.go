@@ -33,6 +33,12 @@ type Stats struct {
 	// before all files of interest were ingested; the result is the
 	// partial aggregate over the ingested prefix.
 	StoppedEarly bool
+	// ServedFromResultCache: the whole query was answered by an O(1)
+	// share of a cached result — no stage executed. CoalescedRider
+	// additionally marks that the share came from riding another
+	// client's concurrent execution of the identical query.
+	ServedFromResultCache bool
+	CoalescedRider        bool
 }
 
 // Modeled returns the query's combined wall + modeled-I/O time: the

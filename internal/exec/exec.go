@@ -112,6 +112,13 @@ type MountStats struct {
 	// planning and execution, forcing a fresh mount — without this the
 	// re-mount would silently inflate apparent cache efficacy.
 	CacheFallbacks int
+	// ResultCacheHits counts whole-query results served from the engine's
+	// result cache (a fingerprint hit, or riding another client's
+	// in-flight execution); ResultCacheBytes totals the bytes of those
+	// served results. Serves are O(1) copy-on-write shares — the bytes are
+	// shared with the cache entry, not copied.
+	ResultCacheHits  int
+	ResultCacheBytes int64
 }
 
 // Env is everything operators need to run: storage, adapters, the
@@ -292,6 +299,35 @@ func Build(n plan.Node, env *Env) (Operator, error) {
 	default:
 		return nil, fmt.Errorf("exec: no operator for %T", n)
 	}
+}
+
+// ServeCachedResult replays a frozen, cached materialized result through
+// the result-scan access path: the served batches are O(1) copy-on-write
+// shares of the entry's storage, and the serve is attributed to the
+// query's ResultCacheHits/ResultCacheBytes statistics. The caller owns
+// the returned materialization; mutating it through the vector API
+// materializes private copies without touching the cache entry.
+func ServeCachedResult(mat *Materialized, env *Env) (*Materialized, error) {
+	const name = "__resultcache"
+	node := &plan.ResultScan{Name: name, Cols: mat.Schema}
+	if env.Results == nil {
+		env.Results = make(map[string]*Materialized)
+	}
+	env.Results[name] = mat
+	out, err := Run(node, env)
+	delete(env.Results, name)
+	if err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, b := range out.Batches {
+		bytes += b.Bytes()
+	}
+	env.addMountStats(func(ms *MountStats) {
+		ms.ResultCacheHits++
+		ms.ResultCacheBytes += bytes
+	})
+	return out, nil
 }
 
 // Run builds and drains a plan into a materialized result.

@@ -1,0 +1,381 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// Fingerprint is a stable hash of a plan's canonical form: two plans
+// receive the same fingerprint exactly when their canonical renderings
+// agree. Semantically equivalent spellings of a query — reordered
+// conjuncts, swapped join sides, different table aliases, folded-away
+// constant arithmetic — converge to one canonical form and therefore one
+// fingerprint. The result cache keys on it.
+type Fingerprint [32]byte
+
+// String renders the fingerprint as hex (abbreviated form for display is
+// the caller's business).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Short is the first 12 hex digits, for logs and the explorer.
+func (f Fingerprint) Short() string { return f.String()[:12] }
+
+// IsZero reports whether the fingerprint was never computed.
+func (f Fingerprint) IsZero() bool { return f == Fingerprint{} }
+
+// FingerprintOf hashes a plan's canonical rendering.
+func FingerprintOf(root Node) Fingerprint {
+	return Fingerprint(sha256.Sum256([]byte(CanonicalString(root))))
+}
+
+// CanonicalString renders a plan into its canonical, alias-insensitive
+// form: bindings become canonical table names, commutative join chains
+// flatten into sorted leaf and edge sets, conjunct lists sort, constant
+// subexpressions fold, and comparisons face one canonical direction. The
+// rendering is a pure function of the plan's semantics under those
+// equivalences; it never mutates the plan.
+func CanonicalString(root Node) string {
+	rn := canonicalBindings(root)
+	return canonNode(root, rn)
+}
+
+// canonicalBindings assigns every table binding a canonical,
+// alias-independent name. A table referenced once canonicalizes to its
+// own name; self-join duplicates are ranked by the canonical rendering
+// of their leaf unit (scan plus the selections directly above it) and
+// numbered table@2, table@3, ... in that order. Duplicates whose leaf
+// units render identically (fully symmetric self-join legs) fall back
+// to plan traversal order: deterministic for one plan, but two
+// spellings that permute indistinguishable legs may fingerprint
+// differently. That costs at worst a false cache miss, never a false
+// hit — the two fingerprints still only ever describe this query.
+func canonicalBindings(root Node) map[string]string {
+	type leaf struct {
+		binding, table string
+		preds          []expr.Expr
+	}
+	var leaves []leaf
+	// One binding names one relation even when rule (1) expanded it into
+	// many mounts/cache-scans: keep the first leaf per binding.
+	seenBinding := make(map[string]bool)
+	add := func(l leaf) {
+		if !seenBinding[l.binding] {
+			seenBinding[l.binding] = true
+			leaves = append(leaves, l)
+		}
+	}
+	var collect func(n Node, preds []expr.Expr)
+	collect = func(n Node, preds []expr.Expr) {
+		switch t := n.(type) {
+		case *Select:
+			collect(t.Child, append(preds, t.Pred))
+			return
+		case *Scan:
+			add(leaf{t.Binding, t.TableName, preds})
+			return
+		case *Mount:
+			add(leaf{t.Binding, t.Def.Name, preds})
+			return
+		case *CacheScan:
+			add(leaf{t.Binding, t.Def.Name, preds})
+			return
+		}
+		for _, c := range n.Children() {
+			collect(c, nil)
+		}
+	}
+	collect(root, nil)
+
+	byTable := make(map[string][]leaf)
+	for _, l := range leaves {
+		byTable[l.table] = append(byTable[l.table], l)
+	}
+	rn := make(map[string]string, len(leaves))
+	for table, ls := range byTable {
+		if len(ls) == 1 {
+			rn[ls[0].binding] = table
+			continue
+		}
+		// Rank duplicates by an alias-free provisional rendering of their
+		// leaf unit (every binding provisionally mapped to its table name).
+		prov := make(map[string]string, len(leaves))
+		for _, l := range leaves {
+			prov[l.binding] = l.table
+		}
+		type ranked struct {
+			binding, key string
+		}
+		rs := make([]ranked, len(ls))
+		for i, l := range ls {
+			parts := make([]string, 0, len(l.preds))
+			for _, p := range l.preds {
+				parts = append(parts, canonConjuncts(p, prov))
+			}
+			sort.Strings(parts)
+			rs[i] = ranked{l.binding, "scan(" + table + ")[" + strings.Join(parts, "&") + "]"}
+		}
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].key < rs[j].key })
+		for i, r := range rs {
+			if i == 0 {
+				rn[r.binding] = table
+			} else {
+				rn[r.binding] = fmt.Sprintf("%s@%d", table, i+1)
+			}
+		}
+	}
+	return rn
+}
+
+// canonNode renders one node canonically.
+func canonNode(n Node, rn map[string]string) string {
+	switch t := n.(type) {
+	case *Scan:
+		return "scan(" + canonBinding(t.Binding, t.TableName, rn) + ")"
+	case *Select:
+		return "select[" + canonConjuncts(t.Pred, rn) + "](" + canonNode(t.Child, rn) + ")"
+	case *Project:
+		parts := make([]string, len(t.Exprs))
+		for i, e := range t.Exprs {
+			parts[i] = canonLabel(t.Names[i], rn) + "=" + canonExpr(e, rn)
+		}
+		return "project[" + strings.Join(parts, ",") + "](" + canonNode(t.Child, rn) + ")"
+	case *Join:
+		// Flatten the maximal commutative join chain: the set of leaves
+		// and the set of equality edges identify it regardless of the
+		// syntactic association and side order.
+		leaves, edges := flattenJoins(t)
+		ls := make([]string, len(leaves))
+		for i, l := range leaves {
+			ls[i] = canonNode(l, rn)
+		}
+		sort.Strings(ls)
+		es := make([]string, 0, len(edges))
+		seen := make(map[string]bool)
+		for _, e := range edges {
+			a, b := canonColName(e.a, rn), canonColName(e.b, rn)
+			if b < a {
+				a, b = b, a
+			}
+			s := a + "=" + b
+			if !seen[s] {
+				seen[s] = true
+				es = append(es, s)
+			}
+		}
+		sort.Strings(es)
+		return "join{" + strings.Join(ls, ",") + "}on{" + strings.Join(es, ",") + "}"
+	case *Aggregate:
+		groups := make([]string, len(t.GroupBy))
+		for i, g := range t.GroupBy {
+			groups[i] = canonColName(g, rn)
+		}
+		aggs := make([]string, len(t.Aggs))
+		for i, a := range t.Aggs {
+			s := a.Func.String()
+			if a.Distinct {
+				s += " distinct"
+			}
+			if a.Arg != nil {
+				s += "(" + canonExpr(a.Arg, rn) + ")"
+			} else {
+				s += "(*)"
+			}
+			aggs[i] = s
+		}
+		return "agg[" + strings.Join(groups, ",") + ";" + strings.Join(aggs, ",") + "](" +
+			canonNode(t.Child, rn) + ")"
+	case *Sort:
+		parts := make([]string, len(t.Keys))
+		for i, k := range t.Keys {
+			dir := "a"
+			if k.Desc {
+				dir = "d"
+			}
+			parts[i] = strconv.Itoa(k.Index) + dir
+		}
+		return "sort[" + strings.Join(parts, ",") + "](" + canonNode(t.Child, rn) + ")"
+	case *Limit:
+		return "limit[" + strconv.FormatInt(t.N, 10) + "](" + canonNode(t.Child, rn) + ")"
+	case *UnionAll:
+		// Union order determines result row order: keep it.
+		parts := make([]string, len(t.Inputs))
+		for i, in := range t.Inputs {
+			parts[i] = canonNode(in, rn)
+		}
+		return "union(" + strings.Join(parts, ",") + ")"
+	case *ResultScan:
+		// The stage-binding name (qfN) is a per-prepare sequence number:
+		// canonical form identifies the scan by its schema instead.
+		cols := make([]string, len(t.Cols))
+		for i, c := range t.Cols {
+			cols[i] = canonColName(c.Qualified(), rn) + ":" + c.Kind.String()
+		}
+		return "result-scan[" + strings.Join(cols, ",") + "]"
+	case *Mount:
+		return "mount(" + t.URI + ")[" + canonConjuncts(t.Pred, rn) + "]"
+	case *CacheScan:
+		return "cache-scan(" + t.URI + ")[" + canonConjuncts(t.Pred, rn) + "]"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+// canonConjuncts folds a predicate, splits it into conjuncts and renders
+// them sorted. A nil predicate renders empty.
+func canonConjuncts(pred expr.Expr, rn map[string]string) string {
+	if pred == nil {
+		return ""
+	}
+	folded := FoldConstants(pred)
+	conjuncts := expr.SplitAnd(folded)
+	parts := make([]string, len(conjuncts))
+	for i, c := range conjuncts {
+		parts[i] = canonExpr(c, rn)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "&&")
+}
+
+// canonExpr renders one already-folded expression canonically. A nil
+// rename map renders alias-sensitively (used for in-plan normalization,
+// where stability within one plan suffices).
+func canonExpr(e expr.Expr, rn map[string]string) string {
+	switch t := e.(type) {
+	case *expr.Col:
+		return canonColName(t.Name, rn)
+	case *expr.Const:
+		return canonConst(t.Val)
+	case *expr.Compare:
+		l, r := canonExpr(t.L, rn), canonExpr(t.R, rn)
+		op := t.Op
+		// One canonical direction per operator class: commutative
+		// comparisons sort their sides, order comparisons face "<".
+		switch op {
+		case expr.Eq, expr.Ne:
+			if r < l {
+				l, r = r, l
+			}
+		case expr.Gt:
+			op, l, r = expr.Lt, r, l
+		case expr.Ge:
+			op, l, r = expr.Le, r, l
+		}
+		return "(" + l + op.String() + r + ")"
+	case *expr.Logic:
+		ops := flattenLogic(t.Op, t)
+		parts := make([]string, len(ops))
+		for i, o := range ops {
+			parts[i] = canonExpr(o, rn)
+		}
+		sort.Strings(parts)
+		return "(" + strings.Join(parts, t.Op.String()) + ")"
+	case *expr.Not:
+		return "!(" + canonExpr(t.E, rn) + ")"
+	case *expr.Arith:
+		l, r := canonExpr(t.L, rn), canonExpr(t.R, rn)
+		if (t.Op == expr.Add || t.Op == expr.Mul) && r < l {
+			l, r = r, l
+		}
+		return "(" + l + t.Op.String() + r + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// flattenLogic collects the operand list of a same-operator chain.
+func flattenLogic(op expr.LogicOp, e expr.Expr) []expr.Expr {
+	if l, ok := e.(*expr.Logic); ok && l.Op == op {
+		return append(flattenLogic(op, l.L), flattenLogic(op, l.R)...)
+	}
+	return []expr.Expr{e}
+}
+
+// canonConst renders a constant kind-tagged, so 1, 1.0 and '1' never
+// collide. Times render as raw nanoseconds (display formatting is not
+// part of identity).
+func canonConst(v vector.Value) string {
+	switch v.Kind {
+	case vector.KindInt64:
+		return "i:" + strconv.FormatInt(v.I, 10)
+	case vector.KindTime:
+		return "t:" + strconv.FormatInt(v.I, 10)
+	case vector.KindFloat64:
+		return "f:" + strconv.FormatFloat(v.F, 'g', -1, 64)
+	case vector.KindBool:
+		return "b:" + strconv.FormatBool(v.B)
+	default:
+		return "s:" + strconv.Quote(v.S)
+	}
+}
+
+// canonColName renders a qualified column reference with its binding
+// replaced by the canonical table name. Names that are not simple
+// binding-qualified references (bare columns, generated aggregate
+// labels like "AVG(x.sample_value)") go through the token-wise label
+// rewrite, so aliases embedded in generated labels canonicalize too.
+func canonColName(name string, rn map[string]string) string {
+	if rn == nil {
+		return name
+	}
+	if dot := strings.IndexByte(name, '.'); dot >= 0 {
+		if canon, ok := rn[name[:dot]]; ok {
+			return canon + "." + name[dot+1:]
+		}
+	}
+	return canonLabel(name, rn)
+}
+
+// canonBinding canonicalizes a leaf binding, falling back to the table
+// name when the rename map does not know it.
+func canonBinding(binding, table string, rn map[string]string) string {
+	if rn != nil {
+		if canon, ok := rn[binding]; ok {
+			return canon
+		}
+	}
+	return table
+}
+
+// canonLabel rewrites alias-qualified tokens inside a generated output
+// label (e.g. "AVG(x.sample_value)" with D aliased x) to their canonical
+// binding, leaving everything else — including string literals' quotes —
+// untouched. Tokens qualify only when preceded by a non-identifier
+// character or the start of the label.
+func canonLabel(label string, rn map[string]string) string {
+	if rn == nil || len(rn) == 0 {
+		return label
+	}
+	isIdent := func(b byte) bool {
+		return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+	}
+	var sb strings.Builder
+	for i := 0; i < len(label); {
+		replaced := false
+		if i == 0 || !isIdent(label[i-1]) {
+			for binding, canon := range rn {
+				if binding == canon {
+					continue
+				}
+				tok := binding + "."
+				if strings.HasPrefix(label[i:], tok) {
+					sb.WriteString(canon + ".")
+					i += len(tok)
+					replaced = true
+					break
+				}
+			}
+		}
+		if !replaced {
+			sb.WriteByte(label[i])
+			i++
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// fingerprintOf runs a query through the pipeline's front half the way
+// the engine does: bind, optimize, normalize, fingerprint.
+func fingerprintOf(t *testing.T, cat *catalog.Catalog, q string) Fingerprint {
+	t.Helper()
+	n := mustOptimize(t, cat, q)
+	norm, err := Normalize(n)
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", q, err)
+	}
+	return FingerprintOf(norm)
+}
+
+// TestFingerprintEquivalentSpellings is the normalization property test:
+// for a corpus of randomly parameterized queries, every semantically
+// equivalent spelling — reordered conjuncts, flipped comparison sides,
+// swapped join sides and join order, table aliases, foldable constant
+// arithmetic, and the re-parse of sql.Stmt.String() — must produce the
+// identical fingerprint, while distinct queries must never collide.
+func TestFingerprintEquivalentSpellings(t *testing.T) {
+	cat := seismicCatalog(t)
+	rng := rand.New(rand.NewSource(7))
+	stations := []string{"ISK", "ANTO", "BALB", "CSS"}
+	seen := make(map[Fingerprint]string) // fingerprint -> base spelling
+
+	for trial := 0; trial < 40; trial++ {
+		station := stations[rng.Intn(len(stations))]
+		day := 10 + rng.Intn(5)
+		threshold := 100 * (1 + rng.Intn(9))
+		lo := fmt.Sprintf("2010-01-%02dT00:00:00.000", day)
+		hi := fmt.Sprintf("2010-01-%02dT23:59:59.999", day)
+
+		conjuncts := []string{
+			fmt.Sprintf("F.station = '%s'", station),
+			fmt.Sprintf("R.start_time > '%s'", lo),
+			fmt.Sprintf("R.start_time < '%s'", hi),
+			fmt.Sprintf("F.size_bytes > %d", threshold),
+		}
+		base := `SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri ` +
+			`JOIN D ON R.uri = D.uri AND R.record_id = D.record_id WHERE ` +
+			strings.Join(conjuncts, " AND ")
+
+		// Spelling 2: shuffled conjuncts, flipped comparison sides, folded
+		// constant arithmetic, swapped ON sides.
+		shuffled := append([]string(nil), conjuncts...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, c := range shuffled {
+			switch {
+			case strings.Contains(c, "F.station ="):
+				shuffled[i] = fmt.Sprintf("'%s' = F.station", station)
+			case strings.Contains(c, "R.start_time >"):
+				shuffled[i] = fmt.Sprintf("'%s' < R.start_time", lo)
+			case strings.Contains(c, "F.size_bytes >"):
+				shuffled[i] = fmt.Sprintf("F.size_bytes > %d + %d", threshold-25, 25)
+			}
+		}
+		flipped := `SELECT AVG(D.sample_value) FROM F JOIN R ON R.uri = F.uri ` +
+			`JOIN D ON D.uri = R.uri AND D.record_id = R.record_id WHERE ` +
+			strings.Join(shuffled, " AND ")
+
+		// Spelling 3: swapped join order and table aliases everywhere.
+		aliased := fmt.Sprintf(`SELECT AVG(dd.sample_value) FROM R rr JOIN F ff ON ff.uri = rr.uri `+
+			`JOIN D dd ON rr.uri = dd.uri AND rr.record_id = dd.record_id WHERE `+
+			`ff.station = '%s' AND rr.start_time > '%s' AND rr.start_time < '%s' AND ff.size_bytes > %d`,
+			station, lo, hi, threshold)
+
+		// Spelling 4: the re-parse of the parser's canonical rendering.
+		stmt, err := sql.Parse(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed := stmt.String()
+
+		want := fingerprintOf(t, cat, base)
+		for name, spelling := range map[string]string{
+			"flipped": flipped, "aliased": aliased, "reparsed": reparsed,
+		} {
+			if got := fingerprintOf(t, cat, spelling); got != want {
+				t.Fatalf("trial %d: %s spelling fingerprint %s != base %s\nbase:     %s\nspelling: %s",
+					trial, name, got.Short(), want.Short(), base, spelling)
+			}
+		}
+
+		// Distinct queries never collide within the corpus.
+		if prev, ok := seen[want]; ok && prev != base {
+			t.Fatalf("fingerprint collision between distinct queries:\n%s\n%s", prev, base)
+		}
+		seen[want] = base
+	}
+}
+
+// TestFingerprintDistinguishesPredicates pins that near-identical but
+// semantically different queries get different fingerprints.
+func TestFingerprintDistinguishesPredicates(t *testing.T) {
+	cat := seismicCatalog(t)
+	queries := []string{
+		`SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri JOIN D ON R.uri = D.uri WHERE F.station = 'ISK'`,
+		`SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri JOIN D ON R.uri = D.uri WHERE F.station = 'ANTO'`,
+		`SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri JOIN D ON R.uri = D.uri WHERE F.station <> 'ISK'`,
+		`SELECT MAX(D.sample_value) FROM F JOIN R ON F.uri = R.uri JOIN D ON R.uri = D.uri WHERE F.station = 'ISK'`,
+		`SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri JOIN D ON R.uri = D.uri WHERE F.station = 'ISK' AND F.channel = 'BHE'`,
+		`SELECT COUNT(*) FROM F`,
+		`SELECT COUNT(*) FROM R`,
+		`SELECT station, COUNT(*) FROM F GROUP BY station`,
+		`SELECT station, COUNT(*) FROM F GROUP BY station ORDER BY station`,
+		`SELECT station, COUNT(*) FROM F GROUP BY station ORDER BY station DESC`,
+	}
+	seen := make(map[Fingerprint]string)
+	for _, q := range queries {
+		fp := fingerprintOf(t, cat, q)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("collision:\n%s\n%s", prev, q)
+		}
+		seen[fp] = q
+	}
+}
+
+// TestFingerprintStableAcrossNormalize pins that normalization is
+// idempotent with respect to the canonical form: the fingerprint of the
+// optimized plan equals the fingerprint of its normalized form (the
+// canonical rendering already folds and sorts).
+func TestFingerprintStableAcrossNormalize(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, query1)
+	norm, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintOf(n) != FingerprintOf(norm) {
+		t.Errorf("canonical form changed across Normalize:\n%s\nvs\n%s",
+			CanonicalString(n), CanonicalString(norm))
+	}
+	// And Normalize must not change what the plan computes structurally:
+	// the schema is identical.
+	a, b := n.Schema(), norm.Schema()
+	if len(a) != len(b) {
+		t.Fatalf("schema length changed: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("schema[%d] changed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestConstantFoldingInNormalizedPlan pins that Normalize actually folds
+// constant subexpressions in the executed plan.
+func TestConstantFoldingInNormalizedPlan(t *testing.T) {
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, `SELECT F.uri FROM F WHERE F.size_bytes > 5 + 5`)
+	norm, err := Normalize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(norm)
+	if !strings.Contains(text, "10") || strings.Contains(text, "5 + 5") {
+		t.Errorf("constant arithmetic not folded:\n%s", text)
+	}
+}

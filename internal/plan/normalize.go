@@ -1,0 +1,244 @@
+package plan
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// This file is the normalization stage of the query pipeline: the pass
+// that runs between Optimize and Fingerprint so that semantically
+// equivalent query spellings converge on one canonical plan. Two layers
+// do the work:
+//
+//   - Normalize rewrites the executed plan itself in semantics-preserving
+//     ways: constant subexpressions fold, and the conjuncts of every
+//     selection (and of every fused σ∘mount / σ∘cache-scan predicate) are
+//     re-ordered into a canonical commutative order. AND evaluates both
+//     sides over the whole batch, so conjunct order never changes results
+//     or error behavior.
+//   - CanonicalString renders a plan into an alias-insensitive canonical
+//     form without touching it: table bindings are replaced by canonical
+//     names, commutative join chains are flattened and sorted, comparison
+//     directions are normalized. Fingerprint hashes this rendering.
+
+// Normalize applies the semantics-preserving normalization rewrites to a
+// bound plan and re-resolves it: constant folding everywhere expressions
+// appear, plus canonical conjunct ordering in selections and fused scan
+// predicates. The returned plan computes exactly the same result as the
+// input on every operator.
+func Normalize(root Node) (Node, error) {
+	out := Transform(root, func(n Node) Node {
+		switch t := n.(type) {
+		case *Select:
+			return &Select{Pred: normalizePred(t.Pred), Child: t.Child}
+		case *Project:
+			exprs := make([]expr.Expr, len(t.Exprs))
+			for i, e := range t.Exprs {
+				exprs[i] = FoldConstants(e)
+			}
+			return &Project{Exprs: exprs, Names: t.Names, Child: t.Child}
+		case *Aggregate:
+			aggs := make([]AggSpec, len(t.Aggs))
+			for i, a := range t.Aggs {
+				aggs[i] = a
+				if a.Arg != nil {
+					aggs[i].Arg = FoldConstants(a.Arg)
+				}
+			}
+			return &Aggregate{GroupBy: t.GroupBy, Aggs: aggs, Child: t.Child}
+		case *Mount:
+			if t.Pred == nil {
+				return n
+			}
+			return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def,
+				Pred: normalizePred(t.Pred)}
+		case *CacheScan:
+			if t.Pred == nil {
+				return n
+			}
+			return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def,
+				Pred: normalizePred(t.Pred)}
+		default:
+			return n
+		}
+	})
+	return Resolve(out)
+}
+
+// normalizePred folds constants and re-orders the conjuncts of a
+// predicate canonically (by their alias-sensitive canonical rendering —
+// stable for one plan, which is all execution needs).
+func normalizePred(pred expr.Expr) expr.Expr {
+	folded := FoldConstants(pred)
+	conjuncts := expr.SplitAnd(folded)
+	if len(conjuncts) <= 1 {
+		return folded
+	}
+	sort.SliceStable(conjuncts, func(i, j int) bool {
+		return canonExpr(conjuncts[i], nil) < canonExpr(conjuncts[j], nil)
+	})
+	return expr.JoinAnd(conjuncts)
+}
+
+// FoldConstants evaluates constant subexpressions at plan time. Folding
+// is conservative: an operation folds only when every operand is a
+// constant and the operation cannot fail (no division by zero, no
+// incomparable kinds), so runtime error behavior is preserved exactly.
+func FoldConstants(e expr.Expr) expr.Expr {
+	switch t := e.(type) {
+	case *expr.Col, *expr.Const:
+		return e
+	case *expr.Not:
+		inner := FoldConstants(t.E)
+		if c, ok := inner.(*expr.Const); ok && c.Val.Kind == vector.KindBool {
+			return &expr.Const{Val: vector.Bool(!c.Val.B)}
+		}
+		return &expr.Not{E: inner}
+	case *expr.Logic:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		lc, lok := constBool(l)
+		rc, rok := constBool(r)
+		if lok && rok {
+			if t.Op == expr.OpAnd {
+				return &expr.Const{Val: vector.Bool(lc && rc)}
+			}
+			return &expr.Const{Val: vector.Bool(lc || rc)}
+		}
+		// Identity operands drop without changing semantics (the other
+		// side is still evaluated either way).
+		if lok && ((t.Op == expr.OpAnd && lc) || (t.Op == expr.OpOr && !lc)) {
+			return r
+		}
+		if rok && ((t.Op == expr.OpAnd && rc) || (t.Op == expr.OpOr && !rc)) {
+			return l
+		}
+		return &expr.Logic{Op: t.Op, L: l, R: r}
+	case *expr.Compare:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		if lc, ok := l.(*expr.Const); ok {
+			if rc, ok := r.(*expr.Const); ok {
+				if cmp, ok := compareConsts(lc.Val, rc.Val); ok {
+					return &expr.Const{Val: vector.Bool(cmpHolds(t.Op, cmp))}
+				}
+			}
+		}
+		return &expr.Compare{Op: t.Op, L: l, R: r}
+	case *expr.Arith:
+		l, r := FoldConstants(t.L), FoldConstants(t.R)
+		if lc, ok := l.(*expr.Const); ok {
+			if rc, ok := r.(*expr.Const); ok {
+				if v, ok := foldArith(t.Op, lc.Val, rc.Val); ok {
+					return &expr.Const{Val: v}
+				}
+			}
+		}
+		return &expr.Arith{Op: t.Op, L: l, R: r}
+	default:
+		return e
+	}
+}
+
+func constBool(e expr.Expr) (bool, bool) {
+	c, ok := e.(*expr.Const)
+	if !ok || c.Val.Kind != vector.KindBool {
+		return false, false
+	}
+	return c.Val.B, true
+}
+
+// compareConsts orders two constant values when their kinds are
+// comparable, mirroring the executor's comparison semantics.
+func compareConsts(a, b vector.Value) (int, bool) {
+	intish := func(k vector.Kind) bool { return k == vector.KindInt64 || k == vector.KindTime }
+	numeric := func(k vector.Kind) bool { return intish(k) || k == vector.KindFloat64 }
+	switch {
+	case numeric(a.Kind) && numeric(b.Kind):
+		if intish(a.Kind) && intish(b.Kind) {
+			switch {
+			case a.I < b.I:
+				return -1, true
+			case a.I > b.I:
+				return 1, true
+			}
+			return 0, true
+		}
+		af, bf := a.AsFloat(), b.AsFloat()
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		}
+		return 0, true
+	case a.Kind == vector.KindString && b.Kind == vector.KindString:
+		return strings.Compare(a.S, b.S), true
+	case a.Kind == vector.KindBool && b.Kind == vector.KindBool:
+		switch {
+		case a.B == b.B:
+			return 0, true
+		case !a.B:
+			return -1, true
+		}
+		return 1, true
+	}
+	return 0, false
+}
+
+func cmpHolds(op expr.CmpOp, cmp int) bool {
+	switch op {
+	case expr.Eq:
+		return cmp == 0
+	case expr.Ne:
+		return cmp != 0
+	case expr.Lt:
+		return cmp < 0
+	case expr.Le:
+		return cmp <= 0
+	case expr.Gt:
+		return cmp > 0
+	}
+	return cmp >= 0
+}
+
+// foldArith evaluates constant arithmetic with the executor's promotion
+// rules: all-integer (or time) operands use int64 arithmetic with
+// truncating division, a float operand promotes to float64. Division by
+// zero never folds — the error stays a runtime error.
+func foldArith(op expr.ArithOp, a, b vector.Value) (vector.Value, bool) {
+	intish := func(k vector.Kind) bool { return k == vector.KindInt64 || k == vector.KindTime }
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return vector.Value{}, false
+	}
+	if intish(a.Kind) && intish(b.Kind) {
+		switch op {
+		case expr.Add:
+			return vector.Int64(a.I + b.I), true
+		case expr.Sub:
+			return vector.Int64(a.I - b.I), true
+		case expr.Mul:
+			return vector.Int64(a.I * b.I), true
+		default:
+			if b.I == 0 {
+				return vector.Value{}, false
+			}
+			return vector.Int64(a.I / b.I), true
+		}
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case expr.Add:
+		return vector.Float64(af + bf), true
+	case expr.Sub:
+		return vector.Float64(af - bf), true
+	case expr.Mul:
+		return vector.Float64(af * bf), true
+	default:
+		if bf == 0 {
+			return vector.Value{}, false
+		}
+		return vector.Float64(af / bf), true
+	}
+}

@@ -1,0 +1,364 @@
+// Package resultcache is the engine-wide result cache sitting above the
+// mount service: where the mount service dedups the *extraction* of one
+// file across concurrent queries, the result cache dedups the *entire
+// execution* of one query across clients and across time. Entries are
+// final materialized results, stored frozen and served as O(1)
+// copy-on-write shares (vector.Batch.Share), keyed by the canonical plan
+// fingerprint plus an invalidation epoch:
+//
+//   - Fingerprint keying: the plan layer normalizes semantically
+//     equivalent spellings (reordered conjuncts, swapped join sides,
+//     aliases, foldable constants) onto one plan.Fingerprint, so a zoom
+//     session re-issuing the same query in different shapes keeps
+//     hitting one entry.
+//   - Invalidation epochs: every entry is stamped with the epoch current
+//     at store time, and only current-epoch entries are served. A repo or
+//     ingestion-cache change bumps the epoch (the engine wires the hook),
+//     atomically invalidating every retained result. An execution that
+//     straddles the bump publishes to the riders that joined it before
+//     the bump but is not retained — and a query arriving after the bump
+//     neither serves stale entries nor rides stale flights: it has
+//     observed "the data changed" and re-executes.
+//   - Query-granular single-flight: concurrent identical queries
+//     coalesce onto one execution, mirroring the mount service's flights
+//     one layer up — the leader executes, riders block and then receive
+//     shares of the frozen result, paying O(1) instead of a full Qf+Qs
+//     execution each.
+//   - Byte-budget LRU: resident results are accounted with Batch.Bytes
+//     and evicted least-recently-served first.
+//   - Cost-gated admission: a result whose recompute cost signal (the
+//     engine passes the breakpoint's cardinality-derived estimate or the
+//     measured modeled time, whichever is larger) falls below the
+//     configured floor is served to its riders but not retained — cheap
+//     metadata lookups never crowd out expensive multi-file scans.
+//
+// All methods are nil-safe: a nil *Cache never caches and never
+// coalesces, so the engine threads it through unconditionally.
+package resultcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// Config parameterizes a Cache.
+type Config struct {
+	// MaxBytes bounds resident result bytes; <= 0 means unlimited.
+	MaxBytes int64
+	// MinCost gates admission: results whose recompute-cost signal is
+	// below it are not retained (riders of an in-flight execution are
+	// still served). Zero admits everything.
+	MinCost time.Duration
+}
+
+// Stats is a snapshot of cache counters.
+type Stats struct {
+	// Hits counts probes served from a stored entry; Riders counts
+	// queries that coalesced onto another client's in-flight execution.
+	Hits, Misses, Riders int64
+	// Stores / RejectedStores split completed executions into retained
+	// and admission-rejected (cost floor or epoch raced) ones.
+	Stores, RejectedStores int64
+	// Evictions counts LRU budget evictions; Invalidations counts entries
+	// dropped by epoch bumps.
+	Evictions, Invalidations int64
+	// BytesResident / Entries describe current occupancy; Epoch is the
+	// current invalidation epoch.
+	BytesResident int64
+	Entries       int
+	Epoch         uint64
+}
+
+// Outcome reports how a Do call was satisfied.
+type Outcome struct {
+	// Hit: served from the cache (stored entry, or a flight ridden).
+	Hit bool
+	// Rider: the hit came from coalescing onto an in-flight execution.
+	Rider bool
+	// Stored: this call led the execution and the result was retained.
+	Stored bool
+}
+
+// Cache is the result cache. It is safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	epoch   uint64
+	entries map[plan.Fingerprint]*list.Element
+	order   *list.List // front = most recently served
+	flights map[plan.Fingerprint]*flight
+	bytes   int64
+
+	hits, misses, riders   int64
+	stores, rejected       int64
+	evictions, invalidated int64
+}
+
+type entry struct {
+	fp    plan.Fingerprint
+	mat   *exec.Materialized
+	bytes int64
+	epoch uint64
+}
+
+// flight is one in-progress execution other identical queries wait on.
+// epoch is the invalidation epoch the execution began under: a query
+// arriving after a bump must not ride a pre-change flight.
+type flight struct {
+	done  chan struct{}
+	mat   *exec.Materialized // frozen at publish
+	err   error
+	epoch uint64
+}
+
+// New returns a cache over the configuration.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		entries: make(map[plan.Fingerprint]*list.Element),
+		order:   list.New(),
+		flights: make(map[plan.Fingerprint]*flight),
+	}
+}
+
+// Epoch returns the current invalidation epoch.
+func (c *Cache) Epoch() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// BumpEpoch advances the invalidation epoch, dropping every stored
+// entry: results computed before the bump are never served after it.
+// In-flight executions keep serving their riders but will not be
+// retained.
+func (c *Cache) BumpEpoch() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.epoch++
+	c.invalidated += int64(len(c.entries))
+	c.entries = make(map[plan.Fingerprint]*list.Element)
+	c.order = list.New()
+	c.bytes = 0
+}
+
+// Get returns the frozen entry for a fingerprint at the current epoch.
+// The returned materialization is the cache's own (frozen) storage:
+// serve it to a client through exec.ServeCachedResult, which emits
+// copy-on-write shares.
+func (c *Cache) Get(fp plan.Fingerprint) (*exec.Materialized, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mat, ok := c.getLocked(fp)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return mat, ok
+}
+
+func (c *Cache) getLocked(fp plan.Fingerprint) (*exec.Materialized, bool) {
+	el, ok := c.entries[fp]
+	if !ok || el.Value.(*entry).epoch != c.epoch {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*entry).mat, true
+}
+
+// Put retains a completed result under the current epoch, subject to the
+// cost-admission floor. The entry holds the materialization frozen: the
+// caller keeps its handle and any later mutation on either side
+// materializes a private copy.
+func (c *Cache) Put(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitLocked(fp, mat, cost, c.epoch)
+}
+
+// PutAt is Put with an epoch-straddle guard: startEpoch is the epoch the
+// caller observed when the execution began, and a result computed across
+// an invalidation (the epoch moved on) is rejected — it may reflect
+// pre-change data.
+func (c *Cache) PutAt(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitLocked(fp, mat, cost, startEpoch)
+}
+
+// admitLocked applies the admission rules (cost floor, epoch match) and
+// stores on success; callers hold the lock.
+func (c *Cache) admitLocked(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
+	if mat == nil {
+		return false
+	}
+	if startEpoch != c.epoch || cost < c.cfg.MinCost {
+		c.rejected++
+		return false
+	}
+	mat.Freeze()
+	c.putLocked(fp, mat, c.epoch)
+	c.stores++
+	return true
+}
+
+func (c *Cache) putLocked(fp plan.Fingerprint, mat *exec.Materialized, epoch uint64) {
+	if el, ok := c.entries[fp]; ok {
+		c.bytes -= el.Value.(*entry).bytes
+		c.order.Remove(el)
+		delete(c.entries, fp)
+	}
+	e := &entry{fp: fp, mat: mat, bytes: matBytes(mat), epoch: epoch}
+	c.entries[fp] = c.order.PushFront(e)
+	c.bytes += e.bytes
+	c.evict()
+}
+
+// evict enforces the byte budget, least recently served first; callers
+// hold the lock. Like the ingestion cache, a single over-budget entry is
+// allowed to remain alone.
+func (c *Cache) evict() {
+	if c.cfg.MaxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.cfg.MaxBytes && c.order.Len() > 1 {
+		oldest := c.order.Back()
+		e := oldest.Value.(*entry)
+		c.order.Remove(oldest)
+		delete(c.entries, e.fp)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// Do resolves a query through the cache with query-granular
+// single-flight: a stored current-epoch entry is served immediately; an
+// in-flight identical execution is ridden (block, then share its
+// result); otherwise compute runs as the leader and its result is
+// published to every rider and — cost and epoch permitting — retained.
+// compute returns the materialized result and its recompute-cost signal.
+// A nil cache degenerates to calling compute.
+func (c *Cache) Do(fp plan.Fingerprint, compute func() (*exec.Materialized, time.Duration, error)) (*exec.Materialized, Outcome, error) {
+	if c == nil {
+		mat, _, err := compute()
+		return mat, Outcome{}, err
+	}
+	c.mu.Lock()
+	if mat, ok := c.getLocked(fp); ok {
+		c.hits++
+		c.mu.Unlock()
+		return mat, Outcome{Hit: true}, nil
+	}
+	if f, ok := c.flights[fp]; ok && f.epoch == c.epoch {
+		// Riding is a hit, not a miss: the work is not repeated. Only a
+		// current-epoch flight qualifies — a query arriving after an
+		// invalidation has observed "the data changed" and must
+		// re-execute, not ride a pre-change execution (whose result the
+		// store side will likewise reject).
+		c.riders++
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, Outcome{}, f.err
+		}
+		return f.mat, Outcome{Hit: true, Rider: true}, nil
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{}), epoch: c.epoch}
+	// Overwrites any stale-epoch flight: its leader still publishes to
+	// its own (pre-bump) riders and removes only its own table entry.
+	c.flights[fp] = f
+	startEpoch := c.epoch
+	c.mu.Unlock()
+
+	// publish runs exactly once — on the normal path below, or from the
+	// deferred recovery if compute panics: the flight must leave the
+	// table and its riders must wake (with an error) either way, or every
+	// later identical query would block forever on a dead flight.
+	published := false
+	publish := func(mat *exec.Materialized, cost time.Duration, err error) bool {
+		published = true
+		c.mu.Lock()
+		// Remove only our own flight: a stale-epoch flight may have been
+		// superseded in the table by a post-invalidation one.
+		if c.flights[fp] == f {
+			delete(c.flights, fp)
+		}
+		stored := false
+		if err == nil {
+			// Freeze before publishing: riders and the stored entry share
+			// the leader's storage, and the first mutation through any
+			// handle (including the leader's own) copies first.
+			mat.Freeze()
+			f.mat = mat
+			stored = c.admitLocked(fp, mat, cost, startEpoch)
+		}
+		f.err = err
+		c.mu.Unlock()
+		close(f.done)
+		return stored
+	}
+	defer func() {
+		if !published {
+			publish(nil, 0, errLeaderAborted)
+		}
+	}()
+
+	mat, cost, err := compute()
+	stored := publish(mat, cost, err)
+	if err != nil {
+		return nil, Outcome{}, err
+	}
+	return mat, Outcome{Stored: stored}, nil
+}
+
+// errLeaderAborted is what riders see when the leading execution
+// panicked out of Do instead of returning.
+var errLeaderAborted = errors.New("resultcache: leading execution aborted")
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Riders: c.riders,
+		Stores: c.stores, RejectedStores: c.rejected,
+		Evictions: c.evictions, Invalidations: c.invalidated,
+		BytesResident: c.bytes, Entries: len(c.entries), Epoch: c.epoch,
+	}
+}
+
+// matBytes totals a materialization's resident size in the same unit the
+// ingestion cache charges (vector.Batch.Bytes).
+func matBytes(mat *exec.Materialized) int64 {
+	var total int64
+	for _, b := range mat.Batches {
+		total += b.Bytes()
+	}
+	return total
+}

@@ -1,0 +1,20 @@
+// Package unit holds tiny display formatters shared by user-facing
+// binaries and the benchmark harness, so neither has to depend on the
+// other for a byte formatter.
+package unit
+
+import "fmt"
+
+// FormatBytes renders a byte count with a binary-unit suffix.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
