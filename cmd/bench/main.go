@@ -7,8 +7,8 @@
 // Usage:
 //
 //	bench [-scale tiny|small|medium]
-//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache]
-//	      [-runs 3] [-parallelism N] [-clients 8]
+//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness]
+//	      [-runs 3] [-parallelism N] [-clients 8] [-sessions 3] [-quota 0.5]
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
 // experiment (0 = one worker per CPU); the "parallel" experiment sweeps
@@ -21,9 +21,14 @@
 // issues -clients identical queries at once against an engine with the
 // result cache enabled: one full execution, riders served as O(1) CoW
 // shares, and repeats (including equivalently spelled variants) hitting
-// the stored entry.
+// the stored entry. The "fairness" experiment runs one greedy bulk
+// session against -sessions interactive sessions over a small mount
+// budget with a per-session share of -quota, and errors unless the
+// interactive p95 admission wait stays bounded (the FIFO + quota gate's
+// no-starvation contract).
 //
-// An unrecognized -exp name is an error listing the valid experiments.
+// An unrecognized -exp name is an error listing the valid experiments;
+// -sessions below 1 and -quota outside (0, 1] are likewise errors.
 package main
 
 import (
@@ -51,9 +56,19 @@ func main() {
 		keep        = flag.String("workdir", "", "working directory (default: temp, removed on exit)")
 		parallelism = flag.Int("parallelism", 0, "ingestion/mount workers per engine (0 = one per CPU)")
 		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent/cow/resultcache experiments")
+		sessions    = flag.Int("sessions", 3, "interactive sessions for the fairness experiment (>= 1)")
+		quota       = flag.Float64("quota", 0.5, "per-session mount-budget share for the fairness experiment, in (0, 1]")
 	)
 	flag.Parse()
 	sc := benchutil.ScaleByName(*scaleName)
+	// Like -exp, bad fairness parameters must be an error up front, not
+	// a late surprise (or a silent misconfiguration) inside -exp all.
+	if *sessions < 1 {
+		fatal(fmt.Errorf("-sessions must be >= 1, got %d", *sessions))
+	}
+	if *quota <= 0 || *quota > 1 {
+		fatal(fmt.Errorf("-quota must be in (0, 1], got %v", *quota))
+	}
 	if *parallelism != 0 { // 0 keeps REPRO_PARALLELISM (or per-CPU default)
 		benchutil.DefaultParallelism = *parallelism
 	}
@@ -91,6 +106,9 @@ func main() {
 		{"cow", func() (fmt.Stringer, error) { return benchutil.ExperimentCoW(base, sc, *clients) }},
 		{"resultcache", func() (fmt.Stringer, error) {
 			return benchutil.ExperimentResultCache(base, sc, *clients)
+		}},
+		{"fairness", func() (fmt.Stringer, error) {
+			return benchutil.ExperimentFairness(base, sc, *sessions, *quota)
 		}},
 	}
 

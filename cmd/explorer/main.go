@@ -6,7 +6,7 @@
 // Usage:
 //
 //	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
-//	         [-resultcache MB]
+//	         [-resultcache MB] [-session name]
 //
 // Shell commands:
 //
@@ -14,8 +14,9 @@
 //	\stage <sql>  run only the first stage and show the breakpoint
 //	\multi <sql>  multi-stage execution: ingest file-by-file, show partials
 //	\tables       list catalog tables
-//	\stats        session statistics plus the engine's mount-service,
-//	              ingestion-cache and result-cache counters
+//	\stats        session statistics plus the engine's mount-service
+//	              (admission gate, per-session), ingestion-cache and
+//	              result-cache counters
 //	\quit         exit
 //
 // Any other input is executed as SQL.
@@ -23,17 +24,25 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/unit"
 )
+
+// sessionName identifies this shell to the engine's admission gate and
+// result cache: with several explorers sharing one engine (or one
+// database server embedding it), quotas and \stats break down per name.
+var sessionName string
 
 func main() {
 	var (
@@ -43,8 +52,10 @@ func main() {
 		cacheCfg = flag.String("cache", "off", "ingestion cache: off, file or tuple")
 		budget   = flag.Duration("budget", 0, "abort queries whose estimated cost exceeds this (0 = off)")
 		rcacheMB = flag.Int64("resultcache", 0, "result-cache budget in MiB (0 = off, -1 = unlimited)")
+		sessFlag = flag.String("session", "explorer", "session identity for admission quotas and per-session stats")
 	)
 	flag.Parse()
+	sessionName = *sessFlag
 	if *repoDir == "" {
 		fmt.Fprintln(os.Stderr, "explorer: -repo is required")
 		os.Exit(2)
@@ -139,29 +150,53 @@ func main() {
 }
 
 // printEngineStats renders the engine-wide counters: the shared mount
-// service (single-flight extraction, admission budget), the ingestion
-// cache, and the result cache.
+// service (single-flight extraction, the FIFO admission gate with its
+// per-session breakdown), the ingestion cache, and the result cache.
 func printEngineStats(eng *core.Engine) {
 	ms := eng.MountService().Stats()
 	fmt.Printf("mount service: %d flights started, %d single-flight joins, %d cache serves, %d cancelled; in-flight %s (peak %s), replay %s (peak %s)\n",
 		ms.FlightsStarted, ms.SingleFlightHits, ms.CacheServes, ms.FlightsCancelled,
 		unit.FormatBytes(ms.InFlightBytes), unit.FormatBytes(ms.PeakInFlightBytes),
 		unit.FormatBytes(ms.ReplayBytes), unit.FormatBytes(ms.PeakReplayBytes))
+	fmt.Printf("admission gate: queue depth %d, %d waits, %d cancelled, %d starvation-avoided\n",
+		ms.QueueDepth, ms.BudgetWaits, ms.BudgetCancelled, ms.StarvationAvoided)
+	printPerSession("  session", ms.PerSession)
 	cs := eng.Cache().Stats()
 	fmt.Printf("ingestion cache: %d entries (%s), %d hits, %d misses, %d evictions\n",
 		cs.Entries, unit.FormatBytes(cs.BytesResident), cs.Hits, cs.Misses, cs.Evictions)
 	if rc := eng.ResultCache(); rc != nil {
 		rs := rc.Stats()
-		fmt.Printf("result cache: %d entries (%s), %d hits, %d riders, %d misses; %d stores, %d rejected, %d evictions; epoch %d (%d invalidated)\n",
+		fmt.Printf("result cache: %d entries (%s), %d hits, %d riders, %d misses; %d stores, %d rejected, %d evictions (%d self); epoch %d (%d invalidated)\n",
 			rs.Entries, unit.FormatBytes(rs.BytesResident), rs.Hits, rs.Riders, rs.Misses,
-			rs.Stores, rs.RejectedStores, rs.Evictions, rs.Epoch, rs.Invalidations)
+			rs.Stores, rs.RejectedStores, rs.Evictions, rs.SelfEvictions, rs.Epoch, rs.Invalidations)
 	} else {
 		fmt.Println("result cache: disabled (run with -resultcache to enable)")
 	}
 }
 
+// printPerSession renders a per-session admission breakdown, sorted by
+// session name for stable output.
+func printPerSession(label string, per map[string]admission.SessionStats) {
+	names := make([]string, 0, len(per))
+	for name := range per {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := per[name]
+		display := name
+		if display == "" {
+			display = "(anonymous)"
+		}
+		fmt.Printf("%s %s: held %s (peak %s), %d acquires, %d waits (total %v, max %v), %d cancelled, %d quota-blocked\n",
+			label, display, unit.FormatBytes(s.HeldBytes), unit.FormatBytes(s.PeakHeldBytes),
+			s.Acquires, s.Waits, s.WaitTotal.Round(time.Microsecond), s.WaitMax.Round(time.Microsecond),
+			s.Cancelled, s.QuotaBlocked)
+	}
+}
+
 func showPlan(eng *core.Engine, sql string) {
-	p, err := eng.Prepare(sql)
+	p, err := eng.PrepareAs(context.Background(), sessionName, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -170,7 +205,7 @@ func showPlan(eng *core.Engine, sql string) {
 }
 
 func showStage(eng *core.Engine, sql string) {
-	p, err := eng.Prepare(sql)
+	p, err := eng.PrepareAs(context.Background(), sessionName, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -199,7 +234,7 @@ func showStage(eng *core.Engine, sql string) {
 
 func runSQL(eng *core.Engine, session *explore.Session, sql string) {
 	rec := explore.Record{SQL: sql, At: time.Now()}
-	p, err := eng.Prepare(sql)
+	p, err := eng.PrepareAs(context.Background(), sessionName, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		rec.Err = err
@@ -257,7 +292,7 @@ func runSQL(eng *core.Engine, session *explore.Session, sql string) {
 // runMulti executes a query with multi-stage ingestion, printing the
 // partial answer after every ingestion round.
 func runMulti(eng *core.Engine, sql string) {
-	p, err := eng.Prepare(sql)
+	p, err := eng.PrepareAs(context.Background(), sessionName, sql)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

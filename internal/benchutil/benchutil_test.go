@@ -239,3 +239,41 @@ func TestFormatHelpers(t *testing.T) {
 }
 
 func engineOptsALi() core.Options { return core.Options{Mode: core.ModeALi} }
+
+func TestFairnessShape(t *testing.T) {
+	f, err := ExperimentFairness(t.TempDir(), Tiny, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.InteractiveRuns != 3*6 {
+		t.Errorf("interactive runs = %d, want 18", f.InteractiveRuns)
+	}
+	if f.GreedyRuns < 1 {
+		t.Error("greedy bulk session never completed a run")
+	}
+	if !f.Identical {
+		t.Error("interactive answers diverged under contention")
+	}
+	// The experiment's own bound is the headline assertion; it returning
+	// without error means p95 stayed bounded. Pin it explicitly anyway.
+	if f.WaitP95 > f.Bound {
+		t.Errorf("interactive p95 wait %v exceeds bound %v", f.WaitP95, f.Bound)
+	}
+	// The quota must actually bite: the greedy session can never hold
+	// more than its share — except a single file larger than the quota,
+	// which the gate admits alone.
+	ceiling := int64(f.QuotaShare * float64(f.BudgetBytes))
+	if f.MaxFileBytes > ceiling {
+		ceiling = f.MaxFileBytes
+	}
+	if f.GreedyPeakHeld > ceiling {
+		t.Errorf("greedy peak held %d exceeds its quota ceiling %d", f.GreedyPeakHeld, ceiling)
+	}
+	// Bad parameters are errors, mirroring cmd/bench's flag validation.
+	if _, err := ExperimentFairness(t.TempDir(), Tiny, 0, 0.5); err == nil {
+		t.Error("sessions=0 accepted")
+	}
+	if _, err := ExperimentFairness(t.TempDir(), Tiny, 2, 1.5); err == nil {
+		t.Error("quota=1.5 accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package benchutil
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Fairness reports the per-session admission experiment: one greedy
+// bulk session loops a query that mounts most of the repository while K
+// interactive sessions repeatedly run the paper's Query 1 against a
+// deliberately small mount budget. Under the old Broadcast gate the
+// bulk session's stream of mount requests could leapfrog and starve
+// interactive waiters without bound; the FIFO gate plus the per-session
+// quota keeps every interactive admission wait bounded, which the
+// experiment asserts on the p95.
+type Fairness struct {
+	Scale       Scale
+	Interactive int     // K interactive sessions
+	QuotaShare  float64 // MountMaxSessionShare
+	BudgetBytes int64
+	// MaxFileBytes is the largest repository file: the only legitimate
+	// way a session's held bytes can exceed its quota (oversized-alone).
+	MaxFileBytes int64
+
+	GreedyRuns        int           // bulk queries completed
+	InteractiveRuns   int           // interactive queries completed
+	WaitP50, WaitP95  time.Duration // interactive admission waits
+	WaitMax           time.Duration
+	Bound             time.Duration // p95 must stay under this
+	GreedyPeakHeld    int64         // peak budget bytes held by the bulk session
+	GreedyQuotaBlocks int64         // times the bulk session was passed over at its quota
+	StarvationAvoided int64         // FIFO/quota fairness interventions
+	Identical         bool          // every interactive answer matched
+}
+
+// String renders the experiment.
+func (f *Fairness) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Fairness under admission pressure (scale %s): 1 greedy bulk vs %d interactive sessions\n",
+		f.Scale.Name, f.Interactive)
+	fmt.Fprintf(&sb, "  budget %s, per-session share %.2f (quota %s)\n",
+		FormatBytes(f.BudgetBytes), f.QuotaShare, FormatBytes(int64(f.QuotaShare*float64(f.BudgetBytes))))
+	fmt.Fprintf(&sb, "  greedy: %d bulk runs, peak held %s, %d quota blocks\n",
+		f.GreedyRuns, FormatBytes(f.GreedyPeakHeld), f.GreedyQuotaBlocks)
+	fmt.Fprintf(&sb, "  interactive: %d runs; admission wait p50=%s p95=%s max=%s (bound %s)\n",
+		f.InteractiveRuns,
+		f.WaitP50.Round(time.Microsecond), f.WaitP95.Round(time.Microsecond),
+		f.WaitMax.Round(time.Microsecond), f.Bound)
+	fmt.Fprintf(&sb, "  starvation-avoided interventions: %d; answers identical: %v\n",
+		f.StarvationAvoided, f.Identical)
+	return sb.String()
+}
+
+// greedyBulkQuery aggregates over every file whose records start before
+// Jan 12 — disjoint from Query 1's day-12 file, so the interactive
+// sessions always lead their own flights (their admission waits are
+// their own, never absorbed into a greedy flight they joined).
+func greedyBulkQuery() string {
+	return `SELECT AVG(D.sample_value)
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE R.start_time > '2010-01-01T00:00:00.000'
+AND R.start_time < '2010-01-12T00:00:00.000'`
+}
+
+// ExperimentFairness runs the greedy-vs-interactive contention workload
+// and asserts the interactive p95 admission wait stays bounded. sessions
+// is the number of interactive sessions (>= 1); quota is the per-session
+// budget share in (0, 1].
+func ExperimentFairness(baseDir string, sc Scale, sessions int, quota float64) (*Fairness, error) {
+	if sessions < 1 {
+		return nil, fmt.Errorf("benchutil: fairness needs >= 1 interactive session, got %d", sessions)
+	}
+	if quota <= 0 || quota > 1 {
+		return nil, fmt.Errorf("benchutil: fairness quota must be in (0, 1], got %v", quota)
+	}
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	// A budget of ~3 average files forces real contention: the bulk
+	// query alone would happily hold everything. Parallelism is pinned
+	// above the budget so the bulk session always has more mount
+	// requests in hand than the gate will admit — the starvation regime
+	// the experiment exists to measure — independent of the host's CPU
+	// count.
+	avg := m.Bytes / int64(len(m.Files))
+	budget := 3 * avg
+	var maxFile int64
+	for _, f := range m.Files {
+		if f.SizeBytes > maxFile {
+			maxFile = f.SizeBytes
+		}
+	}
+	eng, err := OpenEngine(m, baseDir, core.Options{
+		Mode:                 core.ModeALi,
+		MountBudgetBytes:     budget,
+		MountMaxSessionShare: quota,
+		Parallelism:          4,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	out := &Fairness{
+		Scale: sc, Interactive: sessions, QuotaShare: quota,
+		BudgetBytes: budget, MaxFileBytes: maxFile,
+		Bound: 2 * time.Second, Identical: true,
+	}
+
+	// Reference answer, before any contention.
+	ref, err := eng.Query(Query1)
+	if err != nil {
+		return nil, err
+	}
+	want := ref.Float(0, 0)
+
+	// The greedy bulk session loops until the interactive sessions are
+	// done (at least one full run).
+	stop := make(chan struct{})
+	greedyDone := make(chan error, 1)
+	var greedyRuns atomic.Int64
+	go func() {
+		ctx := context.Background()
+		for {
+			if _, err := eng.QueryAs(ctx, "greedy", greedyBulkQuery()); err != nil {
+				greedyDone <- err
+				return
+			}
+			greedyRuns.Add(1)
+			select {
+			case <-stop:
+				greedyDone <- nil
+				return
+			default:
+			}
+		}
+	}()
+
+	// Interactive sessions: each measures its own per-query admission
+	// wait as the delta of its session's WaitTotal (the session runs
+	// its queries sequentially, so the delta is exactly this query's).
+	const runsPerSession = 6
+	waitOf := func(session string) time.Duration {
+		return eng.MountService().Stats().PerSession[session].WaitTotal
+	}
+	var mu sync.Mutex
+	var waits []time.Duration
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	time.Sleep(20 * time.Millisecond) // let the bulk session saturate the budget
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			session := fmt.Sprintf("interactive-%d", i)
+			ctx := context.Background()
+			for r := 0; r < runsPerSession; r++ {
+				before := waitOf(session)
+				res, err := eng.QueryAs(ctx, session, Query1)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				d := waitOf(session) - before
+				mu.Lock()
+				waits = append(waits, d)
+				if res.Float(0, 0) != want {
+					out.Identical = false
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-greedyDone; err != nil {
+		return nil, fmt.Errorf("benchutil: greedy bulk session: %w", err)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("benchutil: interactive session: %w", err)
+		}
+	}
+
+	sort.Slice(waits, func(a, b int) bool { return waits[a] < waits[b] })
+	pct := func(p float64) time.Duration {
+		if len(waits) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(waits))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(waits) {
+			i = len(waits) - 1
+		}
+		return waits[i]
+	}
+	out.GreedyRuns = int(greedyRuns.Load())
+	out.InteractiveRuns = len(waits)
+	out.WaitP50, out.WaitP95 = pct(0.50), pct(0.95)
+	out.WaitMax = waits[len(waits)-1]
+	st := eng.MountService().Stats()
+	out.GreedyPeakHeld = st.PerSession["greedy"].PeakHeldBytes
+	out.GreedyQuotaBlocks = st.PerSession["greedy"].QuotaBlocked
+	out.StarvationAvoided = st.StarvationAvoided
+
+	if !out.Identical {
+		return nil, fmt.Errorf("benchutil: fairness: interactive answers diverged under contention")
+	}
+	if out.WaitP95 > out.Bound {
+		return nil, fmt.Errorf("benchutil: fairness: interactive p95 admission wait %v exceeds bound %v (starvation)",
+			out.WaitP95, out.Bound)
+	}
+	return out, nil
+}

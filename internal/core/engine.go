@@ -105,9 +105,19 @@ type Options struct {
 	// MountBudgetBytes bounds the total repository-file bytes being
 	// extracted at once ACROSS all concurrent queries of this engine —
 	// the mount service's admission gate. Requests beyond the budget
-	// wait instead of OOMing the server; a single file larger than the
-	// whole budget is admitted alone. <= 0 means unlimited.
+	// wait (in FIFO order, cancellable through QueryAs's context)
+	// instead of OOMing the server; a single file larger than the whole
+	// budget is admitted alone. <= 0 means unlimited.
 	MountBudgetBytes int64
+	// MountSessionQuotaBytes caps the mount-budget bytes one session
+	// (see Engine.QueryAs) may hold at once; <= 0 means no cap.
+	MountSessionQuotaBytes int64
+	// MountMaxSessionShare caps one session's mount-budget holdings as a
+	// fraction of MountBudgetBytes (0 < share <= 1); <= 0 means no cap.
+	// With both caps set the smaller wins. Either way a session at its
+	// quota blocks only itself: its requests are passed over in the
+	// admission scan, never the sessions queued behind them.
+	MountMaxSessionShare float64
 	// ResultCacheBytes enables the engine-wide result cache: completed
 	// query results are retained frozen, keyed by canonical plan
 	// fingerprint + invalidation epoch, and served to later identical
@@ -120,6 +130,12 @@ type Options struct {
 	// recompute-cost signal (breakpoint estimate or measured modeled
 	// time) is below it are not retained. 0 admits everything.
 	ResultCacheMinCost time.Duration
+	// ResultCacheMaxSessionShare caps one session's resident result
+	// bytes as a fraction of ResultCacheBytes: a session over its share
+	// evicts its own oldest results first, so one dashboard's fat
+	// results cannot push out everyone else's. <= 0 disables the
+	// preference (plain global LRU).
+	ResultCacheMaxSessionShare float64
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.
@@ -209,8 +225,9 @@ func Open(opts Options) (*Engine, error) {
 			budget = 0 // unlimited
 		}
 		e.results = resultcache.New(resultcache.Config{
-			MaxBytes: budget,
-			MinCost:  opts.ResultCacheMinCost,
+			MaxBytes:        budget,
+			MinCost:         opts.ResultCacheMinCost,
+			MaxSessionShare: opts.ResultCacheMaxSessionShare,
 		})
 		// Invalidation wiring: any ingestion-cache Drop/Clear signals the
 		// underlying repository data may have changed, so every retained
@@ -224,10 +241,12 @@ func Open(opts Options) (*Engine, error) {
 	// path, so concurrent identical queries coalesce onto single flights
 	// and the admission budget holds across the whole engine.
 	svcCfg := mountsvc.Config{
-		RepoDir:     opts.RepoDir,
-		Pool:        pool,
-		Cache:       e.cache,
-		BudgetBytes: opts.MountBudgetBytes,
+		RepoDir:           opts.RepoDir,
+		Pool:              pool,
+		Cache:             e.cache,
+		BudgetBytes:       opts.MountBudgetBytes,
+		SessionQuotaBytes: opts.MountSessionQuotaBytes,
+		MaxSessionShare:   opts.MountMaxSessionShare,
 	}
 	if e.derived != nil && e.dataValCol >= 0 && e.dataRIDCol >= 0 && e.dataSpanCol >= 0 {
 		rid, span, val := e.dataRIDCol, e.dataSpanCol, e.dataValCol

@@ -69,7 +69,7 @@ func (b *Breakpoint) ProceedIncremental(batchFiles int, observe func(Partial) bo
 		return nil, err
 	}
 	proj, agg, union := matchGlobalAggOverUnion(resolved)
-	env := e.newExecEnv(b)
+	env := e.newExecEnv(b.pq, b)
 
 	elapsed := func() time.Duration {
 		return time.Since(start) + e.clock.Elapsed() - ioStart

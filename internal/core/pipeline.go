@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -24,7 +26,17 @@ import (
 // Prepare runs the pipeline's front half: parse, bind, optimize,
 // normalize and fingerprint (plus, in ALi mode, the Q = Qf ⋈ Qs
 // decomposition). This is the compile-time query optimization phase.
+// The query runs anonymously; PrepareAs attaches a cancellation context
+// and a session identity.
 func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
+	return e.PrepareAs(context.Background(), "", sqlText)
+}
+
+// PrepareAs is Prepare with an execution identity: ctx cancels the
+// query's waits on the mount admission budget, and session is the
+// identity its mounts and result-cache stores are attributed to — the
+// unit of the engine's per-session quotas and fairness statistics.
+func (e *Engine) PrepareAs(ctx context.Context, session, sqlText string) (*Prepared, error) {
 	// parse
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -48,7 +60,14 @@ func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
 	}
 	// fingerprint: the canonical-plan hash equivalent spellings share;
 	// the result cache keys on it.
-	p := &Prepared{eng: e, SQL: sqlText, Root: normalized, Fingerprint: plan.FingerprintOf(normalized)}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p := &Prepared{
+		eng: e, SQL: sqlText, Root: normalized,
+		ctx: ctx, session: session,
+		Fingerprint: plan.FingerprintOf(normalized),
+	}
 	if e.opts.Mode == ModeALi {
 		name := fmt.Sprintf("qf%d", e.qfSeq.Add(1))
 		if dec, ok := plan.Decompose(normalized, e.cat, name); ok {
@@ -82,9 +101,20 @@ func (p *Prepared) run() (*Result, error) {
 // single-flight when the result cache is enabled — concurrent identical
 // queries coalesce onto one execution and riders receive O(1)
 // copy-on-write shares of the leader's result, mirroring the mount
-// service's flights one layer up.
+// service's flights one layer up. The query runs anonymously and
+// uncancellable; servers multiplexing sessions use QueryAs.
 func (e *Engine) Query(sqlText string) (*Result, error) {
-	p, err := e.Prepare(sqlText)
+	return e.QueryAs(context.Background(), "", sqlText)
+}
+
+// QueryAs is Query under an execution identity: ctx unblocks the query
+// promptly if it is cancelled while waiting on the mount admission
+// budget (holding nothing it never acquired), and session threads
+// through to the mount service's per-session quotas and the result
+// cache's per-session eviction — the fairness unit that keeps one
+// greedy session from starving the rest.
+func (e *Engine) QueryAs(ctx context.Context, session, sqlText string) (*Result, error) {
+	p, err := e.PrepareAs(ctx, session, sqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -93,18 +123,32 @@ func (e *Engine) Query(sqlText string) (*Result, error) {
 	}
 	start := time.Now()
 	var leader *Result
-	mat, out, err := e.results.Do(p.Fingerprint, func() (*exec.Materialized, time.Duration, error) {
-		// The flight publishes and stores the result; the stages must not
-		// offer it a second time.
-		p.inFlight = true
-		res, err := p.run()
-		if err != nil {
-			return nil, 0, err
+	var mat *exec.Materialized
+	var out resultcache.Outcome
+	for {
+		mat, out, err = e.results.Do(p.Fingerprint, session, func() (*exec.Materialized, time.Duration, error) {
+			// The flight publishes and stores the result; the stages must
+			// not offer it a second time.
+			p.inFlight = true
+			res, err := p.run()
+			if err != nil {
+				return nil, 0, err
+			}
+			leader = res
+			return res.Mat, recomputeCost(res), nil
+		})
+		if err == nil {
+			break
 		}
-		leader = res
-		return res.Mat, recomputeCost(res), nil
-	})
-	if err != nil {
+		// A rider that inherited the LEADER's cancellation while this
+		// query is itself alive must not fail: the leader died of its own
+		// context, not of the query. Re-resolve — ride whoever leads now,
+		// or lead (and the lead's own errors, including this query's own
+		// cancellation, return normally above).
+		if out.Rider && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
 		return nil, err
 	}
 	if leader != nil {
@@ -144,7 +188,7 @@ func (e *Engine) probeResultCache(p *Prepared) (*Result, bool) {
 // times with their full elapsed time.
 func (e *Engine) serveCached(mat *exec.Materialized, out resultcache.Outcome) (*Result, error) {
 	start := time.Now()
-	env := e.newExecEnv(nil)
+	env := e.newExecEnv(nil, nil)
 	served, err := exec.ServeCachedResult(mat, env)
 	if err != nil {
 		return nil, err
@@ -170,7 +214,7 @@ func (e *Engine) offerToResultCache(p *Prepared, res *Result) {
 		res.Stats.StoppedEarly || res.Stats.ServedFromResultCache {
 		return
 	}
-	e.results.PutAt(p.Fingerprint, res.Mat, recomputeCost(res), p.startEpoch)
+	e.results.PutAt(p.Fingerprint, p.session, res.Mat, recomputeCost(res), p.startEpoch)
 }
 
 // recomputeCost is the admission signal: what it would cost to compute

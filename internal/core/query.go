@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -18,6 +19,11 @@ type Prepared struct {
 	eng  *Engine
 	SQL  string
 	Root plan.Node
+	// ctx cancels the query's budget waits; session is the admission
+	// identity mounts and result-cache stores are attributed to. Both
+	// default to anonymous (Prepare) and are set by PrepareAs/QueryAs.
+	ctx     context.Context
+	session string
 	// Fingerprint is the canonical-plan hash semantically equivalent
 	// spellings share; the engine's result cache keys on it.
 	Fingerprint plan.Fingerprint
@@ -115,7 +121,7 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 
 	if e.opts.Mode == ModeEi || !p.HasStages && len(p.actuals) == 0 {
 		// Single-stage execution: the conventional path.
-		mat, err := exec.Run(p.Root, e.newExecEnv(nil))
+		mat, err := exec.Run(p.Root, e.newExecEnv(p, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -124,7 +130,7 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 	}
 
 	if p.HasStages && p.Dec.MetadataOnly {
-		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(nil))
+		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(p, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -134,7 +140,7 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 
 	// ALi with actual data involved.
 	if p.HasStages {
-		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(nil))
+		mat, err := exec.Run(p.Dec.Qf, e.newExecEnv(p, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -243,7 +249,7 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	env := e.newExecEnv(b)
+	env := e.newExecEnv(b.pq, b)
 
 	var mat *exec.Materialized
 	if e.opts.Strategy == StrategyPerFile {
@@ -272,10 +278,12 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 	return res, nil
 }
 
-// newExecEnv builds the execution environment, wiring the Qf result for
+// newExecEnv builds the execution environment, wiring the query's
+// cancellation context and session identity, the Qf result for
 // result-scans and the engine's shared mount service (which carries the
-// derived-metadata observation hook).
-func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
+// derived-metadata observation hook). p may be nil (cached serves with
+// no originating prepared query).
+func (e *Engine) newExecEnv(p *Prepared, bp *Breakpoint) *exec.Env {
 	env := &exec.Env{
 		Store:       e.store,
 		Adapters:    e.reg,
@@ -287,6 +295,10 @@ func (e *Engine) newExecEnv(bp *Breakpoint) *exec.Env {
 		Parallelism: e.opts.Parallelism,
 		Mounts:      &exec.MountStats{},
 		MountSvc:    e.mounts,
+	}
+	if p != nil {
+		env.Ctx = p.ctx
+		env.Session = p.session
 	}
 	if bp != nil && bp.qfResult != nil {
 		env.Results[bp.pq.Dec.Name] = bp.qfResult

@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -132,6 +133,12 @@ type Env struct {
 	Cache    *cache.Manager
 	Results  map[string]*Materialized
 	Indexes  []IndexInfo
+	// Ctx, when set, is the query's cancellation context: mounts blocked
+	// on the admission budget unblock when it is done.
+	Ctx context.Context
+	// Session is the query's session identity, attributed to every mount
+	// request for per-session admission quotas and statistics.
+	Session string
 	// BatchSize caps rows per batch (defaults to vector.DefaultBatchSize).
 	BatchSize int
 	// Parallelism is the mount-scheduler worker count: how many union

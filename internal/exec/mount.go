@@ -64,6 +64,8 @@ func (m *mountOp) start() error {
 	env := m.env
 	cur, err := env.service().Mount(mountsvc.Request{
 		URI:       m.node.URI,
+		Ctx:       env.Ctx,
+		Session:   env.Session,
 		Adapter:   m.adapter,
 		Span:      span,
 		BatchRows: env.batchSize(),

@@ -15,10 +15,14 @@
 //   - Streaming extraction: flights drive the adapter's MountStream
 //     API, so batches reach waiters (and the operator tree above them)
 //     while the file is still being decoded.
-//   - Admission budget: a cross-query gate bounds the total bytes of
-//     repository files being extracted at once; requests beyond the
-//     budget block until capacity frees, backpressuring the mount
-//     scheduler instead of OOMing.
+//   - Admission budget: a cross-query gate (internal/admission) bounds
+//     the total bytes of repository files being extracted at once;
+//     requests beyond the budget wait in a FIFO ticket queue — handoff
+//     wakeups, so a stream of small requests can never starve a large
+//     waiter — backpressuring the mount scheduler instead of OOMing.
+//     Waits are cancellable (Request.Ctx) and subject to per-session
+//     quotas (Request.Session), so one greedy session cannot hold the
+//     whole budget against interactive explorers.
 //   - Cancel-aware flights: a flight refcounts its live cursors; when
 //     every waiter has closed or drained, an extraction still running is
 //     stopped at the next batch boundary, its budget released and any
@@ -32,12 +36,14 @@
 package mountsvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 
+	"repro/internal/admission"
 	"repro/internal/cache"
 	"repro/internal/catalog"
 	"repro/internal/storage"
@@ -63,6 +69,12 @@ type Config struct {
 	// at once across all queries; <= 0 means unlimited. A single file
 	// larger than the budget is admitted alone.
 	BudgetBytes int64
+	// SessionQuotaBytes caps the budget bytes one session may hold at
+	// once; <= 0 means no cap (see admission.Config.SessionQuotaBytes).
+	SessionQuotaBytes int64
+	// MaxSessionShare caps one session's holdings as a fraction of
+	// BudgetBytes; <= 0 means no cap. The smaller of the two caps wins.
+	MaxSessionShare float64
 }
 
 // Delta attributes one request's outcome to the requesting query's
@@ -86,6 +98,18 @@ type Delta struct {
 type Request struct {
 	// URI names the repository file.
 	URI string
+	// Ctx, when set, cancels THIS request's cursor: a query cancelled
+	// while its mount is blocked (on the byte budget, or mid-stream)
+	// returns promptly through Cursor.Next and detaches, holding
+	// nothing. The flight itself is untouched while other waiters ride
+	// it — its admission wait and extraction are cancelled only when
+	// every waiter has detached (abandonment), never by one waiter's
+	// context, so one cancelled query can never fail the queries that
+	// joined its flight.
+	Ctx context.Context
+	// Session identifies the requesting session for admission quotas
+	// and per-session statistics; empty is a valid (shared) identity.
+	Session string
 	// Adapter extracts the file's format.
 	Adapter catalog.FormatAdapter
 	// Span is the restriction the caller's predicate places on the data
@@ -131,6 +155,22 @@ type Stats struct {
 	// ad-hoc estimate.
 	ReplayBytes     int64
 	PeakReplayBytes int64
+	// QueueDepth is the number of flights currently blocked in the
+	// admission queue; BudgetWaits counts admissions that had to queue;
+	// BudgetCancelled counts admission waits cancelled because every
+	// waiter had detached (including a sole cancelled waiter);
+	// WaiterCancels counts cursors detached by their own request's
+	// context; StarvationAvoided counts the fairness interventions of
+	// the FIFO gate (see admission.Stats.StarvationAvoided).
+	QueueDepth        int
+	BudgetWaits       int64
+	BudgetCancelled   int64
+	WaiterCancels     int64
+	StarvationAvoided int64
+	// PerSession breaks the admission gate down by session identity:
+	// held/peak bytes, acquires, waits and wait times, cancellations,
+	// quota blocks.
+	PerSession map[string]admission.SessionStats
 }
 
 // Service is the shared mount service. It is safe for concurrent use by
@@ -138,21 +178,23 @@ type Stats struct {
 type Service struct {
 	cfg Config
 
-	// budget gate and replay-buffer accounting
-	bmu        sync.Mutex
-	bcond      *sync.Cond
-	used       int64
-	peak       int64
+	// gate is the shared FIFO admission gate bounding in-flight
+	// extraction bytes across all queries and sessions.
+	gate *admission.Gate
+
+	// replay-buffer accounting
+	rmu        sync.Mutex
 	replay     int64
 	replayPeak int64
 
 	// single-flight table
-	fmu       sync.Mutex
-	flights   map[string][]*flight
-	started   int64
-	joined    int64
-	cached    int64
-	cancelled int64
+	fmu           sync.Mutex
+	flights       map[string][]*flight
+	started       int64
+	joined        int64
+	cached        int64
+	cancelled     int64
+	waiterCancels int64
 }
 
 // errFlightAbandoned is the internal sentinel the flight goroutine
@@ -162,9 +204,15 @@ var errFlightAbandoned = errors.New("mountsvc: flight abandoned by all waiters")
 
 // New returns a service over the given configuration.
 func New(cfg Config) *Service {
-	s := &Service{cfg: cfg, flights: make(map[string][]*flight)}
-	s.bcond = sync.NewCond(&s.bmu)
-	return s
+	return &Service{
+		cfg:     cfg,
+		flights: make(map[string][]*flight),
+		gate: admission.New(admission.Config{
+			BudgetBytes:       cfg.BudgetBytes,
+			SessionQuotaBytes: cfg.SessionQuotaBytes,
+			MaxSessionShare:   cfg.MaxSessionShare,
+		}),
+	}
 }
 
 // Stats returns a snapshot of the service counters.
@@ -173,14 +221,22 @@ func (s *Service) Stats() Stats {
 	st := Stats{
 		FlightsStarted: s.started, SingleFlightHits: s.joined,
 		CacheServes: s.cached, FlightsCancelled: s.cancelled,
+		WaiterCancels: s.waiterCancels,
 	}
 	s.fmu.Unlock()
-	s.bmu.Lock()
-	st.InFlightBytes, st.PeakInFlightBytes = s.used, s.peak
+	gs := s.gate.Stats()
+	st.InFlightBytes, st.PeakInFlightBytes = gs.UsedBytes, gs.PeakBytes
+	st.QueueDepth, st.BudgetWaits = gs.QueueDepth, gs.Waits
+	st.BudgetCancelled, st.StarvationAvoided = gs.Cancelled, gs.StarvationAvoided
+	st.PerSession = gs.PerSession
+	s.rmu.Lock()
 	st.ReplayBytes, st.PeakReplayBytes = s.replay, s.replayPeak
-	s.bmu.Unlock()
+	s.rmu.Unlock()
 	return st
 }
+
+// Gate exposes the admission gate (benchmarks sample per-session waits).
+func (s *Service) Gate() *admission.Gate { return s.gate }
 
 // fileGranular reports whether the cache retains whole files, in which
 // case flights must extract (and cache) the full file regardless of the
@@ -218,7 +274,7 @@ func (s *Service) Mount(req Request) (Cursor, error) {
 			if req.Observe != nil {
 				req.Observe(Delta{SingleFlight: true})
 			}
-			return &flightCursor{f: f}, nil
+			return &flightCursor{f: f, ctx: req.Ctx}, nil
 		}
 	}
 	// Planning races: rule (1) may have chosen Mount while the cache was
@@ -236,14 +292,14 @@ func (s *Service) Mount(req Request) (Cursor, error) {
 			return newStaticCursor(b, req.batchRows()), nil
 		}
 	}
-	f := newFlight(req.URI, span, st.Size(), s)
+	f := newFlight(req.URI, span, st.Size(), req.Session, s)
 	s.flights[req.URI] = append(s.flights[req.URI], f)
 	s.started++
 	f.ref()
 	s.fmu.Unlock()
 
 	go s.run(f, req, path, st.Size())
-	return &flightCursor{f: f}, nil
+	return &flightCursor{f: f, ctx: req.Ctx}, nil
 }
 
 func (r Request) batchRows() int {
@@ -259,8 +315,6 @@ func (r Request) batchRows() int {
 // replay buffer, not just the decode, is what the budget bounds (see
 // flight.unref).
 func (s *Service) run(f *flight, req Request, path string, size int64) {
-	s.acquire(size)
-
 	finish := func(err error) {
 		s.fmu.Lock()
 		s.removeLocked(f)
@@ -270,6 +324,14 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 		// budget when it was the last reference.
 		f.extractionFinished()
 		f.finish(err)
+	}
+
+	if err := s.admit(f, size); err != nil {
+		// Nothing was ever held: the abandoned flight leaves the gate
+		// without touching the budget (a cursor racing the abandonment
+		// sees the error).
+		finish(fmt.Errorf("mountsvc: mount %s: admission: %w", f.uri, err))
+		return
 	}
 
 	// Model the cost of reading the external file by pulling its pages
@@ -354,61 +416,87 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 	finish(nil)
 }
 
-// acquire blocks until the flight's bytes fit the budget. A request
-// larger than the whole budget is admitted only when nothing else is in
-// flight, so it can never deadlock but may exceed the budget alone.
-func (s *Service) acquire(n int64) {
-	s.bmu.Lock()
-	defer s.bmu.Unlock()
-	if s.cfg.BudgetBytes > 0 {
-		for s.used > 0 && s.used+n > s.cfg.BudgetBytes {
-			s.bcond.Wait()
+// admit blocks in the admission gate until the flight's bytes fit the
+// budget (FIFO order, per-session quotas) or every waiter abandons the
+// flight. Deliberately NOT cancelled by any single request's context:
+// a flight is shared, and failing it on one waiter's cancellation would
+// poison the queries riding it — cancelled waiters leave through their
+// own cursors instead, and only the last one's departure (abandonment)
+// ends the wait. On success the flight is marked admitted, which is
+// what licenses the (single) release.
+func (s *Service) admit(f *flight, size int64) error {
+	actx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// A flight whose every waiter detached while it was still queued
+		// must not sit in the gate forever: abandonment cancels the wait.
+		select {
+		case <-f.abandonCh:
+			cancel()
+		case <-actx.Done():
 		}
+	}()
+	if err := s.gate.Acquire(actx, f.session, size); err != nil {
+		return err
 	}
-	s.used += n
-	if s.used > s.peak {
-		s.peak = s.used
-	}
+	f.mu.Lock()
+	f.admitted = true
+	f.mu.Unlock()
+	return nil
 }
 
-// releaseFlight gives back a finished flight's admission bytes and
-// retires its replay-buffer accounting.
-func (s *Service) releaseFlight(admitted, buffered int64) {
-	s.bmu.Lock()
-	s.used -= admitted
+// releaseFlight gives back a finished flight's admission bytes (0 when
+// the flight was never admitted) and retires its replay-buffer
+// accounting. The flight's released flag guarantees this runs at most
+// once per flight; the gate panics on a double release rather than
+// silently over-admitting.
+func (s *Service) releaseFlight(session string, admitted, buffered int64) {
+	if admitted > 0 {
+		s.gate.Release(session, admitted)
+	}
+	s.rmu.Lock()
 	s.replay -= buffered
-	s.bmu.Unlock()
-	s.bcond.Broadcast()
+	s.rmu.Unlock()
 }
 
 // addReplay charges one appended batch to the replay-buffer gauge.
 func (s *Service) addReplay(n int64) {
-	s.bmu.Lock()
+	s.rmu.Lock()
 	s.replay += n
 	if s.replay > s.replayPeak {
 		s.replayPeak = s.replay
 	}
-	s.bmu.Unlock()
+	s.rmu.Unlock()
 }
 
 // abandonIfUnreferenced cancels a flight whose every cursor has detached:
 // it is removed from the single-flight table (so no later request can
-// join a dying extraction) and the caller stops the adapter stream. The
-// refs check happens under both locks, mirroring the join path, so a
-// request that found the flight in the table has always ref'd it before
-// this can observe zero.
+// join a dying extraction), its pending admission wait is cancelled, and
+// the caller (the emit callback) stops the adapter stream. The refs
+// check happens under both locks, mirroring the join path, so a request
+// that found the flight in the table has always ref'd it before this can
+// observe zero. Both the emit callback and the last unref may race here;
+// the abandonMarked flag keeps the cancellation count and the admission
+// cancel single-shot.
 func (s *Service) abandonIfUnreferenced(f *flight) bool {
 	s.fmu.Lock()
 	f.mu.Lock()
-	if f.refs > 0 {
+	if f.refs > 0 || f.done || f.extracted {
 		f.mu.Unlock()
 		s.fmu.Unlock()
 		return false
 	}
+	first := !f.abandonMarked
+	f.abandonMarked = true
 	f.mu.Unlock()
 	s.removeLocked(f)
-	s.cancelled++
+	if first {
+		s.cancelled++
+	}
 	s.fmu.Unlock()
+	if first {
+		close(f.abandonCh)
+	}
 	return true
 }
 
@@ -434,24 +522,32 @@ func (s *Service) removeLocked(f *flight) {
 // so releasing at decode-end alone would let K queries over K distinct
 // files keep K whole decoded files live with the budget showing zero.
 type flight struct {
-	uri  string
-	span cache.Span
-	size int64
-	svc  *Service
+	uri     string
+	span    cache.Span
+	size    int64
+	session string // admission identity of the request that led the flight
+	svc     *Service
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	batches   []*vector.Batch
-	buffered  int64 // replay-buffer bytes (vector.Batch.Bytes)
-	done      bool
-	err       error
-	refs      int  // attached cursors still replaying
-	extracted bool // the flight goroutine is finished
-	released  bool // budget bytes given back
+	// abandonCh is closed (once, by abandonIfUnreferenced) when every
+	// waiter has detached, cancelling a still-pending admission wait.
+	abandonCh chan struct{}
+
+	mu            sync.Mutex
+	cond          *sync.Cond
+	batches       []*vector.Batch
+	buffered      int64 // replay-buffer bytes (vector.Batch.Bytes)
+	done          bool
+	err           error
+	refs          int  // attached cursors still replaying
+	extracted     bool // the flight goroutine is finished
+	admitted      bool // the gate granted the flight's bytes
+	released      bool // budget bytes given back
+	abandonMarked bool // counted as cancelled; abandonCh closed
 }
 
-func newFlight(uri string, span cache.Span, size int64, svc *Service) *flight {
-	f := &flight{uri: uri, span: span, size: size, svc: svc}
+func newFlight(uri string, span cache.Span, size int64, session string, svc *Service) *flight {
+	f := &flight{uri: uri, span: span, size: size, session: session, svc: svc,
+		abandonCh: make(chan struct{})}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -464,12 +560,19 @@ func (f *flight) ref() {
 }
 
 // unref detaches a cursor (it drained to the end, errored, or closed);
-// the last detach after extraction releases the budget.
+// the last detach after extraction releases the budget. When the last
+// detach happens before extraction finished — all waiters walked away —
+// the flight is abandoned, which also unblocks an admission wait still
+// queued in the gate.
 func (f *flight) unref() {
 	f.mu.Lock()
 	f.refs--
+	abandon := f.refs <= 0 && !f.done && !f.extracted
 	f.maybeReleaseLocked()
 	f.mu.Unlock()
+	if abandon {
+		f.svc.abandonIfUnreferenced(f)
+	}
 }
 
 // extractionFinished marks the flight goroutine done for budget
@@ -481,10 +584,19 @@ func (f *flight) extractionFinished() {
 	f.mu.Unlock()
 }
 
+// maybeReleaseLocked returns the flight's bytes exactly once: the
+// released flag is the single-shot guard shared by every path that can
+// end a flight (normal drain, error, cancellation mid-extraction, and
+// an admission wait that never held anything — admitted stays false and
+// zero budget bytes are released).
 func (f *flight) maybeReleaseLocked() {
 	if f.extracted && f.refs <= 0 && !f.released {
 		f.released = true
-		f.svc.releaseFlight(f.size, f.buffered)
+		admitted := int64(0)
+		if f.admitted {
+			admitted = f.size
+		}
+		f.svc.releaseFlight(f.session, admitted, f.buffered)
 	}
 }
 
@@ -518,8 +630,16 @@ func (f *flight) finish(err error) {
 // budget accounting) as soon as it reaches end of stream, not only at
 // Close: a sequential union closes its inputs at query end, and holding
 // the budget that long would deadlock later mounts of the same query.
+//
+// Cancellation is per-cursor: when the waiter's request context dies,
+// Next returns its error promptly — even while blocked behind a flight
+// that is itself queued on the admission budget — and the waiter
+// detaches exactly like a Close. The flight is unaffected unless this
+// was its last waiter (abandonment).
 type flightCursor struct {
 	f        *flight
+	ctx      context.Context // may be nil: uncancellable
+	stop     func() bool     // releases the ctx watcher
 	i        int
 	detached bool
 }
@@ -530,8 +650,26 @@ func (c *flightCursor) Next() (*vector.Batch, error) {
 		return nil, nil
 	}
 	f := c.f
+	if c.ctx != nil && c.stop == nil {
+		// Wake this waiter out of the replay wait when its context dies.
+		// Broadcast under f.mu so the wakeup can never slip between a
+		// waiter's ctx check and its cond.Wait.
+		c.stop = context.AfterFunc(c.ctx, func() {
+			f.mu.Lock()
+			f.cond.Broadcast()
+			f.mu.Unlock()
+		})
+	}
 	f.mu.Lock()
 	for {
+		if c.ctx != nil {
+			if err := c.ctx.Err(); err != nil {
+				f.mu.Unlock()
+				c.detach()
+				c.f.svc.noteWaiterCancel()
+				return nil, err
+			}
+		}
 		if c.i < len(f.batches) {
 			// Fan out a copy-on-write share: every waiter gets its own
 			// handle over the replay buffer's storage in O(1).
@@ -543,21 +681,38 @@ func (c *flightCursor) Next() (*vector.Batch, error) {
 		if f.done {
 			err := f.err
 			f.mu.Unlock()
-			c.detached = true
-			f.unref()
+			c.detach()
 			return nil, err
 		}
 		f.cond.Wait()
 	}
 }
 
+// detach ends the cursor's attachment exactly once and releases its
+// context watcher.
+func (c *flightCursor) detach() {
+	if c.detached {
+		return
+	}
+	c.detached = true
+	if c.stop != nil {
+		c.stop()
+		c.stop = nil
+	}
+	c.f.unref()
+}
+
 // Close implements Cursor.
 func (c *flightCursor) Close() error {
-	if !c.detached {
-		c.detached = true
-		c.f.unref()
-	}
+	c.detach()
 	return nil
+}
+
+// noteWaiterCancel counts one cursor detached by its own context.
+func (s *Service) noteWaiterCancel() {
+	s.fmu.Lock()
+	s.waiterCancels++
+	s.fmu.Unlock()
 }
 
 // staticCursor chunks an already resident batch (a cache entry share).

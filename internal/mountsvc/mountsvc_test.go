@@ -1,6 +1,7 @@
 package mountsvc
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -522,6 +523,370 @@ func TestModeledIOChargedOncePerFlight(t *testing.T) {
 	drain(t, c2)
 	if got := pool.Stats().PagesRead; got != 3 {
 		t.Errorf("pages read = %d, want 3 (one flight, one touch)", got)
+	}
+}
+
+// waitStat polls the service until cond(Stats()) holds.
+func waitStat(t *testing.T, svc *Service, what string, cond func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond(svc.Stats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: stats %+v", what, svc.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// holdBudget mounts a file and consumes its batches without reaching
+// end of stream, so the flight's budget bytes stay held; the returned
+// cursor releases them when drained or closed.
+func holdBudget(t *testing.T, svc *Service, ad *slowAdapter, uri string) Cursor {
+	t.Helper()
+	cur, err := svc.Mount(Request{URI: uri, Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ad.nBatches; i++ {
+		if b, err := cur.Next(); err != nil || b == nil {
+			t.Fatalf("batch %d: (%v, %v)", i, b, err)
+		}
+	}
+	return cur
+}
+
+// TestBudgetWaitCancellable is the satellite-1 regression at the
+// service level: a query cancelled while its mount is blocked on the
+// byte budget returns promptly through its cursor, leaks no budget
+// bytes it never held, and is counted in Stats.
+func TestBudgetWaitCancellable(t *testing.T) {
+	const fileSize = 1000
+	dir := testFiles(t, map[string]int{"a.slow": fileSize, "b.slow": fileSize})
+	ad := &slowAdapter{nBatches: 2, batchLen: 4}
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 3 / 2})
+
+	holder := holdBudget(t, svc, ad, "a.slow")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked, err := svc.Mount(Request{
+		URI: "b.slow", Adapter: ad, Span: cache.FullSpan(),
+		Ctx: ctx, Session: "victim",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, svc, "mount never queued on the budget", func(st Stats) bool {
+		return st.QueueDepth == 1
+	})
+	cancel()
+
+	// The cursor must observe the cancellation promptly, not hang.
+	got := make(chan error, 1)
+	go func() {
+		_, err := blocked.Next()
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cursor error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled budget wait hung")
+	}
+
+	if got := svc.Stats().InFlightBytes; got != fileSize {
+		t.Errorf("in-flight = %d, want the holder's %d only (cancelled waiter must hold nothing)",
+			got, fileSize)
+	}
+	if got := svc.Stats().WaiterCancels; got != 1 {
+		t.Errorf("WaiterCancels = %d, want 1", got)
+	}
+	// The sole waiter left, so the flight is abandoned and its queued
+	// admission cancelled (asynchronously, via the abandonment watcher).
+	waitStat(t, svc, "admission wait never cancelled", func(st Stats) bool {
+		return st.BudgetCancelled == 1 && st.PerSession["victim"].Cancelled == 1
+	})
+
+	// The budget is healthy: drain the holder and remount b.
+	if b, err := holder.Next(); b != nil || err != nil {
+		t.Fatalf("holder drain: (%v, %v)", b, err)
+	}
+	cur, err := svc.Mount(Request{URI: "b.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drain(t, cur); rows != 8 {
+		t.Errorf("post-cancel remount rows = %d, want 8", rows)
+	}
+	if got := svc.Stats().InFlightBytes; got != 0 {
+		t.Errorf("in-flight bytes %d not released", got)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonJoiners: cancellation is per-waiter.
+// A joiner riding a flight whose LEADING request's context dies must
+// still receive the whole stream — the flight's admission wait and
+// extraction belong to all its waiters, not to the leader's lifecycle.
+func TestCancelledLeaderDoesNotPoisonJoiners(t *testing.T) {
+	const fileSize = 1000
+	dir := testFiles(t, map[string]int{"hold.slow": fileSize, "a.slow": fileSize})
+	adHold := &slowAdapter{nBatches: 2, batchLen: 4}
+	ad := &slowAdapter{nBatches: 2, batchLen: 10}
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 3 / 2})
+
+	// The holder keeps the budget full so the led flight queues.
+	holder := holdBudget(t, svc, adHold, "hold.slow")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leader, err := svc.Mount(Request{
+		URI: "a.slow", Adapter: ad, Span: cache.FullSpan(),
+		Ctx: ctx, Session: "leader",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, svc, "led flight never queued", func(st Stats) bool { return st.QueueDepth == 1 })
+	joiner, err := svc.Mount(Request{
+		URI: "a.slow", Adapter: ad, Span: cache.FullSpan(), Session: "joiner",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().SingleFlightHits; got != 1 {
+		t.Fatalf("joiner did not join the queued flight (hits=%d)", got)
+	}
+
+	// Kill the leader while the shared flight is still budget-blocked.
+	cancel()
+	if _, err := leader.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader got %v, want context.Canceled", err)
+	}
+	// The joiner must be untouched: release the budget and drain fully.
+	if b, err := holder.Next(); b != nil || err != nil {
+		t.Fatalf("holder drain: (%v, %v)", b, err)
+	}
+	done := make(chan struct{})
+	var rows int
+	var joinErr error
+	go func() {
+		rows, joinErr = drainCount(joiner)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner hung after the leader was cancelled")
+	}
+	if joinErr != nil {
+		t.Fatalf("joiner failed with the leader's cancellation: %v", joinErr)
+	}
+	if rows != 20 {
+		t.Errorf("joiner rows = %d, want 20", rows)
+	}
+	if got := svc.Stats().InFlightBytes; got != 0 {
+		t.Errorf("in-flight bytes %d, want 0", got)
+	}
+}
+
+// TestAbandonedWaiterLeavesAdmissionQueue: a flight whose only waiter
+// closes its cursor while the flight is still queued on the budget must
+// leave the queue (not extract, not hold bytes) so later mounts flow.
+func TestAbandonedWaiterLeavesAdmissionQueue(t *testing.T) {
+	const fileSize = 1000
+	dir := testFiles(t, map[string]int{"a.slow": fileSize, "b.slow": fileSize})
+	ad := &slowAdapter{nBatches: 2, batchLen: 4}
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 3 / 2})
+
+	holder := holdBudget(t, svc, ad, "a.slow")
+	adB := &slowAdapter{nBatches: 2, batchLen: 4}
+	blocked, err := svc.Mount(Request{URI: "b.slow", Adapter: adB, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, svc, "mount never queued on the budget", func(st Stats) bool {
+		return st.QueueDepth == 1
+	})
+	blocked.Close()
+	waitStat(t, svc, "abandoned waiter never left the queue", func(st Stats) bool {
+		return st.QueueDepth == 0 && st.FlightsCancelled == 1
+	})
+	if got := adB.extractions.Load(); got != 0 {
+		t.Errorf("abandoned flight extracted anyway (%d extractions)", got)
+	}
+	if b, err := holder.Next(); b != nil || err != nil {
+		t.Fatalf("holder drain: (%v, %v)", b, err)
+	}
+	if got := svc.Stats().InFlightBytes; got != 0 {
+		t.Errorf("in-flight bytes %d, want 0", got)
+	}
+}
+
+// TestFIFOAdmissionNoStarvation is the satellite-2 regression: a large
+// request at the queue head is admitted before later small ones, even
+// while the smalls would fit the remaining budget — the leapfrog the
+// old Broadcast gate allowed unboundedly.
+func TestFIFOAdmissionNoStarvation(t *testing.T) {
+	const budget = 1000
+	sizes := map[string]int{
+		"holder.slow": 600, "big.slow": 900,
+		"s1.slow": 300, "s2.slow": 300, "s3.slow": 300,
+	}
+	dir := testFiles(t, sizes)
+	adHold := &slowAdapter{nBatches: 2, batchLen: 4}
+	adBig := &slowAdapter{nBatches: 2, batchLen: 4}
+	adSmall := &slowAdapter{nBatches: 2, batchLen: 4}
+	svc := New(Config{RepoDir: dir, BudgetBytes: budget})
+
+	holder := holdBudget(t, svc, adHold, "holder.slow")
+
+	// Queue big first, then the smalls, pinning FIFO arrival order by
+	// waiting for each ticket to reach the gate before issuing the next.
+	bigCur, err := svc.Mount(Request{URI: "big.slow", Adapter: adBig, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, svc, "big never queued", func(st Stats) bool { return st.QueueDepth == 1 })
+	var smallCurs []Cursor
+	for i, name := range []string{"s1.slow", "s2.slow", "s3.slow"} {
+		cur, err := svc.Mount(Request{URI: name, Adapter: adSmall, Span: cache.FullSpan()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallCurs = append(smallCurs, cur)
+		waitStat(t, svc, "small never queued", func(st Stats) bool { return st.QueueDepth == 2+i })
+	}
+
+	// 600 held + 300 would fit; the smalls must still wait behind big.
+	time.Sleep(20 * time.Millisecond)
+	if got := adSmall.extractions.Load(); got != 0 {
+		t.Fatalf("%d smalls leapfrogged the blocked large waiter", got)
+	}
+	if got := adBig.extractions.Load(); got != 0 {
+		t.Fatal("big admitted while the holder's bytes exceed the budget")
+	}
+	if got := svc.Stats().StarvationAvoided; got == 0 {
+		t.Error("StarvationAvoided = 0, want > 0")
+	}
+
+	// Handoff: draining the holder admits big (900 <= 1000) and only
+	// big — the smalls stay blocked until big's bytes free.
+	if b, err := holder.Next(); b != nil || err != nil {
+		t.Fatalf("holder drain: (%v, %v)", b, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for adBig.extractions.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("big never admitted after the holder drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := adSmall.extractions.Load(); got != 0 {
+		t.Fatalf("%d smalls admitted alongside big (900+300 > budget)", got)
+	}
+	if rows := drain(t, bigCur); rows != 8 {
+		t.Errorf("big rows = %d", rows)
+	}
+	for _, cur := range smallCurs {
+		if rows := drain(t, cur); rows != 8 {
+			t.Errorf("small rows = %d", rows)
+		}
+	}
+	if got := svc.Stats().InFlightBytes; got != 0 {
+		t.Errorf("in-flight bytes %d, want 0", got)
+	}
+}
+
+// TestSessionQuotaBoundsOneSession: a session at its quota waits while
+// another session's later request is admitted past it.
+func TestSessionQuotaBoundsOneSession(t *testing.T) {
+	const fileSize = 400
+	dir := testFiles(t, map[string]int{
+		"g1.slow": fileSize, "g2.slow": fileSize, "i1.slow": fileSize,
+	})
+	adG := &slowAdapter{nBatches: 2, batchLen: 4}
+	adI := &slowAdapter{nBatches: 2, batchLen: 4}
+	// Budget fits three files; the quota caps one session at one file.
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize * 3, SessionQuotaBytes: fileSize})
+
+	g1 := holdBudget(t, svc, adG, "g1.slow")
+	g2, err := svc.Mount(Request{URI: "g2.slow", Adapter: adG, Session: "", Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStat(t, svc, "greedy second mount never queued", func(st Stats) bool {
+		return st.QueueDepth == 1
+	})
+	// A different session flows past the quota-blocked ticket.
+	i1, err := svc.Mount(Request{URI: "i1.slow", Adapter: adI, Session: "interactive", Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := drain(t, i1); rows != 8 {
+		t.Errorf("interactive rows = %d", rows)
+	}
+	if got := adG.extractions.Load(); got != 1 {
+		t.Errorf("greedy extractions = %d, want 1 (second blocked by quota)", got)
+	}
+	st := svc.Stats()
+	if st.PerSession[""].QuotaBlocked == 0 {
+		t.Errorf("greedy session QuotaBlocked = 0: %+v", st.PerSession)
+	}
+	// Its own release is what unblocks the greedy session.
+	if b, err := g1.Next(); b != nil || err != nil {
+		t.Fatalf("g1 drain: (%v, %v)", b, err)
+	}
+	if rows := drain(t, g2); rows != 8 {
+		t.Errorf("greedy second mount rows = %d", rows)
+	}
+}
+
+// TestCancelledMidExtractionReleasesBudgetOnce is the satellite-3
+// regression, run under -race: a flight abandoned mid-extraction
+// returns its admitted bytes exactly once — the admission gate panics
+// on a double release, so surviving this test IS the guard — and the
+// full budget is usable afterwards.
+func TestCancelledMidExtractionReleasesBudgetOnce(t *testing.T) {
+	const fileSize = 1000
+	ad := &slowAdapter{nBatches: 50, batchLen: 8, stepGate: make(chan struct{})}
+	dir := testFiles(t, map[string]int{"a.slow": fileSize, "b.slow": fileSize})
+	svc := New(Config{RepoDir: dir, BudgetBytes: fileSize})
+
+	cur, err := svc.Mount(Request{URI: "a.slow", Adapter: ad, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.stepGate <- struct{}{}
+	waitStat(t, svc, "first batch never streamed", func(st Stats) bool {
+		return st.ReplayBytes > 0
+	})
+	// Abandon mid-extraction: Close (the cursor's unref) and the emit
+	// callback's refcount check race to end the flight.
+	cur.Close()
+	ad.stepGate <- struct{}{}
+	waitStat(t, svc, "cancelled flight never released", func(st Stats) bool {
+		return st.FlightsCancelled == 1 && st.InFlightBytes == 0 && st.ReplayBytes == 0
+	})
+	// Exactly once: the whole budget is available again — a leak would
+	// block this oversized-for-the-remainder mount, a double release
+	// would have panicked above.
+	ad2 := &slowAdapter{nBatches: 1, batchLen: 4}
+	cur2, err := svc.Mount(Request{URI: "b.slow", Adapter: ad2, Span: cache.FullSpan()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan int, 1)
+	go func() {
+		n, _ := drainCount(cur2)
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		if n != 4 {
+			t.Errorf("post-cancel mount rows = %d, want 4", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("budget bytes leaked: full-budget mount blocked after cancellation")
 	}
 }
 

@@ -24,8 +24,14 @@
 //     one layer up — the leader executes, riders block and then receive
 //     shares of the frozen result, paying O(1) instead of a full Qf+Qs
 //     execution each.
-//   - Byte-budget LRU: resident results are accounted with Batch.Bytes
-//     and evicted least-recently-served first.
+//   - Byte-budget LRU, per-session-aware: resident results are
+//     accounted with Batch.Bytes through the engine's shared admission
+//     abstraction (internal/admission, the same gate type behind the
+//     mount budget), tagged with the storing session. Under pressure a
+//     session holding more than its share evicts its own
+//     least-recently-served entries first — a fat dashboard's results
+//     push out that dashboard's older results, not everyone else's —
+//     falling back to global LRU otherwise.
 //   - Cost-gated admission: a result whose recompute cost signal (the
 //     engine passes the breakpoint's cardinality-derived estimate or the
 //     measured modeled time, whichever is larger) falls below the
@@ -42,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/exec"
 	"repro/internal/plan"
 )
@@ -54,6 +61,11 @@ type Config struct {
 	// below it are not retained (riders of an in-flight execution are
 	// still served). Zero admits everything.
 	MinCost time.Duration
+	// MaxSessionShare caps one session's resident result bytes as a
+	// fraction of MaxBytes; a session over its share evicts its own
+	// oldest entries first. <= 0 disables the per-session preference
+	// (eviction is plain global LRU).
+	MaxSessionShare float64
 }
 
 // Stats is a snapshot of cache counters.
@@ -64,21 +76,30 @@ type Stats struct {
 	// Stores / RejectedStores split completed executions into retained
 	// and admission-rejected (cost floor or epoch raced) ones.
 	Stores, RejectedStores int64
-	// Evictions counts LRU budget evictions; Invalidations counts entries
-	// dropped by epoch bumps.
-	Evictions, Invalidations int64
+	// Evictions counts LRU budget evictions; SelfEvictions the subset
+	// where an over-share session's own entry was taken instead of the
+	// global LRU victim; Invalidations counts entries dropped by epoch
+	// bumps.
+	Evictions, SelfEvictions, Invalidations int64
 	// BytesResident / Entries describe current occupancy; Epoch is the
 	// current invalidation epoch.
 	BytesResident int64
 	Entries       int
 	Epoch         uint64
+	// PerSession breaks resident bytes and stores down by the session
+	// that stored each entry (see admission.SessionStats; Acquires
+	// counts stores, HeldBytes the session's resident bytes).
+	PerSession map[string]admission.SessionStats
 }
 
 // Outcome reports how a Do call was satisfied.
 type Outcome struct {
 	// Hit: served from the cache (stored entry, or a flight ridden).
 	Hit bool
-	// Rider: the hit came from coalescing onto an in-flight execution.
+	// Rider: the call coalesced onto another client's in-flight
+	// execution. Set on error returns too, so a caller can tell an
+	// inherited failure (the LEADER died — e.g. of its own context)
+	// from its own and re-resolve instead of failing a live query.
 	Rider bool
 	// Stored: this call led the execution and the result was retained.
 	Stored bool
@@ -88,6 +109,12 @@ type Outcome struct {
 type Cache struct {
 	cfg Config
 
+	// gate is the shared admission abstraction carrying the byte budget:
+	// entries are charged to their storing session (Charge — stores are
+	// never blocked; the budget drives eviction instead) and released on
+	// evict/invalidate, so per-session occupancy steers the evictor.
+	gate *admission.Gate
+
 	mu      sync.Mutex
 	epoch   uint64
 	entries map[plan.Fingerprint]*list.Element
@@ -95,16 +122,18 @@ type Cache struct {
 	flights map[plan.Fingerprint]*flight
 	bytes   int64
 
-	hits, misses, riders   int64
-	stores, rejected       int64
-	evictions, invalidated int64
+	hits, misses, riders     int64
+	stores, rejected         int64
+	evictions, selfEvictions int64
+	invalidated              int64
 }
 
 type entry struct {
-	fp    plan.Fingerprint
-	mat   *exec.Materialized
-	bytes int64
-	epoch uint64
+	fp      plan.Fingerprint
+	session string
+	mat     *exec.Materialized
+	bytes   int64
+	epoch   uint64
 }
 
 // flight is one in-progress execution other identical queries wait on.
@@ -120,7 +149,11 @@ type flight struct {
 // New returns a cache over the configuration.
 func New(cfg Config) *Cache {
 	return &Cache{
-		cfg:     cfg,
+		cfg: cfg,
+		gate: admission.New(admission.Config{
+			BudgetBytes:     cfg.MaxBytes,
+			MaxSessionShare: cfg.MaxSessionShare,
+		}),
 		entries: make(map[plan.Fingerprint]*list.Element),
 		order:   list.New(),
 		flights: make(map[plan.Fingerprint]*flight),
@@ -149,6 +182,10 @@ func (c *Cache) BumpEpoch() {
 	defer c.mu.Unlock()
 	c.epoch++
 	c.invalidated += int64(len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		c.gate.Release(e.session, e.bytes)
+	}
 	c.entries = make(map[plan.Fingerprint]*list.Element)
 	c.order = list.New()
 	c.bytes = 0
@@ -183,34 +220,34 @@ func (c *Cache) getLocked(fp plan.Fingerprint) (*exec.Materialized, bool) {
 }
 
 // Put retains a completed result under the current epoch, subject to the
-// cost-admission floor. The entry holds the materialization frozen: the
-// caller keeps its handle and any later mutation on either side
-// materializes a private copy.
-func (c *Cache) Put(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration) bool {
+// cost-admission floor, charged to the storing session. The entry holds
+// the materialization frozen: the caller keeps its handle and any later
+// mutation on either side materializes a private copy.
+func (c *Cache) Put(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration) bool {
 	if c == nil {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.admitLocked(fp, mat, cost, c.epoch)
+	return c.admitLocked(fp, session, mat, cost, c.epoch)
 }
 
 // PutAt is Put with an epoch-straddle guard: startEpoch is the epoch the
 // caller observed when the execution began, and a result computed across
 // an invalidation (the epoch moved on) is rejected — it may reflect
 // pre-change data.
-func (c *Cache) PutAt(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
+func (c *Cache) PutAt(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
 	if c == nil {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.admitLocked(fp, mat, cost, startEpoch)
+	return c.admitLocked(fp, session, mat, cost, startEpoch)
 }
 
 // admitLocked applies the admission rules (cost floor, epoch match) and
 // stores on success; callers hold the lock.
-func (c *Cache) admitLocked(fp plan.Fingerprint, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
+func (c *Cache) admitLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
 	if mat == nil {
 		return false
 	}
@@ -219,36 +256,56 @@ func (c *Cache) admitLocked(fp plan.Fingerprint, mat *exec.Materialized, cost ti
 		return false
 	}
 	mat.Freeze()
-	c.putLocked(fp, mat, c.epoch)
+	c.putLocked(fp, session, mat, c.epoch)
 	c.stores++
 	return true
 }
 
-func (c *Cache) putLocked(fp plan.Fingerprint, mat *exec.Materialized, epoch uint64) {
+func (c *Cache) putLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, epoch uint64) {
 	if el, ok := c.entries[fp]; ok {
-		c.bytes -= el.Value.(*entry).bytes
-		c.order.Remove(el)
-		delete(c.entries, fp)
+		c.removeLocked(el)
 	}
-	e := &entry{fp: fp, mat: mat, bytes: matBytes(mat), epoch: epoch}
+	e := &entry{fp: fp, session: session, mat: mat, bytes: matBytes(mat), epoch: epoch}
 	c.entries[fp] = c.order.PushFront(e)
 	c.bytes += e.bytes
-	c.evict()
+	c.gate.Charge(session, e.bytes)
+	c.evictLocked(session)
 }
 
-// evict enforces the byte budget, least recently served first; callers
-// hold the lock. Like the ingestion cache, a single over-budget entry is
-// allowed to remain alone.
-func (c *Cache) evict() {
+// removeLocked drops one entry and returns its bytes to the gate.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.order.Remove(el)
+	delete(c.entries, e.fp)
+	c.bytes -= e.bytes
+	c.gate.Release(e.session, e.bytes)
+}
+
+// evictLocked enforces the byte budget after a store by `storing`;
+// callers hold the lock. While the storing session holds more than its
+// share, its own least-recently-served entry goes first — the session
+// whose fat results created the pressure pays for it — then eviction
+// falls back to global LRU. Like the ingestion cache, a single
+// over-budget entry is allowed to remain alone.
+func (c *Cache) evictLocked(storing string) {
 	if c.cfg.MaxBytes <= 0 {
 		return
 	}
 	for c.bytes > c.cfg.MaxBytes && c.order.Len() > 1 {
-		oldest := c.order.Back()
-		e := oldest.Value.(*entry)
-		c.order.Remove(oldest)
-		delete(c.entries, e.fp)
-		c.bytes -= e.bytes
+		victim := c.order.Back()
+		if c.gate.OverShare(storing) {
+			// The just-stored entry sits at the front; any older entry of
+			// the over-share session is a better victim than another
+			// session's.
+			for el := c.order.Back(); el != nil && el != c.order.Front(); el = el.Prev() {
+				if el.Value.(*entry).session == storing {
+					victim = el
+					c.selfEvictions++
+					break
+				}
+			}
+		}
+		c.removeLocked(victim)
 		c.evictions++
 	}
 }
@@ -257,10 +314,11 @@ func (c *Cache) evict() {
 // single-flight: a stored current-epoch entry is served immediately; an
 // in-flight identical execution is ridden (block, then share its
 // result); otherwise compute runs as the leader and its result is
-// published to every rider and — cost and epoch permitting — retained.
-// compute returns the materialized result and its recompute-cost signal.
-// A nil cache degenerates to calling compute.
-func (c *Cache) Do(fp plan.Fingerprint, compute func() (*exec.Materialized, time.Duration, error)) (*exec.Materialized, Outcome, error) {
+// published to every rider and — cost and epoch permitting — retained,
+// charged to the leader's session. compute returns the materialized
+// result and its recompute-cost signal. A nil cache degenerates to
+// calling compute.
+func (c *Cache) Do(fp plan.Fingerprint, session string, compute func() (*exec.Materialized, time.Duration, error)) (*exec.Materialized, Outcome, error) {
 	if c == nil {
 		mat, _, err := compute()
 		return mat, Outcome{}, err
@@ -281,7 +339,7 @@ func (c *Cache) Do(fp plan.Fingerprint, compute func() (*exec.Materialized, time
 		c.mu.Unlock()
 		<-f.done
 		if f.err != nil {
-			return nil, Outcome{}, f.err
+			return nil, Outcome{Rider: true}, f.err
 		}
 		return f.mat, Outcome{Hit: true, Rider: true}, nil
 	}
@@ -313,7 +371,7 @@ func (c *Cache) Do(fp plan.Fingerprint, compute func() (*exec.Materialized, time
 			// handle (including the leader's own) copies first.
 			mat.Freeze()
 			f.mat = mat
-			stored = c.admitLocked(fp, mat, cost, startEpoch)
+			stored = c.admitLocked(fp, session, mat, cost, startEpoch)
 		}
 		f.err = err
 		c.mu.Unlock()
@@ -348,8 +406,10 @@ func (c *Cache) Stats() Stats {
 	return Stats{
 		Hits: c.hits, Misses: c.misses, Riders: c.riders,
 		Stores: c.stores, RejectedStores: c.rejected,
-		Evictions: c.evictions, Invalidations: c.invalidated,
+		Evictions: c.evictions, SelfEvictions: c.selfEvictions,
+		Invalidations: c.invalidated,
 		BytesResident: c.bytes, Entries: len(c.entries), Epoch: c.epoch,
+		PerSession: c.gate.Stats().PerSession,
 	}
 }
 

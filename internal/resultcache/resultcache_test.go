@@ -1,6 +1,7 @@
 package resultcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -30,7 +31,7 @@ func TestGetPutAndEpoch(t *testing.T) {
 	if _, ok := c.Get(fp("q1")); ok {
 		t.Fatal("empty cache served a result")
 	}
-	if !c.Put(fp("q1"), mat(1, 2, 3), time.Second) {
+	if !c.Put(fp("q1"), "", mat(1, 2, 3), time.Second) {
 		t.Fatal("Put rejected with no cost floor")
 	}
 	got, ok := c.Get(fp("q1"))
@@ -49,10 +50,10 @@ func TestGetPutAndEpoch(t *testing.T) {
 
 func TestCostAdmission(t *testing.T) {
 	c := New(Config{MinCost: time.Second})
-	if c.Put(fp("cheap"), mat(1), time.Millisecond) {
+	if c.Put(fp("cheap"), "", mat(1), time.Millisecond) {
 		t.Fatal("cheap result admitted below the cost floor")
 	}
-	if !c.Put(fp("dear"), mat(1), 2*time.Second) {
+	if !c.Put(fp("dear"), "", mat(1), 2*time.Second) {
 		t.Fatal("expensive result rejected")
 	}
 	if st := c.Stats(); st.RejectedStores != 1 || st.Stores != 1 {
@@ -64,13 +65,13 @@ func TestByteBudgetLRU(t *testing.T) {
 	one := mat(1, 2, 3, 4)
 	per := one.Batches[0].Bytes()
 	c := New(Config{MaxBytes: 2 * per})
-	c.Put(fp("a"), mat(1, 2, 3, 4), 0)
-	c.Put(fp("b"), mat(5, 6, 7, 8), 0)
+	c.Put(fp("a"), "", mat(1, 2, 3, 4), 0)
+	c.Put(fp("b"), "", mat(5, 6, 7, 8), 0)
 	// Touch a so b is the LRU victim.
 	if _, ok := c.Get(fp("a")); !ok {
 		t.Fatal("a missing")
 	}
-	c.Put(fp("c"), mat(9, 10, 11, 12), 0)
+	c.Put(fp("c"), "", mat(9, 10, 11, 12), 0)
 	if _, ok := c.Get(fp("b")); ok {
 		t.Fatal("LRU kept the least recently served entry")
 	}
@@ -80,6 +81,73 @@ func TestByteBudgetLRU(t *testing.T) {
 	st := c.Stats()
 	if st.Evictions != 1 || st.BytesResident != 2*per {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestOverShareSessionEvictsItsOwnEntriesFirst pins the per-session
+// eviction preference: when a session holding more than its share
+// stores another entry, the victim is that session's own oldest entry,
+// not another session's globally-older one.
+func TestOverShareSessionEvictsItsOwnEntriesFirst(t *testing.T) {
+	per := mat(1, 2, 3, 4).Batches[0].Bytes()
+	// Budget fits two entries; one session may hold at most half.
+	c := New(Config{MaxBytes: 2 * per, MaxSessionShare: 0.5})
+	c.Put(fp("other"), "frugal", mat(1, 2, 3, 4), 0)
+	c.Put(fp("fat1"), "dashboard", mat(5, 6, 7, 8), 0)
+	// dashboard's second store pushes it over its share AND the cache
+	// over budget: its own fat1 must go, not frugal's globally-oldest
+	// entry.
+	c.Put(fp("fat2"), "dashboard", mat(9, 10, 11, 12), 0)
+	if _, ok := c.Get(fp("other")); !ok {
+		t.Fatal("the frugal session's entry paid for the dashboard's pressure")
+	}
+	if _, ok := c.Get(fp("fat1")); ok {
+		t.Fatal("over-share session's own oldest entry survived")
+	}
+	if _, ok := c.Get(fp("fat2")); !ok {
+		t.Fatal("just-stored entry evicted")
+	}
+	st := c.Stats()
+	if st.SelfEvictions != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.PerSession["dashboard"].HeldBytes; got != per {
+		t.Errorf("dashboard resident bytes = %d, want %d", got, per)
+	}
+	if got := st.PerSession["frugal"].HeldBytes; got != per {
+		t.Errorf("frugal resident bytes = %d, want %d", got, per)
+	}
+
+	// Without the share cap the same sequence evicts plain LRU (the
+	// frugal session's older entry).
+	c2 := New(Config{MaxBytes: 2 * per})
+	c2.Put(fp("other"), "frugal", mat(1, 2, 3, 4), 0)
+	c2.Put(fp("fat1"), "dashboard", mat(5, 6, 7, 8), 0)
+	c2.Put(fp("fat2"), "dashboard", mat(9, 10, 11, 12), 0)
+	if _, ok := c2.Get(fp("other")); ok {
+		t.Fatal("global LRU kept the oldest entry without a share cap")
+	}
+	if st := c2.Stats(); st.SelfEvictions != 0 {
+		t.Fatalf("self-evictions without a share cap: %+v", st)
+	}
+}
+
+// TestBumpEpochReleasesSessionBytes: invalidation must return every
+// entry's bytes to its session, or quota pressure would outlive the
+// entries it came from.
+func TestBumpEpochReleasesSessionBytes(t *testing.T) {
+	c := New(Config{MaxBytes: 1 << 20, MaxSessionShare: 0.5})
+	c.Put(fp("a"), "s1", mat(1, 2), 0)
+	c.Put(fp("b"), "s2", mat(3, 4), 0)
+	c.BumpEpoch()
+	st := c.Stats()
+	if st.BytesResident != 0 {
+		t.Fatalf("resident bytes after bump = %d", st.BytesResident)
+	}
+	for name, s := range st.PerSession {
+		if s.HeldBytes != 0 {
+			t.Errorf("session %s still holds %d bytes after invalidation", name, s.HeldBytes)
+		}
 	}
 }
 
@@ -98,7 +166,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+			m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 				executions.Add(1)
 				<-gate // hold the flight open until all riders queued
 				return mat(42), time.Second, nil
@@ -142,7 +210,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 		t.Fatalf("stored=%d ridden=%d, want 1/%d", stored, ridden, k-1)
 	}
 	// The stored entry now serves directly.
-	m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 		t.Fatal("stored entry recomputed")
 		return nil, 0, nil
 	})
@@ -163,7 +231,7 @@ func TestFlightErrorPropagates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+			_, _, errs[i] = c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 				<-gate
 				return nil, 0, boom
 			})
@@ -194,7 +262,7 @@ func TestFlightErrorPropagates(t *testing.T) {
 // bump serves its result but does not retain it.
 func TestEpochRaceSkipsStore(t *testing.T) {
 	c := New(Config{})
-	m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 		c.BumpEpoch() // the data changed mid-execution
 		return mat(1), time.Second, nil
 	})
@@ -215,15 +283,15 @@ func TestNilCacheIsTransparent(t *testing.T) {
 	if _, ok := c.Get(fp("q")); ok {
 		t.Fatal("nil cache hit")
 	}
-	c.Put(fp("q"), mat(1), 0)
+	c.Put(fp("q"), "", mat(1), 0)
 	c.BumpEpoch()
-	m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 		return mat(7), 0, nil
 	})
 	if err != nil || out.Hit || m.Rows() != 1 {
 		t.Fatalf("nil Do = %v, %+v, %v", m, out, err)
 	}
-	if st := c.Stats(); st != (Stats{}) {
+	if st := c.Stats(); st.Entries != 0 || st.Hits != 0 || st.Stores != 0 || st.BytesResident != 0 {
 		t.Fatalf("nil Stats = %+v", st)
 	}
 }
@@ -232,7 +300,7 @@ func TestNilCacheIsTransparent(t *testing.T) {
 // share can be mutated without corrupting the entry.
 func TestServedSharesAreIsolated(t *testing.T) {
 	c := New(Config{})
-	c.Put(fp("q"), mat(1, 2, 3), 0)
+	c.Put(fp("q"), "", mat(1, 2, 3), 0)
 	got, _ := c.Get(fp("q"))
 	served, err := exec.ServeCachedResult(got, &exec.Env{Mounts: &exec.MountStats{}})
 	if err != nil {
@@ -259,7 +327,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 				key := fp(fmt.Sprintf("q%d", i%5))
 				switch i % 4 {
 				case 0:
-					c.Do(key, func() (*exec.Materialized, time.Duration, error) {
+					c.Do(key, "", func() (*exec.Materialized, time.Duration, error) {
 						return mat(int64(i)), time.Duration(i), nil
 					})
 				case 1:
@@ -268,7 +336,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 						return
 					}
 				case 2:
-					c.Put(key, mat(int64(g)), time.Duration(i))
+					c.Put(key, "", mat(int64(g)), time.Duration(i))
 				default:
 					if i%40 == 3 {
 						c.BumpEpoch()
@@ -286,14 +354,79 @@ func TestPutAtEpochGuard(t *testing.T) {
 	c := New(Config{})
 	startEpoch := c.Epoch()
 	c.BumpEpoch() // the data changed while the query executed
-	if c.PutAt(fp("q"), mat(1), time.Second, startEpoch) {
+	if c.PutAt(fp("q"), "", mat(1), time.Second, startEpoch) {
 		t.Fatal("stale-epoch result retained through PutAt")
 	}
 	if _, ok := c.Get(fp("q")); ok {
 		t.Fatal("stale-epoch result served")
 	}
-	if !c.PutAt(fp("q"), mat(1), time.Second, c.Epoch()) {
+	if !c.PutAt(fp("q"), "", mat(1), time.Second, c.Epoch()) {
 		t.Fatal("current-epoch PutAt rejected")
+	}
+}
+
+// TestRiderOutcomeMarkedOnLeaderError pins the inherited-failure
+// contract: a rider failed by its leader's error sees Outcome.Rider, so
+// a live caller (the engine's QueryAs) can tell the failure was not its
+// own and re-resolve — e.g. when the leader died of its own context
+// cancellation.
+func TestRiderOutcomeMarkedOnLeaderError(t *testing.T) {
+	c := New(Config{})
+	gate := make(chan struct{})
+	type riderResult struct {
+		out Outcome
+		err error
+	}
+	got := make(chan riderResult, 1)
+	go func() {
+		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+			<-gate
+			return nil, 0, context.Canceled // the leader's own ctx died
+		})
+	}()
+	go func() {
+		for {
+			c.mu.Lock()
+			started := len(c.flights) == 1
+			c.mu.Unlock()
+			if started {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		_, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+			t.Error("rider recomputed instead of riding")
+			return nil, 0, nil
+		})
+		got <- riderResult{out, err}
+	}()
+	for {
+		c.mu.Lock()
+		riders := c.riders
+		c.mu.Unlock()
+		if riders == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	select {
+	case r := <-got:
+		if !errors.Is(r.err, context.Canceled) {
+			t.Fatalf("rider error = %v, want the leader's context.Canceled", r.err)
+		}
+		if !r.out.Rider {
+			t.Fatal("inherited failure not marked Rider: the caller cannot tell it from its own")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("rider never woken")
+	}
+	// The dead flight left the table: the next Do recomputes cleanly.
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		return mat(42), time.Second, nil
+	})
+	if err != nil || out.Hit || m.Rows() != 1 {
+		t.Fatalf("retry after dead leader = (%v, %+v, %v)", m, out, err)
 	}
 }
 
@@ -311,7 +444,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 	go func() {
 		defer close(leaderDone)
 		defer func() { recover() }()
-		c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			panic("engine invariant violation")
 		})
@@ -327,7 +460,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		_, _, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+		_, _, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 			t.Error("rider recomputed instead of riding")
 			return nil, 0, nil
 		})
@@ -354,7 +487,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 	}
 	<-leaderDone
 	// The flight table is clean: a fresh Do computes normally.
-	m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 		return mat(1), time.Second, nil
 	})
 	if err != nil || out.Hit || m.Rows() != 1 {
@@ -370,7 +503,7 @@ func TestRiderIsNotAMiss(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			return mat(1), time.Second, nil
 		})
@@ -389,7 +522,7 @@ func TestRiderIsNotAMiss(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+			c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 				t.Error("rider recomputed")
 				return nil, 0, nil
 			})
@@ -422,7 +555,7 @@ func TestPostInvalidationQueryDoesNotRideStaleFlight(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			return mat(1), time.Second, nil
 		})
@@ -439,7 +572,7 @@ func TestPostInvalidationQueryDoesNotRideStaleFlight(t *testing.T) {
 	c.BumpEpoch() // the data changed while the old flight is running
 
 	recomputed := false
-	m, out, err := c.Do(fp("q"), func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
 		recomputed = true
 		return mat(2), time.Second, nil
 	})
