@@ -9,6 +9,12 @@
 //	bench [-scale tiny|small|medium]
 //	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness]
 //	      [-runs 3] [-parallelism N] [-clients 8] [-sessions 3] [-quota 0.5]
+//	      [-json DIR]
+//
+// -json DIR appends one record per experiment — name, scale, wall time,
+// file mounts and full executions — to DIR/BENCH_<exp>.json, each file a
+// growing JSON array: the repository's performance trajectory across
+// runs (CI uploads them as artifacts).
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
 // experiment (0 = one worker per CPU); the "parallel" experiment sweeps
@@ -32,9 +38,12 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
@@ -58,6 +67,7 @@ func main() {
 		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent/cow/resultcache experiments")
 		sessions    = flag.Int("sessions", 3, "interactive sessions for the fairness experiment (>= 1)")
 		quota       = flag.Float64("quota", 0.5, "per-session mount-budget share for the fairness experiment, in (0, 1]")
+		jsonDir     = flag.String("json", "", "directory to append per-experiment trajectory records to (BENCH_<exp>.json)")
 	)
 	flag.Parse()
 	sc := benchutil.ScaleByName(*scaleName)
@@ -143,9 +153,60 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", e.name, err))
 		}
+		wall := time.Since(start)
 		fmt.Print(out.String())
-		fmt.Printf("  [experiment wall time: %v]\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [experiment wall time: %v]\n\n", wall.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := appendRecord(*jsonDir, e.name, sc.Name, wall, out); err != nil {
+				fatal(fmt.Errorf("%s: recording trajectory: %w", e.name, err))
+			}
+		}
 	}
+}
+
+// benchRecord is one point of an experiment's performance trajectory:
+// the BENCH_<exp>.json files accumulate one record per bench run, so
+// regressions show up as a step in the series rather than a shrug.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Scale      string  `json:"scale"`
+	WallMS     float64 `json:"wall_ms"`
+	Mounts     int     `json:"mounts"`
+	Executions int     `json:"executions"`
+	Timestamp  string  `json:"timestamp"`
+}
+
+// appendRecord appends one record to dir/BENCH_<name>.json, keeping the
+// file a well-formed JSON array across runs. A corrupt existing file is
+// an error, not a silent restart of the series.
+func appendRecord(dir, name, scale string, wall time.Duration, out fmt.Stringer) error {
+	rec := benchRecord{
+		Experiment: name,
+		Scale:      scale,
+		WallMS:     float64(wall.Microseconds()) / 1e3,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if c, ok := out.(benchutil.Counters); ok {
+		rec.Mounts, rec.Executions = c.BenchCounters()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	var recs []benchRecord
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return fmt.Errorf("%s holds something other than a record array: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	recs = append(recs, rec)
+	data, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func fatal(err error) {

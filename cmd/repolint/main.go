@@ -1,0 +1,54 @@
+// Command repolint runs the engine's static-analysis suite
+// (internal/lint: cowcheck, releasecheck, ctxcheck) over the
+// repository, in the spirit of a go/analysis multichecker. It is a CI
+// gate: any diagnostic fails the build.
+//
+// Usage:
+//
+//	repolint [-list] [packages]
+//
+// Packages default to ./... resolved against the current directory,
+// which must be inside the module. Diagnostics print one per line as
+//
+//	path/file.go:line:col: [analyzer] message
+//
+// and are silenced only by fixing the violation or annotating the line
+// (or the line above) with `//lint:allow <analyzer> <reason>` — the
+// reason is required.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, az := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	u, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(u, lint.Analyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

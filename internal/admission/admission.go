@@ -239,7 +239,7 @@ func (g *Gate) Acquire(ctx context.Context, session string, n int64) error {
 		n = 0
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxcheck the documented nil-ctx contract means "no cancellation"; Background is that contract's spelling
 	}
 	g.mu.Lock()
 	s := g.session(session)

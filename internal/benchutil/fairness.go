@@ -124,12 +124,14 @@ func ExperimentFairness(baseDir string, sc Scale, sessions int, quota float64) (
 	want := ref.Float(0, 0)
 
 	// The greedy bulk session loops until the interactive sessions are
-	// done (at least one full run).
+	// done (at least one full run). One root context is shared by every
+	// session goroutine: the experiment is its own entry point, so there
+	// is no caller context to thread.
+	ctx := context.Background() //lint:allow ctxcheck the experiment is a process entry point; sessions are stopped via the stop channel, not cancellation
 	stop := make(chan struct{})
 	greedyDone := make(chan error, 1)
 	var greedyRuns atomic.Int64
 	go func() {
-		ctx := context.Background()
 		for {
 			if _, err := eng.QueryAs(ctx, "greedy", greedyBulkQuery()); err != nil {
 				greedyDone <- err
@@ -162,7 +164,6 @@ func ExperimentFairness(baseDir string, sc Scale, sessions int, quota float64) (
 		go func(i int) {
 			defer wg.Done()
 			session := fmt.Sprintf("interactive-%d", i)
-			ctx := context.Background()
 			for r := 0; r < runsPerSession; r++ {
 				before := waitOf(session)
 				res, err := eng.QueryAs(ctx, session, Query1)

@@ -1,0 +1,31 @@
+package benchutil
+
+// Counters is implemented by experiment reports that can summarize
+// themselves as the two engine-level counters the benchmark trajectory
+// records alongside wall time: total file mounts performed and full
+// query executions run. Reports without meaningful counters (structural
+// tables, parameter sweeps) simply don't implement it and the
+// trajectory records zeros for them.
+type Counters interface {
+	BenchCounters() (mounts, executions int)
+}
+
+// BenchCounters reports both phases of the single-flight experiment:
+// every client runs the query once sequentially and once concurrently.
+func (c *Concurrency) BenchCounters() (int, int) {
+	return c.SeqMounts + c.ConcMounts, 2 * c.K
+}
+
+// BenchCounters reports the baseline burst (K full executions) plus the
+// cached burst's coalesced executions; the repeat and spelling-variant
+// serves mount nothing and execute nothing, so they add no counts.
+func (r *ResultCacheExperiment) BenchCounters() (int, int) {
+	return r.BaselineMounts + r.Mounts, r.K + r.Executions
+}
+
+// BenchCounters reports the contention workload's completed query runs.
+// The fairness experiment measures admission waits, not extraction
+// volume, so it carries no mount count.
+func (f *Fairness) BenchCounters() (int, int) {
+	return 0, f.GreedyRuns + f.InteractiveRuns
+}

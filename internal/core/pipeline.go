@@ -29,7 +29,7 @@ import (
 // The query runs anonymously; PrepareAs attaches a cancellation context
 // and a session identity.
 func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
-	return e.PrepareAs(context.Background(), "", sqlText)
+	return e.PrepareAs(context.Background(), "", sqlText) //lint:allow ctxcheck Prepare is the documented anonymous uncancellable entry point; callers who hold a ctx use PrepareAs
 }
 
 // PrepareAs is Prepare with an execution identity: ctx cancels the
@@ -61,7 +61,7 @@ func (e *Engine) PrepareAs(ctx context.Context, session, sqlText string) (*Prepa
 	// fingerprint: the canonical-plan hash equivalent spellings share;
 	// the result cache keys on it.
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //lint:allow ctxcheck nil-ctx normalization: a nil ctx means the caller opted out of cancellation
 	}
 	p := &Prepared{
 		eng: e, SQL: sqlText, Root: normalized,
@@ -104,7 +104,7 @@ func (p *Prepared) run() (*Result, error) {
 // service's flights one layer up. The query runs anonymously and
 // uncancellable; servers multiplexing sessions use QueryAs.
 func (e *Engine) Query(sqlText string) (*Result, error) {
-	return e.QueryAs(context.Background(), "", sqlText)
+	return e.QueryAs(context.Background(), "", sqlText) //lint:allow ctxcheck Query is the documented anonymous uncancellable entry point; callers who hold a ctx use QueryAs
 }
 
 // QueryAs is Query under an execution identity: ctx unblocks the query

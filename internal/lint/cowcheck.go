@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CowCheck enforces the copy-on-write read contract of the raw vector
+// accessors. Vector.Bools / Int64s / Float64s / Strings return the
+// backing slice without materializing shared storage: they are
+// read-only views, and a write through one mutates every handle
+// sharing the storage — a cache entry, a flight replay buffer, another
+// query's result — as a silent data race. The analyzer flags, inside
+// one function:
+//
+//   - element writes through an accessor result or a variable derived
+//     from one (xs[i] = v, xs[i]++, xs[i] += v)
+//   - append(view, ...) and copy(view, ...) — both may write the
+//     shared backing array in place
+//   - passing a view to a function whose definition writes the
+//     corresponding parameter (module-wide fact; plus the handful of
+//     stdlib sorters)
+//   - a view escaping into a struct field, where its read-only-ness is
+//     no longer visible to readers of the field
+//
+// The fix is Set, Permute or the Mutable* accessors, which materialize
+// a private copy exactly when the storage is shared. The vector
+// package itself, whose methods manage the share records, is exempt.
+var CowCheck = &Analyzer{
+	Name: "cowcheck",
+	Doc:  "flags writes through the read-only vector accessors (Bools/Int64s/Float64s/Strings)",
+	Run:  runCowCheck,
+}
+
+const vectorPkgSuffix = "internal/vector"
+
+var cowAccessors = map[string]bool{
+	"Bools": true, "Int64s": true, "Float64s": true, "Strings": true,
+}
+
+// stdlibWriters names stdlib functions that write a slice argument:
+// parameter index -> writes. Only the sorters the engine could
+// plausibly reach for are listed.
+var stdlibWriters = map[string][]bool{
+	"sort.Ints": {true}, "sort.Float64s": {true}, "sort.Strings": {true},
+	"sort.Slice": {true, false}, "sort.SliceStable": {true, false},
+	"slices.Sort": {true}, "slices.SortFunc": {true, false}, "slices.Reverse": {true},
+}
+
+func runCowCheck(pass *Pass) {
+	if pkgPathHasSuffix(pass.Pkg.Types, vectorPkgSuffix) {
+		return // the accessor package manages its own storage
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkCowFunc(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level function literals (package var initializers).
+				checkCowFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// cowTaint tracks, within one function, which local variables hold
+// read-only accessor views.
+type cowTaint struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+}
+
+// checkCowFunc runs the taint pass over one function body, including
+// its nested function literals (their bodies share the enclosing
+// scope, so one taint set covers them).
+func checkCowFunc(pass *Pass, body *ast.BlockStmt) {
+	t := &cowTaint{pass: pass, tainted: make(map[types.Object]bool)}
+	// Taint propagation to a fixed point: views flow through plain
+	// assignments and re-slicings before the check pass looks for writes.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !t.isView(rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					obj := t.obj(id)
+					if obj != nil && !t.tainted[obj] {
+						t.tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && t.isView(ix.X) {
+					t.pass.Reportf(ix.Pos(), "write through read-only vector view; use Set or the Mutable* accessors")
+				}
+			}
+			// A view on the RHS flowing into a struct field escapes the
+			// function's view-ness tracking entirely.
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && t.isView(rhs) && isFieldExpr(t.pass, n.Lhs[i]) {
+					t.pass.Reportf(rhs.Pos(), "read-only vector view escapes into a struct field; store a Share or a copy")
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && t.isView(ix.X) {
+				t.pass.Reportf(ix.Pos(), "write through read-only vector view; use Set or the Mutable* accessors")
+			}
+		case *ast.CallExpr:
+			t.checkCall(n)
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if t.isView(v) && isStructLit(t.pass, n) {
+					t.pass.Reportf(v.Pos(), "read-only vector view escapes into a struct field; store a Share or a copy")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags builtin writes and calls into functions whose
+// definitions write the receiving parameter.
+func (t *cowTaint) checkCall(call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) > 0 {
+		switch id.Name {
+		case "append":
+			if t.isView(call.Args[0]) {
+				t.pass.Reportf(call.Pos(), "append to read-only vector view may write shared storage; copy or use Mutable* first")
+				return
+			}
+		case "copy":
+			if t.isView(call.Args[0]) {
+				t.pass.Reportf(call.Pos(), "copy into read-only vector view; use the Mutable* accessors")
+				return
+			}
+		}
+	}
+	obj := calleeOf(t.pass.Pkg.Info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	writes := t.pass.Universe.ParamWrites(fn)
+	if writes == nil && fn.Pkg() != nil {
+		writes = stdlibWriters[fn.Pkg().Path()+"."+fn.Name()]
+	}
+	if writes == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i < len(writes) && writes[i] && t.isView(arg) {
+			t.pass.Reportf(arg.Pos(), "read-only vector view passed to %s, which writes it", fn.Name())
+		}
+	}
+}
+
+// isView reports whether e is a raw accessor call, a tainted variable,
+// or a re-slicing of either.
+func (t *cowTaint) isView(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		obj := calleeOf(t.pass.Pkg.Info, e)
+		if fn, ok := obj.(*types.Func); ok && cowAccessors[fn.Name()] {
+			return methodOn(fn, vectorPkgSuffix, "Vector", fn.Name())
+		}
+	case *ast.Ident:
+		obj := t.obj(e)
+		return obj != nil && t.tainted[obj]
+	case *ast.SliceExpr:
+		return t.isView(e.X)
+	}
+	return false
+}
+
+func (t *cowTaint) obj(id *ast.Ident) types.Object {
+	info := t.pass.Pkg.Info
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// isFieldExpr reports whether e denotes a struct field (x.f with f a
+// field, not a package-qualified name or method).
+func isFieldExpr(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pass.Pkg.Info.Selections[sel]
+	return ok && s.Kind() == types.FieldVal
+}
+
+// isStructLit reports whether the composite literal builds a struct.
+func isStructLit(pass *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok {
+		return false
+	}
+	_, isStruct := tv.Type.Underlying().(*types.Struct)
+	return isStruct
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheck enforces context threading, the invariant cancellation is
+// built on: a query cancelled while blocked on the admission budget
+// must unblock promptly, which only works if exec.Env.Ctx is the
+// caller's context all the way down. Three rules:
+//
+//  1. context.Background() / context.TODO() are banned in internal/
+//     non-test code: each silently severs cancellation for everything
+//     downstream. Genuine roots (anonymous entry points, deliberately
+//     detached lifetimes) are annotated //lint:allow ctxcheck <reason>.
+//  2. In internal/exec, a goroutine spawned by a function that has a
+//     context in reach (a ctx parameter, or an *Env with its Ctx
+//     field) must thread it — capture the ctx, the Env, or pass one
+//     in — or the work it starts outlives the query that asked for it.
+//  3. In internal/exec, a keyed mountsvc.Request literal must set Ctx:
+//     a request without it waits on the admission gate uncancellably.
+//
+// Test files never reach the analyzer: the loader follows `go list`,
+// which excludes them.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "bans context.Background/TODO in internal/ code and flags exec operators dropping Env.Ctx",
+	Run:  runCtxCheck,
+}
+
+const (
+	execPkgSuffix     = "internal/exec"
+	mountsvcPkgSuffix = "internal/mountsvc"
+)
+
+func runCtxCheck(pass *Pass) {
+	if !strings.Contains("/"+pass.Pkg.PkgPath+"/", "/internal/") {
+		return // cmd/ and examples/ are entry points; roots are expected
+	}
+	isExec := pkgPathHasSuffix(pass.Pkg.Types, execPkgSuffix)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCtxRoot(pass, n)
+			case *ast.FuncDecl:
+				if isExec && n.Body != nil {
+					checkGoroutines(pass, n)
+				}
+			case *ast.CompositeLit:
+				if isExec {
+					checkRequestLit(pass, n)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxRoot flags context.Background() and context.TODO().
+func checkCtxRoot(pass *Pass, call *ast.CallExpr) {
+	fn, ok := calleeOf(pass.Pkg.Info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		pass.Reportf(call.Pos(),
+			"context.%s() severs cancellation in internal code; thread the caller's ctx", fn.Name())
+	}
+}
+
+// checkGoroutines flags `go` statements that drop a reachable context.
+func checkGoroutines(pass *Pass, fd *ast.FuncDecl) {
+	if !funcHasCtxInReach(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if !threadsCtx(pass, g.Call) {
+			pass.Reportf(g.Pos(),
+				"goroutine drops the reachable context (Env.Ctx); capture or pass it so the work dies with the query")
+		}
+		return true
+	})
+}
+
+// funcHasCtxInReach reports whether the function's receiver or
+// parameters put a context within reach: a context.Context directly,
+// or a struct (like exec.Env) carrying an exported Ctx context field.
+func funcHasCtxInReach(pass *Pass, fd *ast.FuncDecl) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			tv, ok := pass.Pkg.Info.Types[f.Type]
+			if !ok {
+				continue
+			}
+			if isContextType(tv.Type) || hasCtxField(tv.Type) {
+				return true
+			}
+		}
+		return false
+	}
+	return check(fd.Recv) || check(fd.Type.Params)
+}
+
+// hasCtxField reports whether t (or *t) is a struct with a Ctx field
+// of type context.Context.
+func hasCtxField(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Ctx" && isContextType(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// threadsCtx reports whether the spawned call mentions a context: an
+// expression of type context.Context (a captured ctx, env.Ctx, an
+// argument) or a value that carries one (the Env itself).
+func threadsCtx(pass *Pass, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Type != nil {
+			if isContextType(tv.Type) || hasCtxField(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkRequestLit flags keyed mountsvc.Request literals without a Ctx
+// field. (An unkeyed literal necessarily positions every field and is
+// left to the compiler.)
+func checkRequestLit(pass *Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.Pkg.Info.Types[lit]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Request" || !pkgPathHasSuffix(named.Obj().Pkg(), mountsvcPkgSuffix) {
+		return
+	}
+	if len(lit.Elts) == 0 {
+		return // zero literal: a template, not a request being issued
+	}
+	keyed := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Ctx" {
+			return
+		}
+	}
+	if keyed {
+		pass.Reportf(lit.Pos(), "mountsvc.Request built without Ctx: the mount's admission wait cannot be cancelled")
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Cross-package facts. The analyzers are mostly intraprocedural, but
+// cowcheck needs one modular fact to catch a read-only view handed to
+// a function that writes its parameter: for every function in the
+// module, which slice parameters does the body write through? The
+// universe computes the fact once after loading; passes consult it via
+// ParamWrites.
+
+// collectFacts computes facts for every module package.
+func (u *Universe) collectFacts() {
+	for _, pkg := range u.Module {
+		u.collectFactsFor(pkg)
+	}
+}
+
+// collectFactsFor records, per function declared in pkg, which
+// parameters the body writes through (index assignment, copy
+// destination, or append) — the signature a caller passing a read-only
+// view must be warned about.
+func (u *Universe) collectFactsFor(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				u.paramWriteFact(pkg, fd)
+			}
+		}
+	}
+}
+
+func (u *Universe) paramWriteFact(pkg *Package, fd *ast.FuncDecl) {
+	obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	paramObj := make(map[types.Object]int)
+	for i := 0; i < params.Len(); i++ {
+		if _, isSlice := params.At(i).Type().Underlying().(*types.Slice); isSlice {
+			paramObj[params.At(i)] = i
+		}
+	}
+	if len(paramObj) == 0 {
+		return
+	}
+	writes := make([]bool, params.Len())
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if i, ok := paramObj[pkg.Info.Uses[id]]; ok {
+				writes[i] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					mark(ix.X)
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+				mark(ix.X)
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+				switch id.Name {
+				case "copy":
+					mark(n.Args[0]) // copy writes its destination
+				case "append":
+					mark(n.Args[0]) // append may write the shared tail in place
+				}
+			}
+		}
+		return true
+	})
+	any := false
+	for _, w := range writes {
+		any = any || w
+	}
+	if any {
+		u.paramWrites[obj] = writes
+	}
+}
+
+// ParamWrites reports which parameters of fn the module's own
+// definition writes through (nil when none, or fn is outside the
+// module).
+func (u *Universe) ParamWrites(fn *types.Func) []bool {
+	return u.paramWrites[fn]
+}
+
+// --- shared type-matching helpers ---
+
+// pkgPathHasSuffix reports whether the object's package import path
+// ends with suffix — analyzers match the engine's packages by suffix so
+// fixture packages loaded under synthetic paths exercise the same code.
+func pkgPathHasSuffix(pkg *types.Package, suffix string) bool {
+	return pkg != nil && (pkg.Path() == suffix || strings.HasSuffix(pkg.Path(), "/"+suffix))
+}
+
+// methodOn reports whether obj is a method with the given name whose
+// receiver's named type is typeName declared in a package whose path
+// ends with pkgSuffix.
+func methodOn(obj types.Object, pkgSuffix, typeName, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	return pkgPathHasSuffix(named.Obj().Pkg(), pkgSuffix)
+}
+
+// calleeOf resolves the called function or method object of a call.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fun.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Context" && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "context"
+}

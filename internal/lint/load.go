@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file is the suite's package loader. The usual driver for
+// go/analysis analyzers is golang.org/x/tools, but this module is
+// dependency-free by policy, so the loader is built on what the
+// toolchain already ships: `go list -deps -json` resolves the package
+// graph (build constraints applied, testdata directories skipped,
+// dependencies emitted before dependents), and go/parser + go/types
+// type-check every package from source in that order. Import
+// resolution is a map lookup over the packages already checked, which
+// is exactly what makes from-source checking of the stdlib closure
+// tractable.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath  string
+	Dir      string
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+	Standard bool // part of the Go standard library
+}
+
+// Universe is the loaded program: every package in the dependency
+// closure of the requested patterns, plus shared position information
+// and the cross-package facts analyzers consult (see facts.go).
+type Universe struct {
+	Fset     *token.FileSet
+	Packages map[string]*Package // by import path
+	Module   []*Package          // non-stdlib packages, load order
+
+	paramWrites map[*types.Func][]bool
+	allows      map[string][]allowDirective // file -> directives
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the dependency closure of patterns (e.g. "./...")
+// resolved relative to dir, which must sit inside a Go module.
+func Load(dir string, patterns ...string) (*Universe, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: cgo-constrained files drop out of GoFiles and the pure-Go
+	// fallbacks are selected, so every listed file type-checks as plain Go.
+	cmd.Env = append(cmd.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	u := &Universe{
+		Fset:        token.NewFileSet(),
+		Packages:    make(map[string]*Package),
+		paramWrites: make(map[*types.Func][]bool),
+		allows:      make(map[string][]allowDirective),
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if err := u.addPackage(&lp); err != nil {
+			return nil, err
+		}
+	}
+	u.collectFacts()
+	return u, nil
+}
+
+// addPackage parses and type-checks one listed package. Dependencies
+// have already been added (go list -deps emits them first).
+func (u *Universe) addPackage(lp *listedPackage) error {
+	if lp.ImportPath == "unsafe" {
+		u.Packages["unsafe"] = &Package{PkgPath: "unsafe", Types: types.Unsafe, Standard: true}
+		return nil
+	}
+	if len(lp.CgoFiles) > 0 {
+		return fmt.Errorf("lint: %s: cgo packages are not supported by the loader", lp.ImportPath)
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(u.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("lint: parsing %s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: lp.ImportPath, Dir: lp.Dir, Files: files, Standard: lp.Standard}
+	tpkg, info, err := u.check(lp.ImportPath, files, !lp.Standard)
+	if err != nil {
+		return err
+	}
+	pkg.Types, pkg.Info = tpkg, info
+	u.Packages[lp.ImportPath] = pkg
+	// Standard-library vendored imports are spelled without the vendor/
+	// prefix in source; register both names.
+	if rest, ok := strings.CutPrefix(lp.ImportPath, "vendor/"); ok {
+		u.Packages[rest] = pkg
+	}
+	if !lp.Standard {
+		u.Module = append(u.Module, pkg)
+		u.collectAllows(files)
+	}
+	return nil
+}
+
+// check type-checks one package against the packages loaded so far.
+// Detailed type information is recorded only where analyzers look
+// (withInfo: module and fixture packages), keeping the stdlib closure
+// cheap.
+func (u *Universe) check(path string, files []*ast.File, withInfo bool) (*types.Package, *types.Info, error) {
+	conf := types.Config{
+		Importer:    u,
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+	}
+	var info *types.Info
+	if withInfo {
+		info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+	}
+	tpkg, err := conf.Check(path, u.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// Import implements types.Importer over the already-loaded universe.
+func (u *Universe) Import(path string) (*types.Package, error) {
+	if p, ok := u.Packages[path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("lint: package %q not in loaded universe", path)
+}
+
+// LoadFixture parses and type-checks a directory of Go files as an
+// extra package under the given synthetic import path (which analyzers
+// see as Pass.Pkg.PkgPath, so tests can place fixtures "inside"
+// internal/ or internal/exec). The fixture may import anything in the
+// universe, including this module's own packages.
+func (u *Universe) LoadFixture(dir, pkgPath string) (*Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("lint: no fixture files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(u.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, fmt.Errorf("lint: parsing fixture %s: %v", name, perr)
+		}
+		files = append(files, f)
+	}
+	tpkg, info, err := u.check(pkgPath, files, true)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{PkgPath: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	u.collectAllows(files)
+	u.collectFactsFor(pkg)
+	return pkg, nil
+}
+
+// Default importer fallback (unused; kept to pin the importer package
+// so the loader can later delegate exotic paths to the toolchain).
+var _ = importer.Default

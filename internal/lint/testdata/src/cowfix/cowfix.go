@@ -1,0 +1,107 @@
+// Package cowfix seeds cowcheck violations: every write through the
+// read-only vector accessors, plus the allowed patterns (reads,
+// Mutable* writes, Set, and the //lint:allow escape hatch).
+package cowfix
+
+import (
+	"sort"
+
+	"repro/internal/vector"
+)
+
+type holder struct {
+	data []int64
+}
+
+func writeDirect(v *vector.Vector) {
+	v.Int64s()[0] = 1 // want `write through read-only vector view`
+}
+
+func writeViaVar(v *vector.Vector) {
+	fs := v.Float64s()
+	fs[2] = 3.14 // want `write through read-only vector view`
+}
+
+func writeViaReslice(v *vector.Vector) {
+	tail := v.Int64s()[1:]
+	tail[0]++ // want `write through read-only vector view`
+}
+
+func writeCompound(v *vector.Vector) {
+	xs := v.Int64s()
+	xs[0] += 7 // want `write through read-only vector view`
+}
+
+func appendToView(v *vector.Vector) []int64 {
+	return append(v.Int64s(), 9) // want `append to read-only vector view`
+}
+
+func copyIntoView(v *vector.Vector, src []bool) {
+	copy(v.Bools(), src) // want `copy into read-only vector view`
+}
+
+func escapeToField(v *vector.Vector, h *holder) {
+	h.data = v.Int64s() // want `escapes into a struct field`
+}
+
+func escapeToLiteral(v *vector.Vector) holder {
+	return holder{data: v.Int64s()} // want `escapes into a struct field`
+}
+
+func passToWriter(v *vector.Vector) {
+	scrub(v.Int64s()) // want `passed to scrub, which writes it`
+}
+
+func scrub(xs []int64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func sortView(v *vector.Vector) {
+	sort.Slice(v.Float64s(), func(i, j int) bool { return i < j }) // want `passed to Slice, which writes it`
+}
+
+// --- allowed patterns ---
+
+func readOnlyRange(v *vector.Vector) int64 {
+	var sum int64
+	for _, x := range v.Int64s() {
+		sum += x
+	}
+	return sum
+}
+
+func readThroughLocal(v *vector.Vector) float64 {
+	fs := v.Float64s()
+	return fs[0]
+}
+
+func mutableWrite(v *vector.Vector) {
+	v.MutableInt64s()[0] = 1
+}
+
+func setWrite(v *vector.Vector) {
+	v.Set(0, vector.Value{Kind: vector.KindInt64, I: 7})
+}
+
+func readIntoFresh(v *vector.Vector) []int64 {
+	out := make([]int64, 0, v.Len())
+	return append(out, v.Int64s()...) // appending FROM a view only reads it
+}
+
+func passToReader(v *vector.Vector) int64 {
+	return sum(v.Int64s()) // sum only reads its parameter
+}
+
+func sum(xs []int64) int64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func allowedEscape(v *vector.Vector, h *holder) {
+	h.data = v.Int64s() //lint:allow cowcheck the holder is documented as a read-only borrow
+}

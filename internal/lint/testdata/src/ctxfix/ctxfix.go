@@ -1,0 +1,38 @@
+// Package ctxfix seeds ctxcheck rule-1 violations: context roots in
+// internal code, plus the allowed patterns (threading the caller's
+// ctx, and the //lint:allow escape hatch with its mandatory reason).
+package ctxfix
+
+import "context"
+
+func rootBackground() context.Context {
+	return context.Background() // want `context.Background\(\) severs cancellation`
+}
+
+func rootTODO() {
+	ctx := context.TODO() // want `context.TODO\(\) severs cancellation`
+	_ = ctx
+}
+
+func rootInArgument(run func(context.Context)) {
+	run(context.Background()) // want `context.Background\(\) severs cancellation`
+}
+
+// --- allowed patterns ---
+
+func threaded(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx) // deriving from the caller's ctx is the point
+}
+
+func allowedRoot() context.Context {
+	return context.Background() //lint:allow ctxcheck this fixture function stands in for a process entry point
+}
+
+func allowedAbove() context.Context {
+	//lint:allow ctxcheck a directive on the preceding line also applies
+	return context.Background()
+}
+
+func missingReason() {
+	_ = context.Background() //lint:allow ctxcheck // want `needs a reason`
+}

@@ -1,0 +1,62 @@
+// Package execfix seeds ctxcheck rule-2 and rule-3 violations; the
+// test loads it under a synthetic import path ending internal/exec, so
+// the operator-package rules apply: goroutines must thread a reachable
+// context, and mountsvc.Request literals must set Ctx.
+package execfix
+
+import (
+	"context"
+
+	"repro/internal/mountsvc"
+)
+
+type env struct {
+	Ctx context.Context
+}
+
+func work() {}
+
+func workCtx(ctx context.Context) { _ = ctx }
+
+func (e *env) spawnDropped() {
+	go work() // want `goroutine drops the reachable context`
+}
+
+func (e *env) spawnDroppedClosure() {
+	go func() { // want `goroutine drops the reachable context`
+		work()
+	}()
+}
+
+func requestWithoutCtx(uri string) mountsvc.Request {
+	return mountsvc.Request{ // want `mountsvc.Request built without Ctx`
+		URI: uri,
+	}
+}
+
+// --- allowed patterns ---
+
+func (e *env) spawnThreadedCapture() {
+	ctx := e.Ctx
+	go func() {
+		workCtx(ctx)
+	}()
+}
+
+func (e *env) spawnThreadedArg() {
+	go workCtx(e.Ctx)
+}
+
+func (e *env) spawnThreadedEnv() {
+	go func(inner *env) {
+		workCtx(inner.Ctx)
+	}(e)
+}
+
+func spawnNoCtxInReach() {
+	go work() // nothing to thread: the spawner has no context in reach
+}
+
+func requestWithCtx(ctx context.Context, uri string) mountsvc.Request {
+	return mountsvc.Request{URI: uri, Ctx: ctx}
+}

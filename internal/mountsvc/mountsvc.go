@@ -425,7 +425,7 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 // ends the wait. On success the flight is marked admitted, which is
 // what licenses the (single) release.
 func (s *Service) admit(f *flight, size int64) error {
-	actx, cancel := context.WithCancel(context.Background())
+	actx, cancel := context.WithCancel(context.Background()) //lint:allow ctxcheck the flight's wait is deliberately detached from any one waiter's ctx; abandonment (below) is its only cancellation
 	defer cancel()
 	go func() {
 		// A flight whose every waiter detached while it was still queued
@@ -436,7 +436,7 @@ func (s *Service) admit(f *flight, size int64) error {
 		case <-actx.Done():
 		}
 	}()
-	if err := s.gate.Acquire(actx, f.session, size); err != nil {
+	if err := s.gate.Acquire(actx, f.session, size); err != nil { //lint:allow releasecheck the flight record owns this admission; releaseFlight pairs it exactly once at flight teardown, gated by f.released
 		return err
 	}
 	f.mu.Lock()
