@@ -7,14 +7,15 @@
 // Usage:
 //
 //	bench [-scale tiny|small|medium]
-//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness]
+//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness|subsume]
 //	      [-runs 3] [-parallelism N] [-clients 8] [-sessions 3] [-quota 0.5]
-//	      [-json DIR]
+//	      [-zoom 4] [-json DIR]
 //
 // -json DIR appends one record per experiment — name, scale, wall time,
-// file mounts and full executions — to DIR/BENCH_<exp>.json, each file a
-// growing JSON array: the repository's performance trajectory across
-// runs (CI uploads them as artifacts).
+// file mounts, full executions, and any experiment-specific counters
+// (result-cache hits, subsumption hits, mounts saved) — to
+// DIR/BENCH_<exp>.json, each file a growing JSON array: the repository's
+// performance trajectory across runs (CI uploads them as artifacts).
 //
 // -parallelism sets the engine's ingestion/mount worker count for every
 // experiment (0 = one worker per CPU); the "parallel" experiment sweeps
@@ -31,10 +32,14 @@
 // session against -sessions interactive sessions over a small mount
 // budget with a per-session share of -quota, and errors unless the
 // interactive p95 admission wait stays bounded (the FIFO + quota gate's
-// no-starvation contract).
+// no-starvation contract). The "subsume" experiment drives a -zoom step
+// zooming explore session against the semantic result cache and errors
+// unless every query after the first is answered by re-filtering a wider
+// cached entry — zero file mounts — byte-identical to cold execution.
 //
 // An unrecognized -exp name is an error listing the valid experiments;
-// -sessions below 1 and -quota outside (0, 1] are likewise errors.
+// -sessions below 1, -quota outside (0, 1] and -zoom below 2 are
+// likewise errors.
 package main
 
 import (
@@ -67,6 +72,7 @@ func main() {
 		clients     = flag.Int("clients", 8, "concurrent clients for the concurrent/cow/resultcache experiments")
 		sessions    = flag.Int("sessions", 3, "interactive sessions for the fairness experiment (>= 1)")
 		quota       = flag.Float64("quota", 0.5, "per-session mount-budget share for the fairness experiment, in (0, 1]")
+		zoom        = flag.Int("zoom", 4, "zoom steps for the subsume experiment (>= 2)")
 		jsonDir     = flag.String("json", "", "directory to append per-experiment trajectory records to (BENCH_<exp>.json)")
 	)
 	flag.Parse()
@@ -78,6 +84,10 @@ func main() {
 	}
 	if *quota <= 0 || *quota > 1 {
 		fatal(fmt.Errorf("-quota must be in (0, 1], got %v", *quota))
+	}
+	// A one-step "zoom" has no nested query to subsume: reject up front.
+	if *zoom < 2 {
+		fatal(fmt.Errorf("-zoom must be >= 2, got %d", *zoom))
 	}
 	if *parallelism != 0 { // 0 keeps REPRO_PARALLELISM (or per-CPU default)
 		benchutil.DefaultParallelism = *parallelism
@@ -119,6 +129,9 @@ func main() {
 		}},
 		{"fairness", func() (fmt.Stringer, error) {
 			return benchutil.ExperimentFairness(base, sc, *sessions, *quota)
+		}},
+		{"subsume", func() (fmt.Stringer, error) {
+			return benchutil.ExperimentSubsume(base, sc, *zoom)
 		}},
 	}
 
@@ -168,12 +181,13 @@ func main() {
 // the BENCH_<exp>.json files accumulate one record per bench run, so
 // regressions show up as a step in the series rather than a shrug.
 type benchRecord struct {
-	Experiment string  `json:"experiment"`
-	Scale      string  `json:"scale"`
-	WallMS     float64 `json:"wall_ms"`
-	Mounts     int     `json:"mounts"`
-	Executions int     `json:"executions"`
-	Timestamp  string  `json:"timestamp"`
+	Experiment string           `json:"experiment"`
+	Scale      string           `json:"scale"`
+	WallMS     float64          `json:"wall_ms"`
+	Mounts     int              `json:"mounts"`
+	Executions int              `json:"executions"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Timestamp  string           `json:"timestamp"`
 }
 
 // appendRecord appends one record to dir/BENCH_<name>.json, keeping the
@@ -188,6 +202,9 @@ func appendRecord(dir, name, scale string, wall time.Duration, out fmt.Stringer)
 	}
 	if c, ok := out.(benchutil.Counters); ok {
 		rec.Mounts, rec.Executions = c.BenchCounters()
+	}
+	if x, ok := out.(benchutil.ExtraCounters); ok {
+		rec.Counters = x.BenchExtra()
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
-//	         [-resultcache MB] [-session name]
+//	         [-resultcache MB] [-subsume] [-session name]
+//
+// -subsume turns on semantic result caching: a query whose predicate is
+// provably narrower than a cached one is answered by re-filtering the
+// frozen entry in memory, mounting nothing. It requires -resultcache.
 //
 // Shell commands:
 //
@@ -52,6 +56,7 @@ func main() {
 		cacheCfg = flag.String("cache", "off", "ingestion cache: off, file or tuple")
 		budget   = flag.Duration("budget", 0, "abort queries whose estimated cost exceeds this (0 = off)")
 		rcacheMB = flag.Int64("resultcache", 0, "result-cache budget in MiB (0 = off, -1 = unlimited)")
+		subsume  = flag.Bool("subsume", false, "answer narrower queries by re-filtering wider cached results (requires -resultcache)")
 		sessFlag = flag.String("session", "explorer", "session identity for admission quotas and per-session stats")
 	)
 	flag.Parse()
@@ -94,6 +99,13 @@ func main() {
 		opts.ResultCacheBytes = *rcacheMB << 20
 	case *rcacheMB < 0:
 		opts.ResultCacheBytes = -1
+	}
+	if *subsume {
+		if opts.ResultCacheBytes == 0 {
+			fmt.Fprintln(os.Stderr, "explorer: -subsume requires -resultcache")
+			os.Exit(2)
+		}
+		opts.ResultCacheSubsumption = true
 	}
 
 	fmt.Printf("opening %s repository (%s mode)...\n", *repoDir, opts.Mode)
@@ -169,6 +181,9 @@ func printEngineStats(eng *core.Engine) {
 		fmt.Printf("result cache: %d entries (%s), %d hits, %d riders, %d misses; %d stores, %d rejected, %d evictions (%d self); epoch %d (%d invalidated)\n",
 			rs.Entries, unit.FormatBytes(rs.BytesResident), rs.Hits, rs.Riders, rs.Misses,
 			rs.Stores, rs.RejectedStores, rs.Evictions, rs.SelfEvictions, rs.Epoch, rs.Invalidations)
+		fmt.Printf("  subsumption: %d probes, %d hits, %s re-execution avoided, %v re-filtering\n",
+			rs.SubsumptionProbes, rs.SubsumptionHits,
+			unit.FormatBytes(rs.SubsumptionBytesSaved), rs.RefilterWall.Round(time.Microsecond))
 	} else {
 		fmt.Println("result cache: disabled (run with -resultcache to enable)")
 	}
@@ -275,8 +290,11 @@ func runSQL(eng *core.Engine, session *explore.Session, sql string) {
 	st := res.Stats
 	if st.ServedFromResultCache {
 		how := "fingerprint hit"
-		if st.CoalescedRider {
+		switch {
+		case st.CoalescedRider:
 			how = "rode a concurrent identical query"
+		case st.ServedBySubsumption:
+			how = "served by subsumption of " + st.SubsumedFrom.Short()
 		}
 		fmt.Printf("%d rows; served from the result cache (%s, %s shared) in %v\n",
 			res.Rows(), how, unit.FormatBytes(st.Mounts.ResultCacheBytes),

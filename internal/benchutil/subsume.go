@@ -1,0 +1,225 @@
+package benchutil
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// SubsumeExperiment reports the semantic-cache (predicate subsumption)
+// experiment: a zooming exploration session whose every query after the
+// first nests inside its predecessor, against an engine probing the
+// result cache's subsumption index, with a cold no-cache engine as the
+// correctness and mount baseline.
+type SubsumeExperiment struct {
+	Scale Scale
+	Steps int
+
+	// Baseline: every query of the session executed cold (no caches).
+	BaselineMounts int
+	BaselineWall   time.Duration
+
+	// Subsumption engine: the first query's mounts, then the warm rest.
+	FirstMounts int
+	WarmMounts  int
+
+	SubsumptionHits int64
+	BytesSaved      int64
+	RefilterWall    time.Duration
+	Wall            time.Duration
+
+	// Rows per zoom step, and whether every answer matched the baseline
+	// byte for byte.
+	Rows      []int
+	Identical bool
+}
+
+// zoomWindows builds n strictly nested [lo, hi) windows around the
+// repository's guaranteed-data window: the first spans half an hour, the
+// last is the paper's literal 22:15:00–22:15:02 slice (inside every
+// file's coverage at every scale — see BuildRepo).
+func zoomWindows(n int) [][2]string {
+	day := time.Date(2010, 1, 12, 0, 0, 0, 0, time.UTC)
+	loStart := 22*time.Hour + 10*time.Minute
+	loEnd := 22*time.Hour + 15*time.Minute
+	hiStart := 22*time.Hour + 40*time.Minute
+	hiEnd := 22*time.Hour + 15*time.Minute + 2*time.Second
+	const format = "2006-01-02T15:04:05.000"
+	out := make([][2]string, n)
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		lo := loStart + time.Duration(frac*float64(loEnd-loStart))
+		hi := hiStart - time.Duration(frac*float64(hiStart-hiEnd))
+		out[i] = [2]string{day.Add(lo).Format(format), day.Add(hi).Format(format)}
+	}
+	return out
+}
+
+// zoomQuery is the session's projection query: a waveform window from
+// one station. No aggregate, so the plan stays subsumption-eligible.
+func zoomQuery(w [2]string) string {
+	return fmt.Sprintf(`SELECT D.sample_time, D.sample_value
+FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK'
+AND R.start_time > '2010-01-12T00:00:00.000'
+AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '%s' AND D.sample_time < '%s'`, w[0], w[1])
+}
+
+// ExperimentSubsume drives a steps-query zooming explore session against
+// an engine with semantic result caching on, asserting the semantic-
+// cache contract: after the first (widest) query executes and its result
+// is retained, every narrower query is answered by re-filtering a wider
+// frozen entry — zero file mounts, SubsumptionHits >= steps-1 — with
+// every answer byte-identical to a cold execution. Violations are
+// errors, so CI smoke runs enforce the contract on every commit.
+func ExperimentSubsume(baseDir string, sc Scale, steps int) (*SubsumeExperiment, error) {
+	if steps < 2 {
+		return nil, fmt.Errorf("subsume: need at least 2 zoom steps, got %d", steps)
+	}
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	windows := zoomWindows(steps)
+	out := &SubsumeExperiment{Scale: sc, Steps: steps, Identical: true}
+
+	// Baseline: every zoom step cold, no caches — what the session costs
+	// without semantic caching, and the byte-identicality reference.
+	baseline, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi})
+	if err != nil {
+		return nil, err
+	}
+	defer baseline.Close()
+	refs := make([]string, steps)
+	baseStart := time.Now()
+	for i, w := range windows {
+		res, err := baseline.Query(zoomQuery(w))
+		if err != nil {
+			return nil, fmt.Errorf("subsume: baseline step %d: %w", i+1, err)
+		}
+		refs[i] = res.Format(0)
+		out.BaselineMounts += res.Stats.Mounts.FilesMounted
+	}
+	out.BaselineWall = time.Since(baseStart)
+
+	// The measured engine: result cache with subsumption probing.
+	eng, err := OpenEngine(m, baseDir, core.Options{
+		Mode:                   core.ModeALi,
+		ResultCacheBytes:       -1,
+		ResultCacheSubsumption: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	// A zooming exploration session: Stage1 → breakpoint decision →
+	// Proceed, the paper's interactive flow, logged step by step.
+	session := explore.NewSession(nil)
+	start := time.Now()
+	for i, w := range windows {
+		q := zoomQuery(w)
+		qStart := time.Now()
+		p, err := eng.Prepare(q)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := p.Stage1()
+		if err != nil {
+			return nil, fmt.Errorf("subsume: step %d stage 1: %w", i+1, err)
+		}
+		if session.Decide(bp.Est) != explore.Proceed {
+			return nil, fmt.Errorf("subsume: step %d aborted at breakpoint", i+1)
+		}
+		res := bp.Result()
+		if !bp.Done() {
+			if res, err = bp.Proceed(); err != nil {
+				return nil, fmt.Errorf("subsume: step %d stage 2: %w", i+1, err)
+			}
+		}
+		session.Log(explore.Record{
+			SQL: q, At: qStart, Estimate: bp.Est, Decision: explore.Proceed,
+			Rows: res.Rows(), Wall: time.Since(qStart),
+		})
+		out.Rows = append(out.Rows, res.Rows())
+		if res.Format(0) != refs[i] {
+			out.Identical = false
+			return out, fmt.Errorf("subsume: step %d answer differs from cold execution", i+1)
+		}
+		mounts := res.Stats.Mounts.FilesMounted
+		if i == 0 {
+			out.FirstMounts = mounts
+			if res.Stats.ServedBySubsumption {
+				return out, fmt.Errorf("subsume: the widest query claims a subsumption serve")
+			}
+			continue
+		}
+		out.WarmMounts += mounts
+		// The semantic-cache contract: nested queries re-filter in memory.
+		if !res.Stats.ServedBySubsumption {
+			return out, fmt.Errorf("subsume: step %d not served by subsumption", i+1)
+		}
+		if mounts != 0 {
+			return out, fmt.Errorf("subsume: step %d mounted %d files on a subsumption serve", i+1, mounts)
+		}
+	}
+	out.Wall = time.Since(start)
+	if last := out.Rows[len(out.Rows)-1]; last == 0 {
+		return out, fmt.Errorf("subsume: innermost window returned no rows")
+	}
+
+	st := eng.ResultCache().Stats()
+	out.SubsumptionHits = st.SubsumptionHits
+	out.BytesSaved = st.SubsumptionBytesSaved
+	out.RefilterWall = st.RefilterWall
+	if out.SubsumptionHits < int64(steps-1) {
+		return out, fmt.Errorf("subsume: %d subsumption hits for %d nested queries", out.SubsumptionHits, steps-1)
+	}
+	return out, nil
+}
+
+func (s *SubsumeExperiment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Semantic cache (scale %s): %d-step zoom session, each window nested in the last\n",
+		s.Scale.Name, s.Steps)
+	fmt.Fprintf(&sb, "  cold baseline:     %d mounts, %v for the whole session\n",
+		s.BaselineMounts, s.BaselineWall.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  with subsumption:  %d mounts on the first query, %d after — every later step\n",
+		s.FirstMounts, s.WarmMounts)
+	fmt.Fprintf(&sb, "                     re-filters a wider frozen entry in memory (%v total)\n",
+		s.RefilterWall.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  subsumption hits:  %d (bytes whose re-execution was avoided: %s)\n",
+		s.SubsumptionHits, FormatBytes(s.BytesSaved))
+	rows := make([]string, len(s.Rows))
+	for i, r := range s.Rows {
+		rows[i] = fmt.Sprintf("%d", r)
+	}
+	fmt.Fprintf(&sb, "  rows per step:     %s; answers byte-identical to cold: %v\n",
+		strings.Join(rows, " → "), s.Identical)
+	fmt.Fprintf(&sb, "  session wall:      %v (baseline %v)\n",
+		s.Wall.Round(time.Millisecond), s.BaselineWall.Round(time.Millisecond))
+	return sb.String()
+}
+
+// BenchCounters implements Counters: total mounts across baseline and
+// measured sessions, and full executions (baseline steps + the one cold
+// execution the measured session pays).
+func (s *SubsumeExperiment) BenchCounters() (mounts, executions int) {
+	return s.BaselineMounts + s.FirstMounts + s.WarmMounts, s.Steps + 1
+}
+
+// BenchExtra implements ExtraCounters with the experiment-specific
+// trajectory counters.
+func (s *SubsumeExperiment) BenchExtra() map[string]int64 {
+	return map[string]int64{
+		"subsumption_hits": s.SubsumptionHits,
+		"bytes_saved":      s.BytesSaved,
+		"mounts_saved":     int64(s.BaselineMounts - s.FirstMounts - s.WarmMounts),
+		"refilter_us":      s.RefilterWall.Microseconds(),
+	}
+}

@@ -10,10 +10,27 @@ type Counters interface {
 	BenchCounters() (mounts, executions int)
 }
 
+// ExtraCounters is implemented by experiment reports carrying
+// experiment-specific counters beyond the two engine-level ones —
+// result-cache hits, subsumption hits, bytes saved. The trajectory
+// records them as a name → value map, so each experiment's BENCH file
+// carries the counters that make *its* regressions visible.
+type ExtraCounters interface {
+	BenchExtra() map[string]int64
+}
+
 // BenchCounters reports both phases of the single-flight experiment:
 // every client runs the query once sequentially and once concurrently.
 func (c *Concurrency) BenchCounters() (int, int) {
 	return c.SeqMounts + c.ConcMounts, 2 * c.K
+}
+
+// BenchExtra reports the single-flight experiment's coalescing counters.
+func (c *Concurrency) BenchExtra() map[string]int64 {
+	return map[string]int64{
+		"single_flight_hits": int64(c.SingleFlight),
+		"cache_serves":       int64(c.CacheServes),
+	}
 }
 
 // BenchCounters reports the baseline burst (K full executions) plus the
@@ -21,6 +38,24 @@ func (c *Concurrency) BenchCounters() (int, int) {
 // serves mount nothing and execute nothing, so they add no counts.
 func (r *ResultCacheExperiment) BenchCounters() (int, int) {
 	return r.BaselineMounts + r.Mounts, r.K + r.Executions
+}
+
+// BenchExtra reports the result-cache experiment's serve counters: rides
+// on the in-flight execution, bytes served as CoW shares, and whether
+// the repeat and equivalently spelled probes hit the stored entry.
+func (r *ResultCacheExperiment) BenchExtra() map[string]int64 {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]int64{
+		"result_cache_riders": int64(r.Riders),
+		"shared_bytes":        r.SharedBytes,
+		"repeat_hit":          b2i(r.RepeatHit),
+		"spelling_hit":        b2i(r.SpellingHit),
+	}
 }
 
 // BenchCounters reports the contention workload's completed query runs.

@@ -136,6 +136,15 @@ type Options struct {
 	// results cannot push out everyone else's. <= 0 disables the
 	// preference (plain global LRU).
 	ResultCacheMaxSessionShare float64
+	// ResultCacheSubsumption turns on semantic result caching: on an
+	// exact-fingerprint miss, a wider cached result whose predicate
+	// provably contains the query's (predicate subsumption over
+	// normalized per-column intervals) is re-filtered in memory instead
+	// of re-executing and re-mounting files. Sound and conservative —
+	// only plans with no row-collapsing operator and interval-shaped
+	// bounds over passthrough output columns participate. Requires
+	// ResultCacheBytes != 0.
+	ResultCacheSubsumption bool
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.

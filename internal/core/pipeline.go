@@ -68,6 +68,13 @@ func (e *Engine) PrepareAs(ctx context.Context, session, sqlText string) (*Prepa
 		ctx: ctx, session: session,
 		Fingerprint: plan.FingerprintOf(normalized),
 	}
+	// Subsumption summary: the semantic-cache bucket key, the per-column
+	// interval decomposition, and the re-filter predicate. Computed once
+	// at prepare time; nil when the plan is ineligible (row-collapsing
+	// operators, non-interval bounds, non-passthrough columns).
+	if e.results != nil && e.opts.ResultCacheSubsumption {
+		p.sub = plan.SubsumptionInfoOf(normalized)
+	}
 	if e.opts.Mode == ModeALi {
 		name := fmt.Sprintf("qf%d", e.qfSeq.Add(1))
 		if dec, ok := plan.Decompose(normalized, e.cat, name); ok {
@@ -126,10 +133,18 @@ func (e *Engine) QueryAs(ctx context.Context, session, sqlText string) (*Result,
 	var mat *exec.Materialized
 	var out resultcache.Outcome
 	for {
-		mat, out, err = e.results.Do(p.Fingerprint, session, func() (*exec.Materialized, time.Duration, error) {
+		mat, out, err = e.results.Do(p.Fingerprint, session, p.sub, func() (*exec.Materialized, time.Duration, error) {
 			// The flight publishes and stores the result; the stages must
 			// not offer it a second time.
 			p.inFlight = true
+			// Semantic probe before executing: a wider cached entry that
+			// contains this query re-filters in memory — zero mounts — and
+			// the flight publishes (and cost permitting retains) the slice
+			// under this query's own fingerprint.
+			if res, cost, ok := e.probeSubsumption(p); ok {
+				leader = res
+				return res.Mat, cost, nil
+			}
 			res, err := p.run()
 			if err != nil {
 				return nil, 0, err
@@ -165,20 +180,78 @@ func (e *Engine) QueryAs(ctx context.Context, session, sqlText string) (*Result,
 }
 
 // probeResultCache is the pipeline's probe stage: a current-epoch entry
-// for the prepared fingerprint short-circuits both execution stages.
+// for the prepared fingerprint short-circuits both execution stages. On
+// an exact miss the semantic index is probed next — a wider entry whose
+// predicate contains this query's answers it by an in-memory re-filter.
 func (e *Engine) probeResultCache(p *Prepared) (*Result, bool) {
 	if e.results == nil || p.inFlight {
 		return nil, false
 	}
-	mat, ok := e.results.Get(p.Fingerprint)
+	if mat, ok := e.results.Get(p.Fingerprint); ok {
+		res, err := e.serveCached(mat, resultcache.Outcome{Hit: true})
+		if err != nil {
+			return nil, false
+		}
+		return res, true
+	}
+	res, cost, ok := e.probeSubsumption(p)
 	if !ok {
 		return nil, false
 	}
-	res, err := e.serveCached(mat, resultcache.Outcome{Hit: true})
-	if err != nil {
-		return nil, false
+	// Retain the slice under the narrow query's own fingerprint so its
+	// next repetition is an exact O(1) hit — cost-gated, and declined
+	// outright when the re-filter trimmed nothing (the slice would only
+	// duplicate its source entry).
+	if cost != resultcache.DoNotStore {
+		e.results.PutAt(p.Fingerprint, p.session, res.Mat, cost, p.startEpoch, p.sub)
 	}
 	return res, true
+}
+
+// probeSubsumption probes the result cache's semantic index and, on a
+// hit, re-filters the wider frozen entry through the executor's
+// share-based result-scan path: zero file mounts, O(1) copies for
+// batches the re-filter passes whole. It returns the served result and
+// the cost signal for retaining the slice as its own entry —
+// resultcache.DoNotStore when the re-filter removed nothing.
+func (e *Engine) probeSubsumption(p *Prepared) (*Result, time.Duration, bool) {
+	if e.results == nil || p.sub == nil {
+		return nil, 0, false
+	}
+	hit, ok := e.results.GetSubsuming(p.Fingerprint, p.sub)
+	if !ok {
+		return nil, 0, false
+	}
+	start := time.Now()
+	env := e.newExecEnv(nil, nil)
+	served, err := exec.ServeSubsumedResult(hit.Mat, p.sub.Refilter, hit.Bytes, env)
+	if err != nil {
+		return nil, 0, false
+	}
+	wall := time.Since(start)
+	e.results.NoteRefilter(wall, hit.Bytes)
+	st := Stats{
+		ServedFromResultCache: true,
+		ServedBySubsumption:   true,
+		SubsumedFrom:          hit.Fp,
+		RefilterWall:          wall,
+		Mounts:                env.MountsSnapshot(),
+	}
+	st.Stage1Wall = wall
+	st.TotalWall = wall
+	res := &Result{Columns: columnNames(served.Schema), Mat: served, Stats: st}
+	// The slice inherits the wider entry's recompute-cost signal — a
+	// narrow re-execution would mount the same files — unless it is the
+	// whole entry, which is already stored under the wider fingerprint.
+	cost := hit.Cost
+	var servedBytes int64
+	for _, b := range served.Batches {
+		servedBytes += b.Bytes()
+	}
+	if servedBytes >= hit.Bytes {
+		cost = resultcache.DoNotStore
+	}
+	return res, cost, true
 }
 
 // serveCached turns a frozen cache entry (or flight result) into a
@@ -214,7 +287,7 @@ func (e *Engine) offerToResultCache(p *Prepared, res *Result) {
 		res.Stats.StoppedEarly || res.Stats.ServedFromResultCache {
 		return
 	}
-	e.results.PutAt(p.Fingerprint, p.session, res.Mat, recomputeCost(res), p.startEpoch)
+	e.results.PutAt(p.Fingerprint, p.session, res.Mat, recomputeCost(res), p.startEpoch, p.sub)
 }
 
 // recomputeCost is the admission signal: what it would cost to compute

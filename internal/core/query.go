@@ -40,6 +40,10 @@ type Prepared struct {
 	// (Stage1); an execution that straddles an invalidation must not be
 	// retained.
 	startEpoch uint64
+	// sub is the plan's subsumption summary (nil when ineligible or when
+	// Options.ResultCacheSubsumption is off): the semantic-cache bucket
+	// key, per-column intervals, and the prebuilt re-filter predicate.
+	sub *plan.SubsumptionInfo
 }
 
 // PlanString renders the optimized plan; in ALi mode the two stages are

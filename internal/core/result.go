@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/explore"
+	"repro/internal/plan"
 	"repro/internal/vector"
 )
 
@@ -39,6 +40,13 @@ type Stats struct {
 	// client's concurrent execution of the identical query.
 	ServedFromResultCache bool
 	CoalescedRider        bool
+	// ServedBySubsumption: the answer came from re-filtering a *wider*
+	// cached result whose predicate contains this query's (semantic
+	// caching). SubsumedFrom is the wider entry's fingerprint and
+	// RefilterWall the time spent re-filtering it.
+	ServedBySubsumption bool
+	SubsumedFrom        plan.Fingerprint
+	RefilterWall        time.Duration
 }
 
 // Modeled returns the query's combined wall + modeled-I/O time: the

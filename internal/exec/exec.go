@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/catalog"
+	"repro/internal/expr"
 	"repro/internal/index"
 	"repro/internal/mountsvc"
 	"repro/internal/plan"
@@ -120,6 +121,13 @@ type MountStats struct {
 	// shared with the cache entry, not copied.
 	ResultCacheHits  int
 	ResultCacheBytes int64
+	// SubsumptionHits counts results served semantically: a wider cached
+	// entry re-filtered in memory to answer a narrower query (a subset of
+	// ResultCacheHits). SubsumptionBytesSaved totals the resident bytes of
+	// the wider entries served that way — the re-execution (and its file
+	// mounts) the semantic probe avoided.
+	SubsumptionHits       int
+	SubsumptionBytesSaved int64
 }
 
 // Env is everything operators need to run: storage, adapters, the
@@ -333,6 +341,47 @@ func ServeCachedResult(mat *Materialized, env *Env) (*Materialized, error) {
 	env.addMountStats(func(ms *MountStats) {
 		ms.ResultCacheHits++
 		ms.ResultCacheBytes += bytes
+	})
+	return out, nil
+}
+
+// ServeSubsumedResult answers a narrower query from a wider frozen cache
+// entry: the entry's batches replay through the result-scan path as O(1)
+// copy-on-write shares, re-filtered by the narrow query's re-filter
+// predicate (nil re-filter serves the entry as-is). Batches the filter
+// passes whole stay shares — only partially-selected batches gather into
+// private storage, so a zoom step that trims little copies little. The
+// serve counts as a ResultCacheHit and a SubsumptionHit; entryBytes is
+// the wider entry's resident size, recorded as the bytes whose
+// re-execution the semantic probe avoided.
+func ServeSubsumedResult(mat *Materialized, refilter expr.Expr, entryBytes int64, env *Env) (*Materialized, error) {
+	var op Operator = &resultScanOp{schema: mat.Schema, mat: mat}
+	if refilter != nil {
+		op = &filterOp{child: op, pred: refilter}
+	}
+	defer op.Close()
+	out := &Materialized{Schema: op.Schema()}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			out.Batches = append(out.Batches, b)
+		}
+	}
+	var served int64
+	for _, b := range out.Batches {
+		served += b.Bytes()
+	}
+	env.addMountStats(func(ms *MountStats) {
+		ms.ResultCacheHits++
+		ms.ResultCacheBytes += served
+		ms.SubsumptionHits++
+		ms.SubsumptionBytesSaved += entryBytes
 	})
 	return out, nil
 }

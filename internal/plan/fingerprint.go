@@ -135,17 +135,42 @@ func canonicalBindings(root Node) map[string]string {
 
 // canonNode renders one node canonically.
 func canonNode(n Node, rn map[string]string) string {
+	return canonNodeWith(n, rn, renderCanon)
+}
+
+// conjunctRenderer renders one selection conjunct, or elides it from the
+// rendering by reporting keep=false. The fingerprint uses renderCanon
+// (render everything); the subsumption key elides the interval conjuncts
+// it can re-apply at serve time.
+type conjunctRenderer func(c expr.Expr, rn map[string]string) (s string, keep bool)
+
+func renderCanon(c expr.Expr, rn map[string]string) (string, bool) {
+	return canonExpr(c, rn), true
+}
+
+// canonNodeWith renders one node canonically, with selection conjuncts
+// (Select predicates and the mount/cache-scan pushdowns rule (1) derives
+// from them) rendered through render. Everything else — projections,
+// join edges, aggregates — always renders in full.
+func canonNodeWith(n Node, rn map[string]string, render conjunctRenderer) string {
 	switch t := n.(type) {
 	case *Scan:
 		return "scan(" + canonBinding(t.Binding, t.TableName, rn) + ")"
 	case *Select:
-		return "select[" + canonConjuncts(t.Pred, rn) + "](" + canonNode(t.Child, rn) + ")"
+		// A selection whose conjuncts all render away is the identity:
+		// render it transparently, so a plan that never had the selection
+		// (e.g. no constraint at all on an elided column) reads the same.
+		conj := canonConjunctsWith(t.Pred, rn, render)
+		if conj == "" {
+			return canonNodeWith(t.Child, rn, render)
+		}
+		return "select[" + conj + "](" + canonNodeWith(t.Child, rn, render) + ")"
 	case *Project:
 		parts := make([]string, len(t.Exprs))
 		for i, e := range t.Exprs {
 			parts[i] = canonLabel(t.Names[i], rn) + "=" + canonExpr(e, rn)
 		}
-		return "project[" + strings.Join(parts, ",") + "](" + canonNode(t.Child, rn) + ")"
+		return "project[" + strings.Join(parts, ",") + "](" + canonNodeWith(t.Child, rn, render) + ")"
 	case *Join:
 		// Flatten the maximal commutative join chain: the set of leaves
 		// and the set of equality edges identify it regardless of the
@@ -153,7 +178,7 @@ func canonNode(n Node, rn map[string]string) string {
 		leaves, edges := flattenJoins(t)
 		ls := make([]string, len(leaves))
 		for i, l := range leaves {
-			ls[i] = canonNode(l, rn)
+			ls[i] = canonNodeWith(l, rn, render)
 		}
 		sort.Strings(ls)
 		es := make([]string, 0, len(edges))
@@ -190,7 +215,7 @@ func canonNode(n Node, rn map[string]string) string {
 			aggs[i] = s
 		}
 		return "agg[" + strings.Join(groups, ",") + ";" + strings.Join(aggs, ",") + "](" +
-			canonNode(t.Child, rn) + ")"
+			canonNodeWith(t.Child, rn, render) + ")"
 	case *Sort:
 		parts := make([]string, len(t.Keys))
 		for i, k := range t.Keys {
@@ -200,14 +225,14 @@ func canonNode(n Node, rn map[string]string) string {
 			}
 			parts[i] = strconv.Itoa(k.Index) + dir
 		}
-		return "sort[" + strings.Join(parts, ",") + "](" + canonNode(t.Child, rn) + ")"
+		return "sort[" + strings.Join(parts, ",") + "](" + canonNodeWith(t.Child, rn, render) + ")"
 	case *Limit:
-		return "limit[" + strconv.FormatInt(t.N, 10) + "](" + canonNode(t.Child, rn) + ")"
+		return "limit[" + strconv.FormatInt(t.N, 10) + "](" + canonNodeWith(t.Child, rn, render) + ")"
 	case *UnionAll:
 		// Union order determines result row order: keep it.
 		parts := make([]string, len(t.Inputs))
 		for i, in := range t.Inputs {
-			parts[i] = canonNode(in, rn)
+			parts[i] = canonNodeWith(in, rn, render)
 		}
 		return "union(" + strings.Join(parts, ",") + ")"
 	case *ResultScan:
@@ -219,9 +244,9 @@ func canonNode(n Node, rn map[string]string) string {
 		}
 		return "result-scan[" + strings.Join(cols, ",") + "]"
 	case *Mount:
-		return "mount(" + t.URI + ")[" + canonConjuncts(t.Pred, rn) + "]"
+		return "mount(" + t.URI + ")[" + canonConjunctsWith(t.Pred, rn, render) + "]"
 	case *CacheScan:
-		return "cache-scan(" + t.URI + ")[" + canonConjuncts(t.Pred, rn) + "]"
+		return "cache-scan(" + t.URI + ")[" + canonConjunctsWith(t.Pred, rn, render) + "]"
 	default:
 		return fmt.Sprintf("%T", n)
 	}
@@ -230,14 +255,23 @@ func canonNode(n Node, rn map[string]string) string {
 // canonConjuncts folds a predicate, splits it into conjuncts and renders
 // them sorted. A nil predicate renders empty.
 func canonConjuncts(pred expr.Expr, rn map[string]string) string {
+	return canonConjunctsWith(pred, rn, renderCanon)
+}
+
+// canonConjunctsWith folds a predicate, splits it into conjuncts and
+// renders the kept ones sorted. A nil predicate renders empty, and so
+// does one whose conjuncts the renderer elides entirely.
+func canonConjunctsWith(pred expr.Expr, rn map[string]string, render conjunctRenderer) string {
 	if pred == nil {
 		return ""
 	}
 	folded := FoldConstants(pred)
 	conjuncts := expr.SplitAnd(folded)
-	parts := make([]string, len(conjuncts))
-	for i, c := range conjuncts {
-		parts[i] = canonExpr(c, rn)
+	parts := make([]string, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		if s, keep := render(c, rn); keep {
+			parts = append(parts, s)
+		}
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, "&&")

@@ -68,19 +68,117 @@ func Normalize(root Node) (Node, error) {
 	return Resolve(out)
 }
 
-// normalizePred folds constants and re-orders the conjuncts of a
-// predicate canonically (by their alias-sensitive canonical rendering —
-// stable for one plan, which is all execution needs).
+// normalizePred folds constants, drops range conjuncts made redundant by
+// tighter ones on the same column, and re-orders the survivors
+// canonically (by their alias-sensitive canonical rendering — stable for
+// one plan, which is all execution needs).
 func normalizePred(pred expr.Expr) expr.Expr {
 	folded := FoldConstants(pred)
 	conjuncts := expr.SplitAnd(folded)
 	if len(conjuncts) <= 1 {
 		return folded
 	}
+	conjuncts = foldRangeConjuncts(conjuncts)
+	if len(conjuncts) == 1 {
+		return conjuncts[0]
+	}
 	sort.SliceStable(conjuncts, func(i, j int) bool {
 		return canonExpr(conjuncts[i], nil) < canonExpr(conjuncts[j], nil)
 	})
 	return expr.JoinAnd(conjuncts)
+}
+
+// rangeAcc accumulates one column's interval conjuncts: the tightest
+// lower and upper bound seen, each remembering which source conjunct
+// supplied it (the survivor that gets emitted).
+type rangeAcc struct {
+	col  *expr.Col
+	iv   Interval
+	loC  expr.Expr // conjunct that supplied iv's lo bound
+	hiC  expr.Expr
+	keep []expr.Expr // originals, emitted verbatim when folding aborts
+	bad  bool        // an incomparable merge poisoned this column
+}
+
+// foldRangeConjuncts drops range conjuncts made redundant by a tighter
+// bound on the same column (`a>5 AND a>3` → `a>5`) and collapses
+// contradictory ranges (`a>5 AND a<3`) to constant false. Only the
+// interval shape with executor-comparable kinds participates — exactly
+// the conjuncts whose evaluation cannot error, so dropping one (or
+// replacing a set with FALSE) preserves error behavior as well as
+// semantics. Anything else, and any column whose bounds fail to merge,
+// passes through untouched. AND evaluates both sides batch-wide, so
+// dropping a conjunct never changes results beyond doing less work.
+func foldRangeConjuncts(conjuncts []expr.Expr) []expr.Expr {
+	var order []string // first-seen column order, for deterministic output
+	accs := make(map[string]*rangeAcc)
+	var rest []expr.Expr
+	for _, c := range conjuncts {
+		ic, ok := asIntervalConjunct(c)
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		key := canonExpr(ic.col, nil)
+		acc := accs[key]
+		if acc == nil {
+			acc = &rangeAcc{col: ic.col}
+			accs[key] = acc
+			order = append(order, key)
+		}
+		acc.keep = append(acc.keep, c)
+		if acc.bad {
+			continue
+		}
+		b := ic.bounds()
+		// Track which source conjunct owns each bound after the merge, so
+		// the emitted survivor is an original conjunct, not a rewrite.
+		prev := acc.iv
+		if !acc.iv.intersect(b) {
+			acc.bad = true
+			continue
+		}
+		if b.HasLo && (acc.iv.Lo != prev.Lo || acc.iv.LoOpen != prev.LoOpen || !prev.HasLo) &&
+			acc.iv.Lo == b.Lo && acc.iv.LoOpen == b.LoOpen {
+			acc.loC = c
+		}
+		if b.HasHi && (acc.iv.Hi != prev.Hi || acc.iv.HiOpen != prev.HiOpen || !prev.HasHi) &&
+			acc.iv.Hi == b.Hi && acc.iv.HiOpen == b.HiOpen {
+			acc.hiC = c
+		}
+	}
+	out := rest
+	for _, key := range order {
+		acc := accs[key]
+		if acc.bad || len(acc.keep) == 1 {
+			out = append(out, acc.keep...)
+			continue
+		}
+		// Contradictory range → constant false for this column's conjuncts.
+		if acc.iv.HasLo && acc.iv.HasHi {
+			cmp, ok := compareConsts(acc.iv.Lo, acc.iv.Hi)
+			if !ok {
+				out = append(out, acc.keep...)
+				continue
+			}
+			if cmp > 0 || cmp == 0 && (acc.iv.LoOpen || acc.iv.HiOpen) {
+				out = append(out, &expr.Const{Val: vector.Bool(false)})
+				continue
+			}
+		}
+		if acc.loC != nil {
+			out = append(out, acc.loC)
+		}
+		if acc.hiC != nil && acc.hiC != acc.loC {
+			out = append(out, acc.hiC)
+		}
+	}
+	if len(out) == 0 {
+		// Every conjunct folded away (cannot happen today — interval
+		// conjuncts always leave a survivor — but keep JoinAnd's nil out).
+		return conjuncts
+	}
+	return out
 }
 
 // FoldConstants evaluates constant subexpressions at plan time. Folding

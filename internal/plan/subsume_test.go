@@ -1,0 +1,294 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/vector"
+)
+
+// subsumptionOf runs a query through the pipeline's front half and
+// computes its subsumption summary.
+func subsumptionOf(t *testing.T, q string) *SubsumptionInfo {
+	t.Helper()
+	cat := seismicCatalog(t)
+	n := mustOptimize(t, cat, q)
+	norm, err := Normalize(n)
+	if err != nil {
+		t.Fatalf("Normalize(%q): %v", q, err)
+	}
+	return SubsumptionInfoOf(norm)
+}
+
+// projQuery builds the projection-shaped zoom query with parameterized
+// D.sample_time bounds — the subsumption-eligible shape.
+func projQuery(lo, hi string) string {
+	return fmt.Sprintf(`SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK'
+AND R.start_time > '2010-01-12T00:00:00.000' AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '%s' AND D.sample_time < '%s'`, lo, hi)
+}
+
+func TestSubsumptionKeySharesBucketAcrossConstants(t *testing.T) {
+	wide := subsumptionOf(t, projQuery("2010-01-12T22:10:00.000", "2010-01-12T22:20:00.000"))
+	narrow := subsumptionOf(t, projQuery("2010-01-12T22:14:00.000", "2010-01-12T22:16:00.000"))
+	if wide == nil || narrow == nil {
+		t.Fatal("projection zoom queries must be subsumption-eligible")
+	}
+	if wide.Key.IsZero() || wide.Key != narrow.Key {
+		t.Fatalf("zoom queries differing only in re-filterable bounds must share a key: %s vs %s",
+			wide.Key, narrow.Key)
+	}
+	if !Subsumes(wide, narrow) {
+		t.Fatal("wider interval must subsume the nested narrower one")
+	}
+	if Subsumes(narrow, wide) {
+		t.Fatal("narrower interval must not subsume the wider one")
+	}
+	if narrow.Refilter == nil {
+		t.Fatal("a bounded re-filterable column must produce a re-filter predicate")
+	}
+}
+
+func TestSubsumptionUnboundedWiderServesBounded(t *testing.T) {
+	// No D.sample_time constraint at all: same bucket, unbounded interval.
+	unbounded := subsumptionOf(t, `SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK'
+AND R.start_time > '2010-01-12T00:00:00.000' AND R.start_time < '2010-01-12T23:59:59.999'`)
+	narrow := subsumptionOf(t, projQuery("2010-01-12T22:14:00.000", "2010-01-12T22:16:00.000"))
+	if unbounded == nil || narrow == nil {
+		t.Fatal("both plans must be eligible")
+	}
+	if unbounded.Key != narrow.Key {
+		t.Fatal("an unconstrained column must share the bucket with constrained ones")
+	}
+	if !Subsumes(unbounded, narrow) {
+		t.Fatal("an unbounded interval subsumes every bounded one")
+	}
+	if Subsumes(narrow, unbounded) {
+		t.Fatal("a bounded interval must not subsume an unbounded one")
+	}
+}
+
+func TestSubsumptionResidualConjunctsPartitionBuckets(t *testing.T) {
+	// F.station is not in the output, so its equality conjunct is residual
+	// and renders verbatim: different stations must land in different
+	// buckets (re-filtering cannot fix a station mismatch).
+	isk := subsumptionOf(t, projQuery("2010-01-12T22:10:00.000", "2010-01-12T22:20:00.000"))
+	anto := subsumptionOf(t, `SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ANTO'
+AND R.start_time > '2010-01-12T00:00:00.000' AND R.start_time < '2010-01-12T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:14:00.000' AND D.sample_time < '2010-01-12T22:16:00.000'`)
+	if isk == nil || anto == nil {
+		t.Fatal("both plans must be eligible")
+	}
+	if isk.Key == anto.Key {
+		t.Fatal("differing residual conjuncts must produce different keys")
+	}
+	if Subsumes(isk, anto) {
+		t.Fatal("different buckets must never subsume")
+	}
+}
+
+func TestSubsumptionBailsOnRowCollapsingPlans(t *testing.T) {
+	for name, q := range map[string]string{
+		"aggregate": `SELECT AVG(D.sample_value) FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK' AND D.sample_time > '2010-01-12T22:14:00.000'`,
+		"limit": `SELECT D.sample_time, D.sample_value FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK' AND D.sample_time > '2010-01-12T22:14:00.000' LIMIT 5`,
+	} {
+		if got := subsumptionOf(t, q); got != nil {
+			t.Fatalf("%s plan must be subsumption-ineligible, got key %s", name, got.Key)
+		}
+	}
+}
+
+func TestSubsumptionSortedOutputStaysEligible(t *testing.T) {
+	// Sort is stable, so filtering commutes with it: an ORDER BY plan
+	// stays eligible and buckets with its unsorted... no — sort renders in
+	// the key, so it buckets with identically sorted plans only.
+	sorted := subsumptionOf(t, projQuery("2010-01-12T22:10:00.000", "2010-01-12T22:20:00.000")+
+		` ORDER BY D.sample_time`)
+	if sorted == nil {
+		t.Fatal("sorted projection must stay subsumption-eligible")
+	}
+	narrow := subsumptionOf(t, projQuery("2010-01-12T22:14:00.000", "2010-01-12T22:16:00.000")+
+		` ORDER BY D.sample_time`)
+	if !Subsumes(sorted, narrow) {
+		t.Fatal("sorted wider plan must subsume sorted narrower plan")
+	}
+	unsorted := subsumptionOf(t, projQuery("2010-01-12T22:10:00.000", "2010-01-12T22:20:00.000"))
+	if unsorted.Key == sorted.Key {
+		t.Fatal("sorted and unsorted plans must not share a bucket")
+	}
+}
+
+func TestIntervalContainment(t *testing.T) {
+	i := func(lo, hi int64, loOpen, hiOpen bool) Interval {
+		return Interval{HasLo: true, Lo: vector.Int64(lo), LoOpen: loOpen,
+			HasHi: true, Hi: vector.Int64(hi), HiOpen: hiOpen}
+	}
+	cases := []struct {
+		w, n Interval
+		want bool
+	}{
+		{i(0, 10, false, false), i(2, 8, false, false), true},
+		{i(0, 10, false, false), i(0, 10, false, false), true},
+		{i(2, 8, false, false), i(0, 10, false, false), false},
+		// Equal bound, wider open, narrower closed: w excludes the endpoint.
+		{i(0, 10, true, false), i(0, 10, false, false), false},
+		{i(0, 10, false, false), i(0, 10, true, true), true},
+		// Unbounded wider side contains everything.
+		{Interval{}, i(0, 10, false, false), true},
+		{Interval{HasLo: true, Lo: vector.Int64(0)}, Interval{}, false},
+		// Incomparable kinds: conservative false.
+		{i(0, 10, false, false), Interval{HasLo: true, Lo: vector.Str("x"), HasHi: true, Hi: vector.Str("y")}, false},
+	}
+	for idx, c := range cases {
+		if got := c.w.contains(c.n); got != c.want {
+			t.Errorf("case %d: contains = %v, want %v", idx, got, c.want)
+		}
+	}
+}
+
+// --- satellite 1: range-conjunct folding ---
+
+func TestFoldRangeConjuncts(t *testing.T) {
+	col := func(k vector.Kind, idx int) *expr.Col {
+		return &expr.Col{Index: idx, Name: fmt.Sprintf("c%d", idx), K: k}
+	}
+	a := col(vector.KindInt64, 0)
+	cmp := func(op expr.CmpOp, l, r expr.Expr) expr.Expr { return &expr.Compare{Op: op, L: l, R: r} }
+	ci := func(i int64) expr.Expr { return &expr.Const{Val: vector.Int64(i)} }
+
+	t.Run("redundant lower bounds drop", func(t *testing.T) {
+		out := foldRangeConjuncts([]expr.Expr{cmp(expr.Gt, a, ci(5)), cmp(expr.Gt, a, ci(3))})
+		if len(out) != 1 || canonExpr(out[0], nil) != canonExpr(cmp(expr.Gt, a, ci(5)), nil) {
+			t.Fatalf("a>5 AND a>3 must fold to a>5, got %d conjuncts", len(out))
+		}
+	})
+	t.Run("contradiction folds to false", func(t *testing.T) {
+		out := foldRangeConjuncts([]expr.Expr{cmp(expr.Gt, a, ci(5)), cmp(expr.Lt, a, ci(3))})
+		if len(out) != 1 {
+			t.Fatalf("a>5 AND a<3 must fold to one conjunct, got %d", len(out))
+		}
+		c, ok := out[0].(*expr.Const)
+		if !ok || c.Val.Kind != vector.KindBool || c.Val.B {
+			t.Fatalf("contradiction must fold to constant false, got %v", out[0])
+		}
+	})
+	t.Run("touching open bounds contradict", func(t *testing.T) {
+		out := foldRangeConjuncts([]expr.Expr{cmp(expr.Ge, a, ci(5)), cmp(expr.Lt, a, ci(5))})
+		c, ok := out[0].(*expr.Const)
+		if len(out) != 1 || !ok || c.Val.B {
+			t.Fatal("a>=5 AND a<5 must fold to constant false")
+		}
+		out = foldRangeConjuncts([]expr.Expr{cmp(expr.Ge, a, ci(5)), cmp(expr.Le, a, ci(5))})
+		if len(out) != 2 {
+			t.Fatal("a>=5 AND a<=5 is satisfiable and must keep both bounds")
+		}
+	})
+	t.Run("eq absorbs looser range", func(t *testing.T) {
+		out := foldRangeConjuncts([]expr.Expr{cmp(expr.Eq, a, ci(5)), cmp(expr.Gt, a, ci(3))})
+		if len(out) != 1 || canonExpr(out[0], nil) != canonExpr(cmp(expr.Eq, a, ci(5)), nil) {
+			t.Fatalf("a=5 AND a>3 must fold to a=5, got %v", out)
+		}
+	})
+	t.Run("non-interval conjuncts pass through", func(t *testing.T) {
+		ne := cmp(expr.Ne, a, ci(7))
+		out := foldRangeConjuncts([]expr.Expr{cmp(expr.Gt, a, ci(5)), ne, cmp(expr.Gt, a, ci(3))})
+		if len(out) != 2 {
+			t.Fatalf("Ne must pass through while ranges fold, got %d conjuncts", len(out))
+		}
+	})
+	t.Run("distinct columns fold independently", func(t *testing.T) {
+		b := col(vector.KindInt64, 1)
+		out := foldRangeConjuncts([]expr.Expr{
+			cmp(expr.Gt, a, ci(5)), cmp(expr.Lt, b, ci(9)),
+			cmp(expr.Gt, a, ci(1)), cmp(expr.Lt, b, ci(20)),
+		})
+		if len(out) != 2 {
+			t.Fatalf("want 2 survivors, got %d", len(out))
+		}
+	})
+}
+
+// TestFoldRangeConjunctsProperty is the satellite's property test: for
+// random soups of range (and a few opaque) conjuncts, the normalized
+// predicate must agree with the original on every row of random batches
+// — same selected rows, or both predicates erroring.
+func TestFoldRangeConjunctsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	schema := []struct {
+		name string
+		kind vector.Kind
+	}{
+		{"a", vector.KindInt64}, {"b", vector.KindFloat64}, {"s", vector.KindString},
+	}
+	ops := []expr.CmpOp{expr.Eq, expr.Ne, expr.Lt, expr.Le, expr.Gt, expr.Ge}
+	words := []string{"ant", "bee", "cat", "dog", "eel"}
+
+	randConst := func(k vector.Kind) vector.Value {
+		switch k {
+		case vector.KindInt64:
+			return vector.Int64(int64(rng.Intn(10)))
+		case vector.KindFloat64:
+			return vector.Float64(float64(rng.Intn(10)) / 2)
+		default:
+			return vector.Str(words[rng.Intn(len(words))])
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		var conjuncts []expr.Expr
+		n := 2 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			ci := rng.Intn(len(schema))
+			c := &expr.Col{Index: ci, Name: schema[ci].name, K: schema[ci].kind}
+			op := ops[rng.Intn(len(ops))]
+			k := &expr.Const{Val: randConst(schema[ci].kind)}
+			if rng.Intn(2) == 0 {
+				conjuncts = append(conjuncts, &expr.Compare{Op: op, L: c, R: k})
+			} else {
+				conjuncts = append(conjuncts, &expr.Compare{Op: op, L: k, R: c})
+			}
+		}
+		orig := expr.JoinAnd(conjuncts)
+		norm := normalizePred(orig)
+
+		// Random batch over the schema.
+		rows := 1 + rng.Intn(40)
+		av := make([]int64, rows)
+		bv := make([]float64, rows)
+		sv := make([]string, rows)
+		for r := 0; r < rows; r++ {
+			av[r] = int64(rng.Intn(10))
+			bv[r] = float64(rng.Intn(10)) / 2
+			sv[r] = words[rng.Intn(len(words))]
+		}
+		batch := vector.NewBatch(vector.FromInt64(av), vector.FromFloat64(bv), vector.FromString(sv))
+
+		ov, oerr := orig.Eval(batch)
+		nv, nerr := norm.Eval(batch)
+		if (oerr != nil) != (nerr != nil) {
+			t.Fatalf("trial %d: error behavior diverged: orig=%v norm=%v\npred: %s", trial, oerr, nerr, orig)
+		}
+		if oerr != nil {
+			continue
+		}
+		ob, nb := ov.Bools(), nv.Bools()
+		for r := 0; r < rows; r++ {
+			if ob[r] != nb[r] {
+				t.Fatalf("trial %d row %d: orig=%v norm=%v\norig pred: %s\nnorm pred: %s",
+					trial, r, ob[r], nb[r], orig, norm)
+			}
+		}
+	}
+}

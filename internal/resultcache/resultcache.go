@@ -37,6 +37,14 @@
 //     measured modeled time, whichever is larger) falls below the
 //     configured floor is served to its riders but not retained — cheap
 //     metadata lookups never crowd out expensive multi-file scans.
+//   - Subsumption index: entries whose plans carry a subsumption summary
+//     (plan.SubsumptionInfo) are additionally indexed by their
+//     plan.SubsumptionKey — the bucket of structurally identical plans
+//     differing only in re-filterable interval constants. On an exact
+//     fingerprint miss, GetSubsuming probes the narrow query's bucket for
+//     a current-epoch entry whose intervals contain the query's; the
+//     engine re-filters that wider frozen entry in memory instead of
+//     mounting files (the classic semantic-caching move).
 //
 // All methods are nil-safe: a nil *Cache never caches and never
 // coalesces, so the engine threads it through unconditionally.
@@ -81,6 +89,13 @@ type Stats struct {
 	// global LRU victim; Invalidations counts entries dropped by epoch
 	// bumps.
 	Evictions, SelfEvictions, Invalidations int64
+	// Subsumption counters: probes of the secondary index on exact miss,
+	// hits served by re-filtering a wider entry, the bytes of wider
+	// entries served that way instead of re-executed and re-mounted, and
+	// the cumulative wall time the engine spent re-filtering.
+	SubsumptionProbes, SubsumptionHits int64
+	SubsumptionBytesSaved              int64
+	RefilterWall                       time.Duration
 	// BytesResident / Entries describe current occupancy; Epoch is the
 	// current invalidation epoch.
 	BytesResident int64
@@ -122,10 +137,19 @@ type Cache struct {
 	flights map[plan.Fingerprint]*flight
 	bytes   int64
 
+	// subindex is the secondary semantic index: subsumption bucket →
+	// fingerprints of resident entries carrying that key. Only entries
+	// stored with a non-nil summary appear.
+	subindex map[plan.SubsumptionKey]map[plan.Fingerprint]struct{}
+
 	hits, misses, riders     int64
 	stores, rejected         int64
 	evictions, selfEvictions int64
 	invalidated              int64
+
+	subProbes, subHits int64
+	subBytesSaved      int64
+	refilterWall       time.Duration
 }
 
 type entry struct {
@@ -134,6 +158,8 @@ type entry struct {
 	mat     *exec.Materialized
 	bytes   int64
 	epoch   uint64
+	cost    time.Duration         // recompute-cost signal it was admitted with
+	sub     *plan.SubsumptionInfo // nil: not semantically indexed
 }
 
 // flight is one in-progress execution other identical queries wait on.
@@ -154,9 +180,10 @@ func New(cfg Config) *Cache {
 			BudgetBytes:     cfg.MaxBytes,
 			MaxSessionShare: cfg.MaxSessionShare,
 		}),
-		entries: make(map[plan.Fingerprint]*list.Element),
-		order:   list.New(),
-		flights: make(map[plan.Fingerprint]*flight),
+		entries:  make(map[plan.Fingerprint]*list.Element),
+		order:    list.New(),
+		flights:  make(map[plan.Fingerprint]*flight),
+		subindex: make(map[plan.SubsumptionKey]map[plan.Fingerprint]struct{}),
 	}
 }
 
@@ -188,6 +215,7 @@ func (c *Cache) BumpEpoch() {
 	}
 	c.entries = make(map[plan.Fingerprint]*list.Element)
 	c.order = list.New()
+	c.subindex = make(map[plan.SubsumptionKey]map[plan.Fingerprint]struct{})
 	c.bytes = 0
 }
 
@@ -219,36 +247,104 @@ func (c *Cache) getLocked(fp plan.Fingerprint) (*exec.Materialized, bool) {
 	return el.Value.(*entry).mat, true
 }
 
+// SubsumeHit describes a wider entry found by GetSubsuming: whose
+// fingerprint it is stored under, the frozen materialization to
+// re-filter, its resident bytes (the re-execution the probe saved) and
+// the recompute-cost signal it was admitted with (the ceiling for
+// admitting the re-filtered slice as its own entry).
+type SubsumeHit struct {
+	Fp    plan.Fingerprint
+	Mat   *exec.Materialized
+	Bytes int64
+	Cost  time.Duration
+}
+
+// DoNotStore is the cost sentinel a Do leader (or PutAt caller) passes
+// to decline retention outright — e.g. a subsumption-served slice that
+// filtered nothing away, which would duplicate its source entry. Unlike
+// a low cost it is not counted as an admission rejection.
+const DoNotStore time.Duration = -1
+
+// GetSubsuming probes the semantic index for a current-epoch entry able
+// to answer the query summarized by sub: same subsumption bucket,
+// intervals containing the query's. The smallest such entry wins (least
+// re-filter work). The caller re-filters the returned frozen
+// materialization through sub.Refilter. Misses and nil summaries are
+// not counted against the exact-match hit/miss counters.
+func (c *Cache) GetSubsuming(fp plan.Fingerprint, sub *plan.SubsumptionInfo) (SubsumeHit, bool) {
+	if c == nil || sub == nil || sub.Key.IsZero() {
+		return SubsumeHit{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subProbes++
+	var best *list.Element
+	for cand := range c.subindex[sub.Key] {
+		el, ok := c.entries[cand]
+		if !ok {
+			continue
+		}
+		e := el.Value.(*entry)
+		if e.epoch != c.epoch || e.fp == fp || !plan.Subsumes(e.sub, sub) {
+			continue
+		}
+		if best == nil || e.bytes < best.Value.(*entry).bytes {
+			best = el
+		}
+	}
+	if best == nil {
+		return SubsumeHit{}, false
+	}
+	c.order.MoveToFront(best)
+	c.subHits++
+	e := best.Value.(*entry)
+	return SubsumeHit{Fp: e.fp, Mat: e.mat, Bytes: e.bytes, Cost: e.cost}, true
+}
+
+// NoteRefilter accounts one subsumption serve: the wall time spent
+// re-filtering and the bytes of re-execution it saved.
+func (c *Cache) NoteRefilter(wall time.Duration, saved int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refilterWall += wall
+	c.subBytesSaved += saved
+}
+
 // Put retains a completed result under the current epoch, subject to the
 // cost-admission floor, charged to the storing session. The entry holds
 // the materialization frozen: the caller keeps its handle and any later
-// mutation on either side materializes a private copy.
+// mutation on either side materializes a private copy. A non-nil sub
+// additionally indexes the entry for semantic (subsumption) probes.
 func (c *Cache) Put(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration) bool {
 	if c == nil {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.admitLocked(fp, session, mat, cost, c.epoch)
+	return c.admitLocked(fp, session, mat, cost, c.epoch, nil)
 }
 
 // PutAt is Put with an epoch-straddle guard: startEpoch is the epoch the
 // caller observed when the execution began, and a result computed across
 // an invalidation (the epoch moved on) is rejected — it may reflect
 // pre-change data.
-func (c *Cache) PutAt(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
+func (c *Cache) PutAt(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64, sub *plan.SubsumptionInfo) bool {
 	if c == nil {
 		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.admitLocked(fp, session, mat, cost, startEpoch)
+	return c.admitLocked(fp, session, mat, cost, startEpoch, sub)
 }
 
 // admitLocked applies the admission rules (cost floor, epoch match) and
-// stores on success; callers hold the lock.
-func (c *Cache) admitLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64) bool {
-	if mat == nil {
+// stores on success; callers hold the lock. A DoNotStore cost declines
+// without counting as a rejection.
+func (c *Cache) admitLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, cost time.Duration, startEpoch uint64, sub *plan.SubsumptionInfo) bool {
+	if mat == nil || cost == DoNotStore {
 		return false
 	}
 	if startEpoch != c.epoch || cost < c.cfg.MinCost {
@@ -256,18 +352,26 @@ func (c *Cache) admitLocked(fp plan.Fingerprint, session string, mat *exec.Mater
 		return false
 	}
 	mat.Freeze()
-	c.putLocked(fp, session, mat, c.epoch)
+	c.putLocked(fp, session, mat, c.epoch, cost, sub)
 	c.stores++
 	return true
 }
 
-func (c *Cache) putLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, epoch uint64) {
+func (c *Cache) putLocked(fp plan.Fingerprint, session string, mat *exec.Materialized, epoch uint64, cost time.Duration, sub *plan.SubsumptionInfo) {
 	if el, ok := c.entries[fp]; ok {
 		c.removeLocked(el)
 	}
-	e := &entry{fp: fp, session: session, mat: mat, bytes: matBytes(mat), epoch: epoch}
+	e := &entry{fp: fp, session: session, mat: mat, bytes: matBytes(mat), epoch: epoch, cost: cost, sub: sub}
 	c.entries[fp] = c.order.PushFront(e)
 	c.bytes += e.bytes
+	if sub != nil && !sub.Key.IsZero() {
+		bucket := c.subindex[sub.Key]
+		if bucket == nil {
+			bucket = make(map[plan.Fingerprint]struct{})
+			c.subindex[sub.Key] = bucket
+		}
+		bucket[fp] = struct{}{}
+	}
 	c.gate.Charge(session, e.bytes)
 	c.evictLocked(session)
 }
@@ -277,6 +381,14 @@ func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	c.order.Remove(el)
 	delete(c.entries, e.fp)
+	if e.sub != nil {
+		if bucket, ok := c.subindex[e.sub.Key]; ok {
+			delete(bucket, e.fp)
+			if len(bucket) == 0 {
+				delete(c.subindex, e.sub.Key)
+			}
+		}
+	}
 	c.bytes -= e.bytes
 	c.gate.Release(e.session, e.bytes)
 }
@@ -316,9 +428,10 @@ func (c *Cache) evictLocked(storing string) {
 // result); otherwise compute runs as the leader and its result is
 // published to every rider and — cost and epoch permitting — retained,
 // charged to the leader's session. compute returns the materialized
-// result and its recompute-cost signal. A nil cache degenerates to
-// calling compute.
-func (c *Cache) Do(fp plan.Fingerprint, session string, compute func() (*exec.Materialized, time.Duration, error)) (*exec.Materialized, Outcome, error) {
+// result and its recompute-cost signal (DoNotStore declines retention).
+// A non-nil sub semantically indexes the retained entry. A nil cache
+// degenerates to calling compute.
+func (c *Cache) Do(fp plan.Fingerprint, session string, sub *plan.SubsumptionInfo, compute func() (*exec.Materialized, time.Duration, error)) (*exec.Materialized, Outcome, error) {
 	if c == nil {
 		mat, _, err := compute()
 		return mat, Outcome{}, err
@@ -371,7 +484,7 @@ func (c *Cache) Do(fp plan.Fingerprint, session string, compute func() (*exec.Ma
 			// handle (including the leader's own) copies first.
 			mat.Freeze()
 			f.mat = mat
-			stored = c.admitLocked(fp, session, mat, cost, startEpoch)
+			stored = c.admitLocked(fp, session, mat, cost, startEpoch, sub)
 		}
 		f.err = err
 		c.mu.Unlock()
@@ -408,6 +521,8 @@ func (c *Cache) Stats() Stats {
 		Stores: c.stores, RejectedStores: c.rejected,
 		Evictions: c.evictions, SelfEvictions: c.selfEvictions,
 		Invalidations: c.invalidated,
+		SubsumptionProbes: c.subProbes, SubsumptionHits: c.subHits,
+		SubsumptionBytesSaved: c.subBytesSaved, RefilterWall: c.refilterWall,
 		BytesResident: c.bytes, Entries: len(c.entries), Epoch: c.epoch,
 		PerSession: c.gate.Stats().PerSession,
 	}

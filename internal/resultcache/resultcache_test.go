@@ -166,7 +166,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+			m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 				executions.Add(1)
 				<-gate // hold the flight open until all riders queued
 				return mat(42), time.Second, nil
@@ -210,7 +210,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 		t.Fatalf("stored=%d ridden=%d, want 1/%d", stored, ridden, k-1)
 	}
 	// The stored entry now serves directly.
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		t.Fatal("stored entry recomputed")
 		return nil, 0, nil
 	})
@@ -231,7 +231,7 @@ func TestFlightErrorPropagates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, _, errs[i] = c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+			_, _, errs[i] = c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 				<-gate
 				return nil, 0, boom
 			})
@@ -262,7 +262,7 @@ func TestFlightErrorPropagates(t *testing.T) {
 // bump serves its result but does not retain it.
 func TestEpochRaceSkipsStore(t *testing.T) {
 	c := New(Config{})
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		c.BumpEpoch() // the data changed mid-execution
 		return mat(1), time.Second, nil
 	})
@@ -285,7 +285,7 @@ func TestNilCacheIsTransparent(t *testing.T) {
 	}
 	c.Put(fp("q"), "", mat(1), 0)
 	c.BumpEpoch()
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		return mat(7), 0, nil
 	})
 	if err != nil || out.Hit || m.Rows() != 1 {
@@ -327,7 +327,7 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 				key := fp(fmt.Sprintf("q%d", i%5))
 				switch i % 4 {
 				case 0:
-					c.Do(key, "", func() (*exec.Materialized, time.Duration, error) {
+					c.Do(key, "", nil, func() (*exec.Materialized, time.Duration, error) {
 						return mat(int64(i)), time.Duration(i), nil
 					})
 				case 1:
@@ -354,13 +354,13 @@ func TestPutAtEpochGuard(t *testing.T) {
 	c := New(Config{})
 	startEpoch := c.Epoch()
 	c.BumpEpoch() // the data changed while the query executed
-	if c.PutAt(fp("q"), "", mat(1), time.Second, startEpoch) {
+	if c.PutAt(fp("q"), "", mat(1), time.Second, startEpoch, nil) {
 		t.Fatal("stale-epoch result retained through PutAt")
 	}
 	if _, ok := c.Get(fp("q")); ok {
 		t.Fatal("stale-epoch result served")
 	}
-	if !c.PutAt(fp("q"), "", mat(1), time.Second, c.Epoch()) {
+	if !c.PutAt(fp("q"), "", mat(1), time.Second, c.Epoch(), nil) {
 		t.Fatal("current-epoch PutAt rejected")
 	}
 }
@@ -379,7 +379,7 @@ func TestRiderOutcomeMarkedOnLeaderError(t *testing.T) {
 	}
 	got := make(chan riderResult, 1)
 	go func() {
-		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			return nil, 0, context.Canceled // the leader's own ctx died
 		})
@@ -394,7 +394,7 @@ func TestRiderOutcomeMarkedOnLeaderError(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		_, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		_, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			t.Error("rider recomputed instead of riding")
 			return nil, 0, nil
 		})
@@ -422,7 +422,7 @@ func TestRiderOutcomeMarkedOnLeaderError(t *testing.T) {
 		t.Fatal("rider never woken")
 	}
 	// The dead flight left the table: the next Do recomputes cleanly.
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		return mat(42), time.Second, nil
 	})
 	if err != nil || out.Hit || m.Rows() != 1 {
@@ -444,7 +444,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 	go func() {
 		defer close(leaderDone)
 		defer func() { recover() }()
-		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			panic("engine invariant violation")
 		})
@@ -460,7 +460,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 			}
 			time.Sleep(time.Millisecond)
 		}
-		_, _, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		_, _, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			t.Error("rider recomputed instead of riding")
 			return nil, 0, nil
 		})
@@ -487,7 +487,7 @@ func TestLeaderPanicWakesRiders(t *testing.T) {
 	}
 	<-leaderDone
 	// The flight table is clean: a fresh Do computes normally.
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		return mat(1), time.Second, nil
 	})
 	if err != nil || out.Hit || m.Rows() != 1 {
@@ -503,7 +503,7 @@ func TestRiderIsNotAMiss(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			return mat(1), time.Second, nil
 		})
@@ -522,7 +522,7 @@ func TestRiderIsNotAMiss(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+			c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 				t.Error("rider recomputed")
 				return nil, 0, nil
 			})
@@ -555,7 +555,7 @@ func TestPostInvalidationQueryDoesNotRideStaleFlight(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+		c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 			<-gate
 			return mat(1), time.Second, nil
 		})
@@ -572,7 +572,7 @@ func TestPostInvalidationQueryDoesNotRideStaleFlight(t *testing.T) {
 	c.BumpEpoch() // the data changed while the old flight is running
 
 	recomputed := false
-	m, out, err := c.Do(fp("q"), "", func() (*exec.Materialized, time.Duration, error) {
+	m, out, err := c.Do(fp("q"), "", nil, func() (*exec.Materialized, time.Duration, error) {
 		recomputed = true
 		return mat(2), time.Second, nil
 	})
@@ -595,5 +595,110 @@ func TestPostInvalidationQueryDoesNotRideStaleFlight(t *testing.T) {
 	}
 	if st := c.Stats(); st.Stores != 1 || st.RejectedStores != 1 {
 		t.Fatalf("stats = %+v, want 1 store (fresh) and 1 rejection (stale)", st)
+	}
+}
+
+// --- semantic (subsumption) index ---
+
+// subInfo builds a summary with one int64 interval column "c" bounded
+// [lo, hi] (closed), sharing one bucket per key string.
+func subInfo(key string, lo, hi int64) *plan.SubsumptionInfo {
+	return &plan.SubsumptionInfo{
+		Key: plan.SubsumptionKey(sha256.Sum256([]byte(key))),
+		Intervals: map[string]plan.Interval{
+			"c": {HasLo: true, Lo: vector.Int64(lo), HasHi: true, Hi: vector.Int64(hi)},
+		},
+	}
+}
+
+func TestGetSubsumingServesWiderEntry(t *testing.T) {
+	c := New(Config{})
+	wideFp, wide := fp("wide"), subInfo("bucket", 0, 100)
+	if !c.PutAt(wideFp, "", mat(1, 2, 3), time.Second, c.Epoch(), wide) {
+		t.Fatal("indexed store rejected")
+	}
+	narrow := subInfo("bucket", 10, 20)
+	hit, ok := c.GetSubsuming(fp("narrow"), narrow)
+	if !ok {
+		t.Fatal("contained interval missed the wider entry")
+	}
+	if hit.Fp != wideFp || hit.Mat.Rows() != 3 || hit.Cost != time.Second {
+		t.Fatalf("hit = %+v", hit)
+	}
+	// The wider query must not be served by the narrower... entry the
+	// other way around: store narrow, probe with a wider summary.
+	if _, ok := c.GetSubsuming(fp("wider-still"), subInfo("bucket", -50, 500)); ok {
+		t.Fatal("a wider query was served by a narrower entry")
+	}
+	// Different bucket: never served.
+	if _, ok := c.GetSubsuming(fp("n2"), subInfo("other-bucket", 10, 20)); ok {
+		t.Fatal("cross-bucket subsumption hit")
+	}
+	st := c.Stats()
+	if st.SubsumptionHits != 1 || st.SubsumptionProbes != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetSubsumingSkipsOwnFingerprint(t *testing.T) {
+	c := New(Config{})
+	sub := subInfo("bucket", 0, 100)
+	c.PutAt(fp("q"), "", mat(1), time.Second, c.Epoch(), sub)
+	// The exact entry is the exact-match path's business: the semantic
+	// probe must not serve an entry to its own fingerprint.
+	if _, ok := c.GetSubsuming(fp("q"), sub); ok {
+		t.Fatal("semantic probe served the query's own entry")
+	}
+}
+
+func TestGetSubsumingPrefersSmallestCandidate(t *testing.T) {
+	c := New(Config{})
+	c.PutAt(fp("huge"), "", mat(1, 2, 3, 4, 5, 6, 7, 8), time.Second, c.Epoch(), subInfo("bucket", 0, 1000))
+	c.PutAt(fp("small"), "", mat(1, 2), time.Second, c.Epoch(), subInfo("bucket", 0, 100))
+	hit, ok := c.GetSubsuming(fp("narrow"), subInfo("bucket", 10, 20))
+	if !ok || hit.Fp != fp("small") {
+		t.Fatalf("want the smallest containing entry, got %+v ok=%v", hit, ok)
+	}
+}
+
+func TestSubsumptionIndexDropsWithEntry(t *testing.T) {
+	c := New(Config{})
+	sub := subInfo("bucket", 0, 100)
+	c.PutAt(fp("wide"), "", mat(1, 2, 3), time.Second, c.Epoch(), sub)
+
+	// Epoch bump: the semantic index must not serve pre-bump entries.
+	c.BumpEpoch()
+	if _, ok := c.GetSubsuming(fp("narrow"), subInfo("bucket", 10, 20)); ok {
+		t.Fatal("semantic index served an invalidated entry")
+	}
+
+	// Re-store, then evict via the byte budget: the bucket must follow.
+	per := mat(1, 2, 3, 4).Batches[0].Bytes()
+	c2 := New(Config{MaxBytes: per})
+	c2.PutAt(fp("wide"), "", mat(1, 2, 3, 4), time.Second, c2.Epoch(), subInfo("bucket", 0, 100))
+	c2.PutAt(fp("other"), "", mat(5, 6, 7, 8), time.Second, c2.Epoch(), nil)
+	if _, ok := c2.GetSubsuming(fp("narrow"), subInfo("bucket", 10, 20)); ok {
+		t.Fatal("semantic index served an evicted entry")
+	}
+}
+
+func TestDoNotStoreDeclinesRetention(t *testing.T) {
+	c := New(Config{})
+	if c.Put(fp("q"), "", mat(1), DoNotStore) {
+		t.Fatal("DoNotStore cost retained an entry")
+	}
+	st := c.Stats()
+	if st.Stores != 0 || st.RejectedStores != 0 {
+		t.Fatalf("DoNotStore must not count as store or rejection: %+v", st)
+	}
+	// Via Do: the leader declining retention still serves its riders.
+	got, out, err := c.Do(fp("q2"), "", nil, func() (*exec.Materialized, time.Duration, error) {
+		return mat(7), DoNotStore, nil
+	})
+	if err != nil || out.Stored || got.Rows() != 1 {
+		t.Fatalf("Do with DoNotStore: %v %+v", err, out)
+	}
+	if _, ok := c.Get(fp("q2")); ok {
+		t.Fatal("DoNotStore result retained through Do")
 	}
 }
