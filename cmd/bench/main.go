@@ -7,7 +7,7 @@
 // Usage:
 //
 //	bench [-scale tiny|small|medium]
-//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness|subsume]
+//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness|subsume|prune]
 //	      [-runs 3] [-parallelism N] [-clients 8] [-sessions 3] [-quota 0.5]
 //	      [-zoom 4] [-json DIR]
 //
@@ -36,6 +36,11 @@
 // zooming explore session against the semantic result cache and errors
 // unless every query after the first is answered by re-filtering a wider
 // cached entry — zero file mounts — byte-identical to cold execution.
+// The "prune" experiment runs a selective workload against the
+// statistics-free planner (the frozen Qf result as a cardinality
+// oracle) and errors unless files are pruned before mounting, mounts
+// drop strictly below the planning-off baseline, and every answer stays
+// byte-identical to the unpruned execution.
 //
 // An unrecognized -exp name is an error listing the valid experiments;
 // -sessions below 1, -quota outside (0, 1] and -zoom below 2 are
@@ -133,6 +138,7 @@ func main() {
 		{"subsume", func() (fmt.Stringer, error) {
 			return benchutil.ExperimentSubsume(base, sc, *zoom)
 		}},
+		{"prune", func() (fmt.Stringer, error) { return benchutil.ExperimentPrune(base, sc) }},
 	}
 
 	// An unrecognized experiment name must be an error, not a silent

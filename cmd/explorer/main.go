@@ -6,11 +6,15 @@
 // Usage:
 //
 //	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
-//	         [-resultcache MB] [-subsume] [-session name]
+//	         [-resultcache MB] [-subsume] [-session name] [-nostats]
 //
 // -subsume turns on semantic result caching: a query whose predicate is
 // provably narrower than a cached one is answered by re-filtering the
 // frozen entry in memory, mounting nothing. It requires -resultcache.
+//
+// -nostats disables statistics-free Stage-2 planning (file pruning from
+// the frozen Qf result, join ordering, honest admission sizing) — the
+// A/B switch for demonstrating what the planner saves.
 //
 // Shell commands:
 //
@@ -19,8 +23,8 @@
 //	\multi <sql>  multi-stage execution: ingest file-by-file, show partials
 //	\tables       list catalog tables
 //	\stats        session statistics plus the engine's mount-service
-//	              (admission gate, per-session), ingestion-cache and
-//	              result-cache counters
+//	              (admission gate, per-session), ingestion-cache,
+//	              result-cache and statistics-free-planner counters
 //	\quit         exit
 //
 // Any other input is executed as SQL.
@@ -58,6 +62,7 @@ func main() {
 		rcacheMB = flag.Int64("resultcache", 0, "result-cache budget in MiB (0 = off, -1 = unlimited)")
 		subsume  = flag.Bool("subsume", false, "answer narrower queries by re-filtering wider cached results (requires -resultcache)")
 		sessFlag = flag.String("session", "explorer", "session identity for admission quotas and per-session stats")
+		nostats  = flag.Bool("nostats", false, "disable statistics-free Stage-2 planning (pruning, join ordering, honest admission)")
 	)
 	flag.Parse()
 	sessionName = *sessFlag
@@ -106,6 +111,9 @@ func main() {
 			os.Exit(2)
 		}
 		opts.ResultCacheSubsumption = true
+	}
+	if *nostats {
+		opts.StatsPlanning = core.StatsPlanningOff
 	}
 
 	fmt.Printf("opening %s repository (%s mode)...\n", *repoDir, opts.Mode)
@@ -187,6 +195,10 @@ func printEngineStats(eng *core.Engine) {
 	} else {
 		fmt.Println("result cache: disabled (run with -resultcache to enable)")
 	}
+	ps := eng.PlannerStats()
+	fmt.Printf("stats planning: %d files (%d records, %s) pruned before mounting; %d join reorders, %d build-side flips; admission charged %s under worst case\n",
+		ps.PrunedFiles, ps.PrunedRecords, unit.FormatBytes(ps.BytesNotMounted),
+		ps.JoinOrderFlips, ps.JoinBuildFlips, unit.FormatBytes(ps.AdmissionBytesSaved))
 }
 
 // printPerSession renders a per-session admission breakdown, sorted by

@@ -1,0 +1,172 @@
+package benchutil
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// PruneExperiment reports the statistics-free planning experiment: a
+// selective workload whose metadata stage proves most files of interest
+// irrelevant, run against the Qf-fed planner and against an engine with
+// planning off as the correctness and mount baseline.
+type PruneExperiment struct {
+	Scale Scale
+
+	// Baseline: StatsPlanning off — every file of interest is mounted.
+	BaselineMounts int
+	BaselineFiles  int // files of interest before pruning
+	BaselineWall   time.Duration
+
+	// Measured: planner on.
+	Mounts          int
+	PrunedFiles     int64
+	PrunedRecords   int64
+	BytesNotMounted int64
+	JoinOrderFlips  int64
+	JoinBuildFlips  int64
+	AdmissionSaved  int64
+	Wall            time.Duration
+
+	// Rows per query, and whether every answer matched the baseline byte
+	// for byte.
+	Rows      []int
+	Identical bool
+}
+
+// pruneQueries is the selective workload: the R window spans three
+// days, the D window one — so per station/channel two of the three
+// files of interest provably contain no qualifying sample. One
+// projection (order-sensitive: pruning only) and one aggregate
+// (order-insensitive: pruning plus join ordering).
+func pruneQueries() []string {
+	base := `FROM F JOIN R ON F.uri = R.uri
+JOIN D ON R.uri = D.uri AND R.record_id = D.record_id
+WHERE F.station = 'ISK'
+AND R.start_time > '2010-01-11T00:00:00.000'
+AND R.start_time < '2010-01-13T23:59:59.999'
+AND D.sample_time > '2010-01-12T22:15:00.000'
+AND D.sample_time < '2010-01-12T22:15:02.000'`
+	return []string{
+		"SELECT D.sample_time, D.sample_value " + base,
+		"SELECT COUNT(*) AS n, MIN(D.sample_time) AS lo, MAX(D.sample_time) AS hi " + base,
+	}
+}
+
+// ExperimentPrune runs the workload against both engines and enforces
+// the planner's contract: strictly fewer mounts with PrunedFiles > 0,
+// and every answer byte-identical to the unpruned execution. Violations
+// are errors, so CI smoke runs enforce the contract on every commit.
+func ExperimentPrune(baseDir string, sc Scale) (*PruneExperiment, error) {
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	out := &PruneExperiment{Scale: sc, Identical: true}
+	queries := pruneQueries()
+
+	baseline, err := OpenEngine(m, baseDir, core.Options{
+		Mode:          core.ModeALi,
+		StatsPlanning: core.StatsPlanningOff,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer baseline.Close()
+	refs := make([]string, len(queries))
+	baseStart := time.Now()
+	for i, q := range queries {
+		res, err := baseline.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("prune: baseline query %d: %w", i+1, err)
+		}
+		refs[i] = res.Format(0)
+		out.BaselineMounts += res.Stats.Mounts.FilesMounted
+		out.BaselineFiles += res.Stats.FilesOfInterest
+		if res.Stats.Mounts.PrunedFiles != 0 {
+			return out, fmt.Errorf("prune: baseline pruned %d files with planning off", res.Stats.Mounts.PrunedFiles)
+		}
+	}
+	out.BaselineWall = time.Since(baseStart)
+
+	eng, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	start := time.Now()
+	for i, q := range queries {
+		res, err := eng.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("prune: query %d: %w", i+1, err)
+		}
+		out.Rows = append(out.Rows, res.Rows())
+		if res.Format(0) != refs[i] {
+			out.Identical = false
+			return out, fmt.Errorf("prune: query %d answer differs from unpruned execution", i+1)
+		}
+		out.Mounts += res.Stats.Mounts.FilesMounted
+	}
+	out.Wall = time.Since(start)
+
+	ps := eng.PlannerStats()
+	out.PrunedFiles = ps.PrunedFiles
+	out.PrunedRecords = ps.PrunedRecords
+	out.BytesNotMounted = ps.BytesNotMounted
+	out.JoinOrderFlips = ps.JoinOrderFlips
+	out.JoinBuildFlips = ps.JoinBuildFlips
+	out.AdmissionSaved = ps.AdmissionBytesSaved
+
+	// The planner's contract, enforced.
+	if out.PrunedFiles == 0 {
+		return out, fmt.Errorf("prune: planner pruned no files on a selective workload")
+	}
+	if out.Mounts >= out.BaselineMounts {
+		return out, fmt.Errorf("prune: %d mounts with planning on, baseline %d — no savings",
+			out.Mounts, out.BaselineMounts)
+	}
+	if out.BytesNotMounted == 0 {
+		return out, fmt.Errorf("prune: pruned %d files but BytesNotMounted is zero", out.PrunedFiles)
+	}
+	return out, nil
+}
+
+func (p *PruneExperiment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Statistics-free planning (scale %s): selective 2-query workload, Qf as cardinality oracle\n",
+		p.Scale.Name)
+	fmt.Fprintf(&sb, "  planning off:  %d files of interest, %d mounts, %v\n",
+		p.BaselineFiles, p.BaselineMounts, p.BaselineWall.Round(time.Millisecond))
+	fmt.Fprintf(&sb, "  planning on:   %d mounts — %d files (%d records, %s) proved irrelevant before mounting\n",
+		p.Mounts, p.PrunedFiles, p.PrunedRecords, FormatBytes(p.BytesNotMounted))
+	fmt.Fprintf(&sb, "  join rewrites: %d chain reorders, %d build-side flips; admission charged %s under worst case\n",
+		p.JoinOrderFlips, p.JoinBuildFlips, FormatBytes(p.AdmissionSaved))
+	rows := make([]string, len(p.Rows))
+	for i, r := range p.Rows {
+		rows[i] = fmt.Sprintf("%d", r)
+	}
+	fmt.Fprintf(&sb, "  rows per query: %s; answers byte-identical to unpruned: %v\n",
+		strings.Join(rows, ", "), p.Identical)
+	fmt.Fprintf(&sb, "  workload wall: %v (baseline %v)\n",
+		p.Wall.Round(time.Millisecond), p.BaselineWall.Round(time.Millisecond))
+	return sb.String()
+}
+
+// BenchCounters implements Counters: mounts across both engines and the
+// number of query executions.
+func (p *PruneExperiment) BenchCounters() (mounts, executions int) {
+	return p.BaselineMounts + p.Mounts, 2 * len(p.Rows)
+}
+
+// BenchExtra implements ExtraCounters with the planner trajectory.
+func (p *PruneExperiment) BenchExtra() map[string]int64 {
+	return map[string]int64{
+		"pruned_files":      p.PrunedFiles,
+		"pruned_records":    p.PrunedRecords,
+		"bytes_not_mounted": p.BytesNotMounted,
+		"join_order_flips":  p.JoinOrderFlips,
+		"mounts_saved":      int64(p.BaselineMounts - p.Mounts),
+	}
+}

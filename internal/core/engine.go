@@ -151,6 +151,10 @@ type Options struct {
 	Strategy MergeStrategy
 	// SkipIndexes disables Ei's index build (for ablation benchmarks).
 	SkipIndexes bool
+	// StatsPlanning gates the statistics-free Stage-2 planner fed by the
+	// frozen Qf result (see internal/stats). The zero value is on;
+	// StatsPlanningOff restores pre-planner behaviour for A/B runs.
+	StatsPlanning StatsPlanningMode
 }
 
 // IngestReport records what Open ingested.
@@ -181,6 +185,13 @@ type Engine struct {
 	report  IngestReport
 	allURIs []string
 	qfSeq   atomic.Int64
+
+	// Engine-lifetime statistics-free planner counters (see stats.go).
+	statPrunedFiles     atomic.Int64
+	statPrunedRecords   atomic.Int64
+	statBytesNotMounted atomic.Int64
+	statJoinOrderFlips  atomic.Int64
+	statJoinBuildFlips  atomic.Int64
 
 	// data-table column positions for the derived-metadata hook
 	dataRIDCol, dataSpanCol, dataValCol int

@@ -64,6 +64,7 @@ func (b *Breakpoint) ProceedIncremental(batchFiles int, observe func(Partial) bo
 	}
 	actual := b.pq.actuals[0]
 	rewritten := plan.ApplyRule1(root, actual.Binding, e.adapter.Name(), b.files)
+	rewritten = b.orderStage2Joins(rewritten)
 	resolved, err := plan.Resolve(rewritten)
 	if err != nil {
 		return nil, err
@@ -209,7 +210,7 @@ func (b *Breakpoint) assembleResult(mat *exec.Materialized, env *exec.Env, start
 		Stage2Wall:      time.Since(start),
 		Stage2IO:        e.clock.Elapsed() - ioStart,
 		FilesOfInterest: len(b.files),
-		Mounts:          env.MountsSnapshot(),
+		Mounts:          b.stage2Mounts(env),
 		Estimate:        b.Est,
 		Strategy:        e.opts.Strategy,
 		StoppedEarly:    stopped,

@@ -10,6 +10,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/explore"
 	"repro/internal/plan"
+	"repro/internal/stats"
 )
 
 // Prepared is a query that finished the pipeline's front half (see
@@ -77,6 +78,16 @@ type Breakpoint struct {
 	spanLo     int64
 	spanHi     int64
 	hasSpan    bool
+
+	// oracle is the statistics-free planner fed by the frozen Qf result
+	// (nil when Options.StatsPlanning is off or the metadata result is
+	// not record-granular). The counters record what Stage-1 planning
+	// already saved so Stage-2 stats can report it.
+	oracle          *stats.Oracle
+	prunedFiles     int
+	prunedRecords   int
+	bytesNotMounted int64
+	joinFlips       int
 }
 
 // Done reports whether the query is already answered (no second stage).
@@ -157,6 +168,23 @@ func (p *Prepared) Stage1() (*Breakpoint, error) {
 	}
 	if err := e.identifyFiles(p, bp); err != nil {
 		return nil, err
+	}
+	// Statistics-free planning: the frozen Qf result is an exact
+	// cardinality oracle. Prune files whose every record provably fails
+	// the Stage-2 residual before the mount service ever sees them, and
+	// stamp honest byte estimates on what survives.
+	if e.statsPlanningOn() && bp.qfResult != nil {
+		if o := e.buildOracle(p, bp); o != nil {
+			bp.oracle = o
+			kept, rep := o.PruneFiles(bp.files)
+			bp.files = kept
+			bp.prunedFiles = rep.PrunedFiles
+			bp.prunedRecords = rep.PrunedRecords
+			bp.bytesNotMounted = rep.BytesNotMounted
+			for i := range bp.files {
+				bp.files[i].EstBytes = o.EstimateBytes(bp.files[i].URI)
+			}
+		}
 	}
 	bp.Est = e.estimate(p, bp)
 	bp.stage1Wall = time.Since(start)
@@ -249,6 +277,7 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 	}
 	actual := b.pq.actuals[0]
 	rewritten := plan.ApplyRule1(root, actual.Binding, e.adapter.Name(), b.files)
+	rewritten = b.orderStage2Joins(rewritten)
 	resolved, err := plan.Resolve(rewritten)
 	if err != nil {
 		return nil, err
@@ -271,7 +300,7 @@ func (b *Breakpoint) Proceed() (*Result, error) {
 		Stage2Wall:      time.Since(start),
 		Stage2IO:        e.clock.Elapsed() - ioStart,
 		FilesOfInterest: len(b.files),
-		Mounts:          env.MountsSnapshot(),
+		Mounts:          b.stage2Mounts(env),
 		Estimate:        b.Est,
 		Strategy:        e.opts.Strategy,
 	}
@@ -306,6 +335,9 @@ func (e *Engine) newExecEnv(p *Prepared, bp *Breakpoint) *exec.Env {
 	}
 	if bp != nil && bp.qfResult != nil {
 		env.Results[bp.pq.Dec.Name] = bp.qfResult
+	}
+	if bp != nil && bp.oracle != nil {
+		env.Card = bp.oracle
 	}
 	return env
 }

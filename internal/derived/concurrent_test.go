@@ -1,0 +1,80 @@
+package derived
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// TestConcurrentObserveLookup hammers the store from concurrent
+// observers and readers — the shape the statistics-free planner
+// creates, where parallel Stage-2 mounts Observe while the next query's
+// Stage-1 pruning pass Lookups. Run under -race this pins the store's
+// synchronization; the final state must contain every observation.
+func TestConcurrentObserveLookup(t *testing.T) {
+	s := NewStore()
+	const writers, files, recs = 4, 8, 4
+
+	batchFor := func(fi, ri int) *vector.Batch {
+		rids := vector.New(vector.KindInt64, 0)
+		spans := vector.New(vector.KindTime, 0)
+		vals := vector.New(vector.KindFloat64, 0)
+		for k := 0; k < 10; k++ {
+			rids.AppendInt64(int64(ri))
+			spans.AppendValue(vector.Time(int64(ri*100 + k)))
+			vals.AppendFloat64(float64(fi + k))
+		}
+		return vector.NewBatch(rids, spans, vals)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for fi := 0; fi < files; fi++ {
+				uri := fmt.Sprintf("file-%d", fi)
+				for ri := 0; ri < recs; ri++ {
+					s.Observe(uri, batchFor(fi, ri), 0, 1, 2)
+				}
+			}
+		}(w)
+	}
+	// Readers exercise Lookup, Answer and Len concurrently with the
+	// writes; values may be mid-population but must never be torn.
+	for r := 0; r < writers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				uri := fmt.Sprintf("file-%d", i%files)
+				if rs, ok := s.Lookup(uri, int64(i%recs)); ok {
+					if rs.Count != 10 {
+						t.Errorf("torn summary: Count = %d, want 10", rs.Count)
+						return
+					}
+				}
+				s.Answer([]RecordRef{{URI: uri, RecordID: 0, SpanLo: 0, SpanHi: 99}},
+					0, 99, plan.AggCount)
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := s.Len(), files*recs; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for fi := 0; fi < files; fi++ {
+		for ri := 0; ri < recs; ri++ {
+			rs, ok := s.Lookup(fmt.Sprintf("file-%d", fi), int64(ri))
+			if !ok || rs.Count != 10 {
+				t.Fatalf("file-%d/%d missing or wrong after concurrent observes: %+v ok=%v",
+					fi, ri, rs, ok)
+			}
+		}
+	}
+}

@@ -128,6 +128,27 @@ type MountStats struct {
 	// mounts) the semantic probe avoided.
 	SubsumptionHits       int
 	SubsumptionBytesSaved int64
+	// Statistics-free planner counters. PrunedFiles/PrunedRecords count
+	// mounts the Qf-fed oracle proved pointless and dropped before the
+	// mount service saw them (BytesNotMounted totals their on-disk
+	// bytes); JoinOrderFlips counts join chains greedily reordered or
+	// emptied; JoinBuildFlips counts hash joins that built on the left
+	// because the oracle proved it smaller; AdmissionBytesSaved totals
+	// budget bytes the honest (summary-derived) mount estimates left
+	// free for other flights.
+	PrunedFiles         int
+	PrunedRecords       int
+	BytesNotMounted     int64
+	JoinOrderFlips      int
+	JoinBuildFlips      int
+	AdmissionBytesSaved int64
+}
+
+// CardinalityOracle answers exact row counts for plan subtrees; in
+// two-stage execution the frozen Qf result provides them for free
+// (internal/stats.Oracle implements this).
+type CardinalityOracle interface {
+	NodeRows(plan.Node) (int64, bool)
 }
 
 // Env is everything operators need to run: storage, adapters, the
@@ -173,6 +194,10 @@ type Env struct {
 	// MountBudgetBytes configures the lazily built private service's
 	// admission budget; ignored when MountSvc is set.
 	MountBudgetBytes int64
+	// Card, when set, is the statistics-free cardinality oracle built
+	// from the frozen Qf result: hash joins consult it to build on the
+	// provably smaller side. It must be read-only during execution.
+	Card CardinalityOracle
 
 	statsMu sync.Mutex
 	svcOnce sync.Once

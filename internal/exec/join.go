@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -12,7 +13,9 @@ import (
 // the left side is a base-table scan with a registered index on exactly
 // the join key columns (the Ei baseline's path — the paper's "foreign
 // key indexes ... brought into main memory to compute the joins"),
-// otherwise a hash join that builds on the right input.
+// otherwise a hash join that builds on the right input — unless the
+// cardinality oracle proves the left input is smaller, in which case
+// the build side flips (order-preserving: see flippedHashJoin).
 func newJoin(n *plan.Join, env *Env) (Operator, error) {
 	if op, ok, err := tryIndexJoin(n, env); err != nil {
 		return nil, err
@@ -30,6 +33,17 @@ func newJoin(n *plan.Join, env *Env) (Operator, error) {
 	lk, rk, err := resolveKeys(n)
 	if err != nil {
 		return nil, err
+	}
+	if env.Card != nil && len(lk) > 0 {
+		lrows, lok := env.Card.NodeRows(n.Left)
+		rrows, rok := env.Card.NodeRows(n.Right)
+		if lok && rok && lrows < rrows {
+			env.addMountStats(func(ms *MountStats) { ms.JoinBuildFlips++ })
+			return &flippedHashJoin{
+				schema: n.Schema(), left: left, right: right,
+				leftKeys: lk, rightKeys: rk, batchSize: env.batchSize(),
+			}, nil
+		}
 	}
 	return &hashJoin{
 		schema: n.Schema(), left: left, right: right,
@@ -113,6 +127,11 @@ func (j *hashJoin) Next() (*vector.Batch, error) {
 		j.pending = nil
 		return b, nil
 	}
+	// Inner join with an empty build side is empty: stop without
+	// draining (or mounting) the probe side at all.
+	if j.rightAll.Len() == 0 {
+		return nil, nil
+	}
 	for {
 		lb, err := j.left.Next()
 		if err != nil || lb == nil {
@@ -153,7 +172,7 @@ func (j *hashJoin) probe(lb *vector.Batch) *vector.Batch {
 	if len(lsel) == 0 {
 		return nil
 	}
-	return concatBatches(lb.Gather(lsel), j.rightAll.Gather(rsel))
+	return concatBatches(passThrough(lb, lsel, true), passThrough(j.rightAll, rsel, false))
 }
 
 func (j *hashJoin) keysEqual(lb *vector.Batch, lrow, rrow int) bool {
@@ -183,7 +202,7 @@ func (j *hashJoin) cross(lb *vector.Batch) *vector.Batch {
 			rsel = append(rsel, r)
 		}
 	}
-	return concatBatches(lb.Gather(lsel), j.rightAll.Gather(rsel))
+	return concatBatches(passThrough(lb, lsel, true), passThrough(j.rightAll, rsel, false))
 }
 
 // Close implements Operator.
@@ -201,6 +220,165 @@ func concatBatches(l, r *vector.Batch) *vector.Batch {
 	cols = append(cols, l.Cols...)
 	cols = append(cols, r.Cols...)
 	return vector.NewBatch(cols...)
+}
+
+// passThrough is Gather minus the copy when the selection is the
+// identity over the whole batch. owned says the caller holds the
+// batch's single ownership and releases it (a streamed probe batch):
+// the batch itself passes through. A retained batch (the materialized
+// build side, reused across probes) passes through as a CoW share
+// instead, so a downstream mutation copies rather than corrupting the
+// copy the join keeps.
+func passThrough(b *vector.Batch, sel []int, owned bool) *vector.Batch {
+	if len(sel) != b.Len() {
+		return b.Gather(sel)
+	}
+	for i, s := range sel {
+		if s != i {
+			return b.Gather(sel)
+		}
+	}
+	if owned {
+		return b
+	}
+	return b.Share()
+}
+
+// flippedHashJoin is a hash join that builds on the LEFT input — chosen
+// when the cardinality oracle proves the left side smaller — while
+// emitting exactly the row sequence of the default right-build
+// hashJoin: pairs ordered by (left row, right row). It materializes
+// both sides, collects the matching row pairs by probing with the right
+// input, sorts them into left-major order, and streams fixed-size
+// chunks; only batch boundaries differ from the default join, which no
+// consumer observes. The payoff is the smaller hash table plus early
+// termination without draining (or mounting) the right side when the
+// left is empty.
+type flippedHashJoin struct {
+	schema    []plan.ColInfo
+	left      Operator
+	right     Operator
+	leftKeys  []int
+	rightKeys []int
+	batchSize int
+
+	built    bool
+	leftAll  *vector.Batch
+	rightAll *vector.Batch
+	pairs    [][2]int32
+	pos      int
+}
+
+// Schema implements Operator.
+func (j *flippedHashJoin) Schema() []plan.ColInfo { return j.schema }
+
+func (j *flippedHashJoin) build() error {
+	j.built = true
+	lmat := &Materialized{Schema: j.left.Schema()}
+	for {
+		b, err := j.left.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			lmat.Batches = append(lmat.Batches, b)
+		}
+	}
+	j.leftAll = lmat.Flatten()
+	ln := j.leftAll.Len()
+	if ln == 0 {
+		return nil // empty build side: never touch the right input
+	}
+	hashes := make([]uint64, ln)
+	for _, k := range j.leftKeys {
+		vector.HashVector(j.leftAll.Cols[k], hashes)
+	}
+	table := make(map[uint64][]int32, ln)
+	for i := 0; i < ln; i++ {
+		table[hashes[i]] = append(table[hashes[i]], int32(i))
+	}
+	rmat := &Materialized{Schema: j.right.Schema()}
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > 0 {
+			rmat.Batches = append(rmat.Batches, b)
+		}
+	}
+	j.rightAll = rmat.Flatten()
+	rn := j.rightAll.Len()
+	rhashes := make([]uint64, rn)
+	for _, k := range j.rightKeys {
+		vector.HashVector(j.rightAll.Cols[k], rhashes)
+	}
+	for r := 0; r < rn; r++ {
+		for _, lrow := range table[rhashes[r]] {
+			if j.keysEqual(int(lrow), r) {
+				j.pairs = append(j.pairs, [2]int32{lrow, int32(r)})
+			}
+		}
+	}
+	// Left-major order restores the default join's exact row sequence.
+	sort.Slice(j.pairs, func(a, b int) bool {
+		if j.pairs[a][0] != j.pairs[b][0] {
+			return j.pairs[a][0] < j.pairs[b][0]
+		}
+		return j.pairs[a][1] < j.pairs[b][1]
+	})
+	return nil
+}
+
+func (j *flippedHashJoin) keysEqual(lrow, rrow int) bool {
+	for i := range j.leftKeys {
+		lv := j.leftAll.Cols[j.leftKeys[i]].Get(lrow)
+		rv := j.rightAll.Cols[j.rightKeys[i]].Get(rrow)
+		if !vector.Equal(lv, rv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Next implements Operator.
+func (j *flippedHashJoin) Next() (*vector.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	if j.pos >= len(j.pairs) {
+		return nil, nil
+	}
+	end := j.pos + j.batchSize
+	if end > len(j.pairs) {
+		end = len(j.pairs)
+	}
+	lsel := make([]int, 0, end-j.pos)
+	rsel := make([]int, 0, end-j.pos)
+	for _, p := range j.pairs[j.pos:end] {
+		lsel = append(lsel, int(p[0]))
+		rsel = append(rsel, int(p[1]))
+	}
+	j.pos = end
+	return concatBatches(passThrough(j.leftAll, lsel, false), passThrough(j.rightAll, rsel, false)), nil
+}
+
+// Close implements Operator.
+func (j *flippedHashJoin) Close() error {
+	lerr := j.left.Close()
+	rerr := j.right.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return rerr
 }
 
 // tryIndexJoin recognizes Join(Scan(a)[+σ], right) where table a carries

@@ -1,0 +1,217 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// stubCard serves cardinalities for ResultScan leaves by name — the
+// same interface core's stats.Oracle implements.
+type stubCard map[string]int64
+
+func (s stubCard) NodeRows(n plan.Node) (int64, bool) {
+	if rs, ok := n.(*plan.ResultScan); ok {
+		c, ok := s[rs.Name]
+		return c, ok
+	}
+	return 0, false
+}
+
+func joinFixture() (*Env, *plan.Join) {
+	small := &Materialized{
+		Schema: []plan.ColInfo{
+			{Table: "L", Name: "k", Kind: vector.KindInt64},
+			{Table: "L", Name: "tag", Kind: vector.KindString},
+		},
+		Batches: []*vector.Batch{vector.NewBatch(
+			vector.FromInt64([]int64{2, 0, 1}),
+			vector.FromString([]string{"b", "z", "a"}),
+		)},
+	}
+	bigKeys := make([]int64, 60)
+	bigVals := make([]float64, 60)
+	for i := range bigKeys {
+		bigKeys[i] = int64(i % 5) // keys 0..4; 0..2 match the small side
+		bigVals[i] = float64(i)
+	}
+	big := &Materialized{
+		Schema: []plan.ColInfo{
+			{Table: "R", Name: "k", Kind: vector.KindInt64},
+			{Table: "R", Name: "v", Kind: vector.KindFloat64},
+		},
+		Batches: []*vector.Batch{vector.NewBatch(
+			vector.FromInt64(bigKeys),
+			vector.FromFloat64(bigVals),
+		)},
+	}
+	env := &Env{
+		Results: map[string]*Materialized{"small": small, "big": big},
+		Mounts:  &MountStats{},
+	}
+	j := &plan.Join{
+		Left:      &plan.ResultScan{Name: "small", Cols: small.Schema},
+		Right:     &plan.ResultScan{Name: "big", Cols: big.Schema},
+		LeftKeys:  []string{"L.k"},
+		RightKeys: []string{"R.k"},
+	}
+	return env, j
+}
+
+// TestJoinBuildSideFlip pins the acceptance criterion: when the
+// cardinality oracle proves the left input smaller, the join builds on
+// it (JoinBuildFlips increments) and the output row sequence is
+// identical to the default right-build join.
+func TestJoinBuildSideFlip(t *testing.T) {
+	envDefault, jd := joinFixture()
+	defaultOut, err := Run(jd, envDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if envDefault.MountsSnapshot().JoinBuildFlips != 0 {
+		t.Fatal("flip counted without an oracle")
+	}
+
+	envFlip, jf := joinFixture()
+	envFlip.Card = stubCard{"small": 3, "big": 60}
+	flipOut, err := Run(jf, envFlip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := envFlip.MountsSnapshot().JoinBuildFlips; got != 1 {
+		t.Fatalf("JoinBuildFlips = %d, want 1 (left side 3 rows < right 60)", got)
+	}
+
+	a, b := defaultOut.Flatten(), flipOut.Flatten()
+	if a.Len() != b.Len() || a.Len() == 0 {
+		t.Fatalf("row counts differ or empty: %d vs %d", a.Len(), b.Len())
+	}
+	for r := 0; r < a.Len(); r++ {
+		for c := 0; c < a.NumCols(); c++ {
+			if !vector.Equal(a.Cols[c].Get(r), b.Cols[c].Get(r)) {
+				t.Fatalf("row %d col %d differs: %v vs %v (flip must preserve exact row order)",
+					r, c, a.Cols[c].Get(r), b.Cols[c].Get(r))
+			}
+		}
+	}
+}
+
+// TestJoinNoFlipWhenRightSmaller pins the converse: an oracle that
+// proves the right side smaller keeps the default build side.
+func TestJoinNoFlipWhenRightSmaller(t *testing.T) {
+	env, j := joinFixture()
+	env.Card = stubCard{"small": 100, "big": 60}
+	if _, err := Run(j, env); err != nil {
+		t.Fatal(err)
+	}
+	if got := env.MountsSnapshot().JoinBuildFlips; got != 0 {
+		t.Fatalf("JoinBuildFlips = %d, want 0", got)
+	}
+}
+
+// poisonOp fails the test if the executor ever pulls from it — the
+// "don't mount what you won't need" guarantee of early termination.
+type poisonOp struct {
+	t      *testing.T
+	schema []plan.ColInfo
+}
+
+func (p *poisonOp) Schema() []plan.ColInfo { return p.schema }
+func (p *poisonOp) Next() (*vector.Batch, error) {
+	p.t.Error("right input pulled despite empty build side")
+	return nil, nil
+}
+func (p *poisonOp) Close() error { return nil }
+
+type matOp struct {
+	mat *Materialized
+	i   int
+}
+
+func (m *matOp) Schema() []plan.ColInfo { return m.mat.Schema }
+func (m *matOp) Next() (*vector.Batch, error) {
+	if m.i >= len(m.mat.Batches) {
+		return nil, nil
+	}
+	b := m.mat.Batches[m.i]
+	m.i++
+	return b, nil
+}
+func (m *matOp) Close() error { return nil }
+
+// TestFlippedJoinEmptyBuildSkipsProbe pins early termination: an empty
+// left (build) side must finish without pulling the right side at all —
+// in Stage 2 that is what saves the mounts.
+func TestFlippedJoinEmptyBuildSkipsProbe(t *testing.T) {
+	schema := []plan.ColInfo{{Table: "L", Name: "k", Kind: vector.KindInt64}}
+	empty := &Materialized{Schema: schema}
+	j := &flippedHashJoin{
+		schema:    append(append([]plan.ColInfo{}, schema...), plan.ColInfo{Table: "R", Name: "k", Kind: vector.KindInt64}),
+		left:      &matOp{mat: empty},
+		right:     &poisonOp{t: t, schema: []plan.ColInfo{{Table: "R", Name: "k", Kind: vector.KindInt64}}},
+		leftKeys:  []int{0},
+		rightKeys: []int{0},
+		batchSize: 16,
+	}
+	b, err := j.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		t.Fatalf("empty join emitted %d rows", b.Len())
+	}
+}
+
+// TestHashJoinEmptyBuildSkipsProbe is the mirror for the default join:
+// an empty right (build) side must not drain the left.
+func TestHashJoinEmptyBuildSkipsProbe(t *testing.T) {
+	schema := []plan.ColInfo{{Table: "R", Name: "k", Kind: vector.KindInt64}}
+	empty := &Materialized{Schema: schema}
+	j := &hashJoin{
+		schema:    append([]plan.ColInfo{{Table: "L", Name: "k", Kind: vector.KindInt64}}, schema...),
+		left:      &poisonOp{t: t, schema: []plan.ColInfo{{Table: "L", Name: "k", Kind: vector.KindInt64}}},
+		right:     &matOp{mat: empty},
+		leftKeys:  []int{0},
+		rightKeys: []int{0},
+		batchSize: 16,
+	}
+	b, err := j.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != nil {
+		t.Fatalf("empty join emitted %d rows", b.Len())
+	}
+}
+
+// TestPassThroughCoW pins the copy-on-write contract: an identity
+// selection passes the batch through (same pointer when ownership
+// transfers, a share when the join retains its copy); a real selection
+// gathers.
+func TestPassThroughCoW(t *testing.T) {
+	b := vector.NewBatch(vector.FromInt64([]int64{1, 2, 3}))
+	identity := []int{0, 1, 2}
+
+	if got := passThrough(b, identity, true); got != b {
+		t.Error("owned identity pass-through copied the batch")
+	}
+	shared := passThrough(b, identity, false)
+	if shared == b {
+		t.Error("retained identity pass-through returned the original, not a share")
+	}
+	if shared.Len() != 3 || !vector.Equal(shared.Cols[0].Get(1), vector.Int64(2)) {
+		t.Error("share does not expose the same rows")
+	}
+	// Mutating the share must not touch the original (CoW): appending
+	// through the share materializes a private copy for the share only.
+	shared.Cols[0].AppendInt64(99)
+	if b.Cols[0].Len() != 3 || !vector.Equal(b.Cols[0].Get(0), vector.Int64(1)) {
+		t.Error("mutation through the share corrupted the retained batch")
+	}
+
+	gathered := passThrough(b, []int{2, 0}, false)
+	if gathered.Len() != 2 || !vector.Equal(gathered.Cols[0].Get(0), vector.Int64(3)) {
+		t.Error("non-identity selection not gathered")
+	}
+}

@@ -69,6 +69,7 @@ func (m *mountOp) start() error {
 		Adapter:   m.adapter,
 		Span:      span,
 		BatchRows: env.batchSize(),
+		EstBytes:  m.node.EstBytes,
 		Observe: func(d mountsvc.Delta) {
 			env.addMountStats(func(ms *MountStats) {
 				switch {
@@ -77,6 +78,7 @@ func (m *mountOp) start() error {
 					ms.BytesRead += d.BytesRead
 					ms.RecordsPruned += d.RecordsPruned
 					ms.RecordsMounted += d.RecordsMounted
+					ms.AdmissionBytesSaved += d.AdmissionSaved
 				case d.SingleFlight:
 					ms.SingleFlightHits++
 				case d.FromCache:
@@ -219,6 +221,7 @@ func (c *cacheScanOp) load() error {
 		mountNode := &plan.Mount{
 			URI: c.node.URI, Adapter: c.node.Adapter,
 			Binding: c.node.Binding, Def: c.node.Def, Pred: c.node.Pred,
+			EstBytes: c.node.EstBytes,
 		}
 		op, err := newMount(mountNode, c.env)
 		if err != nil {

@@ -143,6 +143,18 @@ func TestReleaseCheckFixture(t *testing.T) {
 	runFixture(t, ReleaseCheck, "releasefix", "fixture/internal/releasefix")
 }
 
+// TestStatsFixtureClean* pin the analyzers' false-positive rate on the
+// statistics-free planner's idioms: statsfix mirrors the oracle's code
+// shapes (read-only view scans, private copies, threaded contexts) and
+// carries no want comments — any diagnostic at all fails the test.
+func TestStatsFixtureCleanCow(t *testing.T) {
+	runFixture(t, CowCheck, "statsfix", "fixture/internal/statsfix")
+}
+
+func TestStatsFixtureCleanCtx(t *testing.T) {
+	runFixture(t, CtxCheck, "statsfix", "fixture/internal/statsfix")
+}
+
 func TestCtxCheckFixture(t *testing.T) {
 	runFixture(t, CtxCheck, "ctxfix", "fixture/internal/ctxfix")
 }

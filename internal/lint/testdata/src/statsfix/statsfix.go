@@ -1,0 +1,96 @@
+// Package statsfix is the clean-fixture counterpart to cowfix and
+// ctxfix: it mirrors the code shapes of the statistics-free planner —
+// read-only scans over frozen Qf batches feeding an oracle, and
+// cancellation threaded from the caller into pruning — and must
+// produce zero diagnostics under cowcheck and ctxcheck. It pins the
+// analyzers' false-positive rate on the planner idioms: reading
+// vector views without writing through them, building private state
+// with plain slices, and deriving contexts instead of rooting them.
+package statsfix
+
+import (
+	"context"
+
+	"repro/internal/vector"
+)
+
+// recordCard is oracle-private state assembled from read-only views;
+// no view slice escapes into it.
+type recordCard struct {
+	uri  string
+	rows int64
+	lo   int64
+	hi   int64
+}
+
+// collect reads the frozen result's columns through the read-only
+// accessors — index reads and range loops only — and copies the
+// values (never the slices) into private records.
+func collect(uris *vector.Vector, rows, lo, hi *vector.Vector) []recordCard {
+	us := uris.Strings()
+	rs := rows.Int64s()
+	los := lo.Int64s()
+	his := hi.Int64s()
+	out := make([]recordCard, 0, len(us))
+	for i := range us {
+		out = append(out, recordCard{uri: us[i], rows: rs[i], lo: los[i], hi: his[i]})
+	}
+	return out
+}
+
+// totalRows sums through a view without retaining it.
+func totalRows(rows *vector.Vector) int64 {
+	var sum int64
+	for _, r := range rows.Int64s() {
+		sum += r
+	}
+	return sum
+}
+
+// disjoint is the span test the oracle applies per record: pure value
+// reads, no mutation.
+func disjoint(c recordCard, lo, hi int64) bool {
+	return c.hi < lo || c.lo > hi
+}
+
+// prune walks records under the caller's context, honoring
+// cancellation between files rather than severing it with a fresh
+// root — the threading discipline ctxcheck enforces.
+func prune(ctx context.Context, cards []recordCard, lo, hi int64) ([]recordCard, error) {
+	kept := cards[:0]
+	for _, c := range cards {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !disjoint(c, lo, hi) {
+			kept = append(kept, c)
+		}
+	}
+	return kept, nil
+}
+
+// estimate derives a bounded timeout from the caller's context for
+// the residual-evaluation probe; deriving (not rooting) is allowed.
+func estimate(ctx context.Context, cards []recordCard) (int64, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var total int64
+	for _, c := range cards {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += c.rows
+	}
+	return total, nil
+}
+
+// materialize builds a fresh vector through the mutating entry points
+// on a vector it owns — the CoW-sound way to produce output, as
+// opposed to writing through a read-only view.
+func materialize(cards []recordCard) *vector.Vector {
+	v := vector.New(vector.KindInt64, 0)
+	for _, c := range cards {
+		v.AppendInt64(c.rows)
+	}
+	return v
+}

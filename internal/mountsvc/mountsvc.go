@@ -86,6 +86,10 @@ type Delta struct {
 	BytesRead      int64
 	RecordsPruned  int
 	RecordsMounted int
+	// AdmissionSaved is how many budget bytes the planner's estimate
+	// left free compared to whole-file admission (file size minus the
+	// bytes actually admitted); only set with FileMounted.
+	AdmissionSaved int64
 	// SingleFlight marks a request served by joining another request's
 	// in-progress flight.
 	SingleFlight bool
@@ -119,6 +123,13 @@ type Request struct {
 	// BatchRows caps rows per yielded batch (record-aligned; see
 	// catalog.FormatAdapter.MountStream). <= 0 selects the default.
 	BatchRows int
+	// EstBytes, when in (0, file size), is the planner's estimate of the
+	// bytes this mount will actually buffer (span-surviving records
+	// only): admission charges it instead of the whole-file worst case,
+	// admitting more true parallelism under the same budget. 0 means
+	// unknown. Ignored under file-granular caching, where the whole file
+	// is extracted regardless.
+	EstBytes int64
 	// Observe, when set, receives the request's statistics attribution.
 	// It may fire from a flight goroutine.
 	Observe func(Delta)
@@ -155,6 +166,9 @@ type Stats struct {
 	// ad-hoc estimate.
 	ReplayBytes     int64
 	PeakReplayBytes int64
+	// AdmissionBytesSaved totals the budget bytes honest (estimate-
+	// sized) admissions left free versus whole-file admission.
+	AdmissionBytesSaved int64
 	// QueueDepth is the number of flights currently blocked in the
 	// admission queue; BudgetWaits counts admissions that had to queue;
 	// BudgetCancelled counts admission waits cancelled because every
@@ -188,13 +202,14 @@ type Service struct {
 	replayPeak int64
 
 	// single-flight table
-	fmu           sync.Mutex
-	flights       map[string][]*flight
-	started       int64
-	joined        int64
-	cached        int64
-	cancelled     int64
-	waiterCancels int64
+	fmu            sync.Mutex
+	flights        map[string][]*flight
+	started        int64
+	joined         int64
+	cached         int64
+	cancelled      int64
+	waiterCancels  int64
+	admissionSaved int64
 }
 
 // errFlightAbandoned is the internal sentinel the flight goroutine
@@ -221,7 +236,7 @@ func (s *Service) Stats() Stats {
 	st := Stats{
 		FlightsStarted: s.started, SingleFlightHits: s.joined,
 		CacheServes: s.cached, FlightsCancelled: s.cancelled,
-		WaiterCancels: s.waiterCancels,
+		WaiterCancels: s.waiterCancels, AdmissionBytesSaved: s.admissionSaved,
 	}
 	s.fmu.Unlock()
 	gs := s.gate.Stats()
@@ -293,6 +308,13 @@ func (s *Service) Mount(req Request) (Cursor, error) {
 		}
 	}
 	f := newFlight(req.URI, span, st.Size(), req.Session, s)
+	// Honest admission: when the planner proved (from the frozen Qf
+	// result) that span pruning leaves only part of the file to buffer,
+	// admit that estimate instead of the whole-file worst case. Skipped
+	// under file-granular caching, where the full file is extracted.
+	if req.EstBytes > 0 && req.EstBytes < st.Size() && !s.fileGranular() {
+		f.admitBytes = req.EstBytes
+	}
 	s.flights[req.URI] = append(s.flights[req.URI], f)
 	s.started++
 	f.ref()
@@ -326,7 +348,7 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 		f.finish(err)
 	}
 
-	if err := s.admit(f, size); err != nil {
+	if err := s.admit(f); err != nil {
 		// Nothing was ever held: the abandoned flight leaves the gate
 		// without touching the budget (a cursor racing the abandonment
 		// sees the error).
@@ -405,12 +427,19 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 		return
 	}
 	pending.Commit(cache.FullSpan())
+	saved := size - f.admitBytes
+	if saved > 0 {
+		s.fmu.Lock()
+		s.admissionSaved += saved
+		s.fmu.Unlock()
+	}
 	if req.Observe != nil {
 		req.Observe(Delta{
 			FileMounted:    true,
 			BytesRead:      size,
 			RecordsPruned:  pruned,
 			RecordsMounted: rows,
+			AdmissionSaved: saved,
 		})
 	}
 	finish(nil)
@@ -424,7 +453,7 @@ func (s *Service) run(f *flight, req Request, path string, size int64) {
 // own cursors instead, and only the last one's departure (abandonment)
 // ends the wait. On success the flight is marked admitted, which is
 // what licenses the (single) release.
-func (s *Service) admit(f *flight, size int64) error {
+func (s *Service) admit(f *flight) error {
 	actx, cancel := context.WithCancel(context.Background()) //lint:allow ctxcheck the flight's wait is deliberately detached from any one waiter's ctx; abandonment (below) is its only cancellation
 	defer cancel()
 	go func() {
@@ -436,7 +465,7 @@ func (s *Service) admit(f *flight, size int64) error {
 		case <-actx.Done():
 		}
 	}()
-	if err := s.gate.Acquire(actx, f.session, size); err != nil { //lint:allow releasecheck the flight record owns this admission; releaseFlight pairs it exactly once at flight teardown, gated by f.released
+	if err := s.gate.Acquire(actx, f.session, f.admitBytes); err != nil { //lint:allow releasecheck the flight record owns this admission; releaseFlight pairs it exactly once at flight teardown, gated by f.released
 		return err
 	}
 	f.mu.Lock()
@@ -525,8 +554,12 @@ type flight struct {
 	uri     string
 	span    cache.Span
 	size    int64
-	session string // admission identity of the request that led the flight
-	svc     *Service
+	// admitBytes is what the admission gate is charged for this flight:
+	// the file size by default, or the planner's smaller honest
+	// estimate. Set before the flight goroutine starts, immutable after.
+	admitBytes int64
+	session    string // admission identity of the request that led the flight
+	svc        *Service
 
 	// abandonCh is closed (once, by abandonIfUnreferenced) when every
 	// waiter has detached, cancelling a still-pending admission wait.
@@ -546,8 +579,8 @@ type flight struct {
 }
 
 func newFlight(uri string, span cache.Span, size int64, session string, svc *Service) *flight {
-	f := &flight{uri: uri, span: span, size: size, session: session, svc: svc,
-		abandonCh: make(chan struct{})}
+	f := &flight{uri: uri, span: span, size: size, admitBytes: size,
+		session: session, svc: svc, abandonCh: make(chan struct{})}
 	f.cond = sync.NewCond(&f.mu)
 	return f
 }
@@ -594,7 +627,7 @@ func (f *flight) maybeReleaseLocked() {
 		f.released = true
 		admitted := int64(0)
 		if f.admitted {
-			admitted = f.size
+			admitted = f.admitBytes
 		}
 		f.svc.releaseFlight(f.session, admitted, f.buffered)
 	}

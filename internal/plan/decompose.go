@@ -122,6 +122,10 @@ func FindActualScans(root Node, cat *catalog.Catalog) []ActualScanInfo {
 type MountSpec struct {
 	URI    string
 	Cached bool
+	// EstBytes is the statistics-free planner's estimate of the bytes
+	// mounting this file will buffer; 0 means unknown (admission then
+	// charges the stat size).
+	EstBytes int64
 }
 
 // ApplyRule1 is the paper's rewrite rule (1), applied at run time
@@ -153,10 +157,12 @@ func ApplyRule1(root Node, binding, adapter string, files []MountSpec) Node {
 			if f.Cached {
 				inputs = append(inputs, &CacheScan{
 					URI: f.URI, Adapter: adapter, Binding: scan.Binding, Def: scan.Def, Pred: pred,
+					EstBytes: f.EstBytes,
 				})
 			} else {
 				inputs = append(inputs, &Mount{
 					URI: f.URI, Adapter: adapter, Binding: scan.Binding, Def: scan.Def, Pred: pred,
+					EstBytes: f.EstBytes,
 				})
 			}
 		}

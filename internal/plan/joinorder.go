@@ -1,0 +1,223 @@
+package plan
+
+import "repro/internal/expr"
+
+// CardFunc answers "how many rows does this subtree yield" with exact
+// numbers (ok=false when unknown). In two-stage execution the frozen Qf
+// result provides these for free — see internal/stats.
+type CardFunc func(Node) (int64, bool)
+
+// OrderJoins rewrites every maximal join chain greedily
+// smallest-known-cardinality-first: the smallest input becomes the
+// innermost (right-deep) relation, which execution uses as the hash
+// build side, and each next relation is the smallest one connected to
+// the chain so far by a join edge (avoiding cartesian products). A
+// chain containing a provably empty input collapses to an empty union —
+// early termination before any file is mounted.
+//
+// The rewrite preserves the result as a SET but may permute row order,
+// so callers must only apply it when the consumer is order-insensitive
+// (global aggregates); order-sensitive plans get PruneEmptyJoins
+// instead. The returned count is the number of chains rewritten.
+func OrderJoins(root Node, card CardFunc) (Node, int) {
+	return orderJoins(root, card, true)
+}
+
+// PruneEmptyJoins applies only the early-termination part of OrderJoins:
+// a join chain with a provably empty input is replaced by an empty
+// union with the chain's schema. Row order is untouched, so this is
+// safe for every consumer.
+func PruneEmptyJoins(root Node, card CardFunc) (Node, int) {
+	return orderJoins(root, card, false)
+}
+
+// orderJoins recurses top-down so each maximal join chain is flattened
+// exactly once (Transform is bottom-up and would re-flatten rewritten
+// inner chains).
+func orderJoins(n Node, card CardFunc, reorder bool) (Node, int) {
+	if j, ok := n.(*Join); ok {
+		return rewriteChain(j, card, reorder)
+	}
+	children := n.Children()
+	if len(children) == 0 {
+		return n, 0
+	}
+	newChildren := make([]Node, len(children))
+	changed, flips := false, 0
+	for i, c := range children {
+		nc, f := orderJoins(c, card, reorder)
+		newChildren[i] = nc
+		flips += f
+		if nc != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return n, flips
+	}
+	return n.withChildren(newChildren), flips
+}
+
+func rewriteChain(j *Join, card CardFunc, reorder bool) (Node, int) {
+	origSchema := j.Schema()
+	leaves, edges := flattenJoins(j)
+	flips := 0
+	// Leaves may themselves contain join chains below non-Join nodes
+	// (e.g. under a Select that terminated flattening): recurse first.
+	for i, leaf := range leaves {
+		nl, f := orderJoins(leaf, card, reorder)
+		leaves[i] = nl
+		flips += f
+	}
+	rows := make([]int64, len(leaves))
+	known := make([]bool, len(leaves))
+	anyKnown := false
+	for i, leaf := range leaves {
+		rows[i], known[i] = card(leaf)
+		if known[i] {
+			anyKnown = true
+			if rows[i] == 0 {
+				// A provably empty input empties the whole inner-join
+				// chain: stop before mounting anything.
+				return &UnionAll{Inputs: nil, Cols: origSchema}, flips + 1
+			}
+		}
+	}
+	if !reorder || !anyKnown || len(leaves) < 2 {
+		return rebuildInPlace(j, leaves, flips)
+	}
+	order := greedyOrder(leaves, rows, known, edges)
+	// Already in the desired shape? A right-deep chain whose flatten
+	// order is the reverse of the greedy (smallest-first) order has the
+	// smallest relation innermost and needs no rewrite.
+	if isRightDeepChain(j) {
+		desired := true
+		for i, idx := range order {
+			if idx != len(order)-1-i {
+				desired = false
+				break
+			}
+		}
+		if desired {
+			return rebuildInPlace(j, leaves, flips)
+		}
+	}
+	// Right-deep with the smallest relation innermost: reverse the
+	// greedy (smallest-first) order so buildRightDeep places it deepest,
+	// where execution's hash join builds.
+	reversed := make([]Node, len(order))
+	for i, idx := range order {
+		reversed[len(order)-1-i] = leaves[idx]
+	}
+	tree := buildRightDeep(reversed, edges)
+	return restoreSchema(tree, origSchema), flips + 1
+}
+
+// isRightDeepChain reports whether every left input of the chain is a
+// leaf (the shape buildRightDeep produces).
+func isRightDeepChain(j *Join) bool {
+	for {
+		if _, ok := j.Left.(*Join); ok {
+			return false
+		}
+		r, ok := j.Right.(*Join)
+		if !ok {
+			return true
+		}
+		j = r
+	}
+}
+
+// rebuildInPlace grafts rewritten leaves back into the original join
+// structure (preserving its shape and therefore its row order); an
+// untouched chain stays pointer-identical.
+func rebuildInPlace(j *Join, leaves []Node, flips int) (Node, int) {
+	next := 0
+	var graft func(n Node) Node
+	graft = func(n Node) Node {
+		if jn, ok := n.(*Join); ok {
+			l, r := graft(jn.Left), graft(jn.Right)
+			if l == jn.Left && r == jn.Right {
+				return jn
+			}
+			return jn.withChildren([]Node{l, r})
+		}
+		leaf := leaves[next]
+		next++
+		return leaf
+	}
+	return graft(j), flips
+}
+
+// greedyOrder returns leaf indexes smallest-first: start with the
+// smallest known input, then repeatedly take the smallest remaining
+// leaf connected to the chosen set by a join edge (unknown cardinality
+// sorts last; ties break on original position, keeping the rewrite
+// deterministic). Leaves with no connecting edge are deferred until
+// nothing connected remains, mirroring joinWithEdges' cartesian
+// fallback.
+func greedyOrder(leaves []Node, rows []int64, known []bool, edges []joinEdge) []int {
+	n := len(leaves)
+	chosen := make([]bool, n)
+	order := make([]int, 0, n)
+	var chosenSchema []ColInfo
+	better := func(a, b int) bool { // does a beat b?
+		if known[a] != known[b] {
+			return known[a]
+		}
+		if known[a] && rows[a] != rows[b] {
+			return rows[a] < rows[b]
+		}
+		return a < b
+	}
+	connected := func(i int) bool {
+		ls := leaves[i].Schema()
+		for _, e := range edges {
+			if FindColumn(ls, e.a) >= 0 && FindColumn(chosenSchema, e.b) >= 0 {
+				return true
+			}
+			if FindColumn(ls, e.b) >= 0 && FindColumn(chosenSchema, e.a) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for len(order) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if chosen[i] || (len(order) > 0 && !connected(i)) {
+				continue
+			}
+			if best < 0 || better(i, best) {
+				best = i
+			}
+		}
+		if best < 0 { // nothing connected: fall back to smallest remaining
+			for i := 0; i < n; i++ {
+				if !chosen[i] && (best < 0 || better(i, best)) {
+					best = i
+				}
+			}
+		}
+		chosen[best] = true
+		order = append(order, best)
+		chosenSchema = append(chosenSchema, leaves[best].Schema()...)
+	}
+	return order
+}
+
+// restoreSchema wraps the reordered chain in a projection that restores
+// the original column order, so nothing upstream of the chain observes
+// the rewrite.
+func restoreSchema(tree Node, orig []ColInfo) Node {
+	ts := tree.Schema()
+	exprs := make([]expr.Expr, len(orig))
+	names := make([]string, len(orig))
+	for i, c := range orig {
+		q := c.Qualified()
+		idx := FindColumn(ts, q)
+		exprs[i] = &expr.Col{Index: idx, Name: q, K: c.Kind}
+		names[i] = q
+	}
+	return &Project{Exprs: exprs, Names: names, Child: tree}
+}

@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/vector"
+)
+
+// rel builds a ResultScan leaf with one key column per name.
+func rel(name string, cols ...string) *ResultScan {
+	ci := make([]ColInfo, len(cols))
+	for i, c := range cols {
+		ci[i] = ColInfo{Table: name, Name: c, Kind: vector.KindInt64}
+	}
+	return &ResultScan{Name: name, Cols: ci}
+}
+
+// cardByName answers cardinalities from a fixed table.
+func cardByName(cards map[string]int64) CardFunc {
+	return func(n Node) (int64, bool) {
+		if rs, ok := n.(*ResultScan); ok {
+			c, ok := cards[rs.Name]
+			return c, ok
+		}
+		return 0, false
+	}
+}
+
+// chain is A ⋈ B ⋈ C as the parser shapes it: (A ⋈ B) ⋈ C.
+func testChain() (*Join, *ResultScan, *ResultScan, *ResultScan) {
+	a, b, c := rel("A", "k", "x"), rel("B", "k", "m"), rel("C", "m")
+	inner := &Join{Left: a, Right: b, LeftKeys: []string{"A.k"}, RightKeys: []string{"B.k"}}
+	outer := &Join{Left: inner, Right: c, LeftKeys: []string{"B.m"}, RightKeys: []string{"C.m"}}
+	return outer, a, b, c
+}
+
+func schemaNames(s []ColInfo) []string {
+	out := make([]string, len(s))
+	for i, ci := range s {
+		out[i] = ci.Qualified()
+	}
+	return out
+}
+
+func TestOrderJoinsSmallestInnermost(t *testing.T) {
+	root, _, _, c := testChain()
+	origSchema := schemaNames(root.Schema())
+	out, flips := OrderJoins(root, cardByName(map[string]int64{"A": 100, "B": 10, "C": 1}))
+	if flips != 1 {
+		t.Fatalf("flips = %d, want 1", flips)
+	}
+	proj, ok := out.(*Project)
+	if !ok {
+		t.Fatalf("root = %T, want *Project restoring the schema", out)
+	}
+	if got := schemaNames(proj.Schema()); len(got) != len(origSchema) {
+		t.Fatalf("schema arity changed: %v vs %v", got, origSchema)
+	} else {
+		for i := range got {
+			if got[i] != origSchema[i] {
+				t.Fatalf("schema[%d] = %q, want %q", i, got[i], origSchema[i])
+			}
+		}
+	}
+	outer, ok := proj.Child.(*Join)
+	if !ok {
+		t.Fatalf("child = %T, want *Join", proj.Child)
+	}
+	innerJ, ok := outer.Right.(*Join)
+	if !ok {
+		t.Fatalf("not right-deep: right = %T", outer.Right)
+	}
+	if innerJ.Right != c {
+		t.Errorf("innermost (build side) = %v, want smallest relation C", innerJ.Right)
+	}
+}
+
+func TestOrderJoinsAlreadyOptimal(t *testing.T) {
+	// A ⋈ (B ⋈ C) with C smallest is already the greedy shape.
+	a, b, c := rel("A", "k", "x"), rel("B", "k", "m"), rel("C", "m")
+	inner := &Join{Left: b, Right: c, LeftKeys: []string{"B.m"}, RightKeys: []string{"C.m"}}
+	root := &Join{Left: a, Right: inner, LeftKeys: []string{"A.k"}, RightKeys: []string{"B.k"}}
+	out, flips := OrderJoins(root, cardByName(map[string]int64{"A": 100, "B": 10, "C": 1}))
+	if flips != 0 {
+		t.Errorf("flips = %d, want 0 for already-optimal chain", flips)
+	}
+	if out != Node(root) {
+		t.Errorf("already-optimal chain rewritten: %T", out)
+	}
+}
+
+func TestOrderJoinsEmptyInputCollapses(t *testing.T) {
+	root, _, _, _ := testChain()
+	origSchema := schemaNames(root.Schema())
+	for _, f := range []func(Node, CardFunc) (Node, int){OrderJoins, PruneEmptyJoins} {
+		out, flips := f(root, cardByName(map[string]int64{"B": 0}))
+		if flips != 1 {
+			t.Fatalf("flips = %d, want 1", flips)
+		}
+		u, ok := out.(*UnionAll)
+		if !ok || len(u.Inputs) != 0 {
+			t.Fatalf("out = %T, want empty *UnionAll", out)
+		}
+		got := schemaNames(u.Schema())
+		for i := range origSchema {
+			if got[i] != origSchema[i] {
+				t.Fatalf("empty-union schema[%d] = %q, want %q", i, got[i], origSchema[i])
+			}
+		}
+	}
+}
+
+func TestPruneEmptyJoinsNeverReorders(t *testing.T) {
+	root, _, _, _ := testChain()
+	out, flips := PruneEmptyJoins(root, cardByName(map[string]int64{"A": 100, "B": 10, "C": 1}))
+	if flips != 0 {
+		t.Errorf("flips = %d, want 0", flips)
+	}
+	if out != Node(root) {
+		t.Errorf("order-sensitive chain restructured: %T", out)
+	}
+}
+
+func TestOrderJoinsUnknownCardinalities(t *testing.T) {
+	root, _, _, _ := testChain()
+	out, flips := OrderJoins(root, cardByName(nil))
+	if flips != 0 || out != Node(root) {
+		t.Errorf("all-unknown chain rewritten (flips=%d, %T)", flips, out)
+	}
+}
+
+func TestOrderJoinsAvoidsCartesian(t *testing.T) {
+	// C is tiny but shares no edge with A; greedy must pick B (connected
+	// to C) before A even though A < B.
+	root, a, _, c := testChain()
+	out, _ := OrderJoins(root, cardByName(map[string]int64{"A": 5, "B": 10, "C": 1}))
+	proj, ok := out.(*Project)
+	if !ok {
+		t.Fatalf("root = %T", out)
+	}
+	outer, _ := proj.Child.(*Join)
+	if outer == nil {
+		t.Fatalf("child = %T", proj.Child)
+	}
+	// Expected order: C (smallest) innermost, then B (connected), then A.
+	if outer.Left != a {
+		t.Errorf("outermost = %v, want A (only relation left after C,B)", outer.Left)
+	}
+	innerJ, _ := outer.Right.(*Join)
+	if innerJ == nil || innerJ.Right != c {
+		t.Errorf("innermost != C; cartesian-avoidance order broken")
+	}
+}
+
+// TestOrderJoinsResolvable pins that the restore projection rebinds
+// cleanly: Resolve must succeed on the rewritten plan and preserve the
+// outward schema.
+func TestOrderJoinsResolvable(t *testing.T) {
+	root, _, _, _ := testChain()
+	out, flips := OrderJoins(root, cardByName(map[string]int64{"A": 100, "B": 10, "C": 1}))
+	if flips != 1 {
+		t.Fatalf("flips = %d", flips)
+	}
+	resolved, err := Resolve(out)
+	if err != nil {
+		t.Fatalf("Resolve after reorder: %v", err)
+	}
+	want := schemaNames(root.Schema())
+	got := schemaNames(resolved.Schema())
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resolved schema[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -349,6 +349,10 @@ type Mount struct {
 	Binding string
 	Def     catalog.TableDef
 	Pred    expr.Expr
+	// EstBytes is the statistics-free planner's estimate of the bytes
+	// this mount will buffer (0 = unknown: admission charges the full
+	// file size).
+	EstBytes int64
 }
 
 // Schema implements Node.
@@ -380,6 +384,9 @@ type CacheScan struct {
 	Binding string
 	Def     catalog.TableDef
 	Pred    expr.Expr
+	// EstBytes carries the planner's byte estimate to the miss-fallback
+	// mount (0 = unknown).
+	EstBytes int64
 }
 
 // Schema implements Node.

@@ -54,13 +54,13 @@ func Normalize(root Node) (Node, error) {
 				return n
 			}
 			return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def,
-				Pred: normalizePred(t.Pred)}
+				Pred: normalizePred(t.Pred), EstBytes: t.EstBytes}
 		case *CacheScan:
 			if t.Pred == nil {
 				return n
 			}
 			return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def,
-				Pred: normalizePred(t.Pred)}
+				Pred: normalizePred(t.Pred), EstBytes: t.EstBytes}
 		default:
 			return n
 		}

@@ -89,13 +89,13 @@ func sink(n Node, pred expr.Expr) (Node, bool) {
 		if t.Pred != nil {
 			merged = expr.JoinAnd([]expr.Expr{t.Pred, pred})
 		}
-		return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged}, true
+		return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged, EstBytes: t.EstBytes}, true
 	case *CacheScan:
 		merged := pred
 		if t.Pred != nil {
 			merged = expr.JoinAnd([]expr.Expr{t.Pred, pred})
 		}
-		return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged}, true
+		return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: merged, EstBytes: t.EstBytes}, true
 	case *Scan:
 		return &Select{Pred: pred, Child: t}, true
 	default:
@@ -292,7 +292,7 @@ func Resolve(root Node) (Node, error) {
 				firstErr = err
 				return n
 			}
-			return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p}
+			return &Mount{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p, EstBytes: t.EstBytes}
 		case *CacheScan:
 			if t.Pred == nil {
 				return n
@@ -302,7 +302,7 @@ func Resolve(root Node) (Node, error) {
 				firstErr = err
 				return n
 			}
-			return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p}
+			return &CacheScan{URI: t.URI, Adapter: t.Adapter, Binding: t.Binding, Def: t.Def, Pred: p, EstBytes: t.EstBytes}
 		case *Join:
 			ls, rs := t.Left.Schema(), t.Right.Schema()
 			for i := range t.LeftKeys {

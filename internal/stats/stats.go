@@ -1,0 +1,451 @@
+// Package stats is the statistics-free planning layer: exact
+// cardinalities and spans harvested from the frozen Qf result, plus
+// per-record value summaries the ALi ingestion path already collects in
+// internal/derived. Classic optimizers estimate; two-stage execution
+// measures — by the time Qs is planned, Qf has been run and frozen, so
+// every number the Oracle serves is exact, not an estimate.
+//
+// The Oracle answers four planning questions for Stage 2:
+//
+//   - which files/records provably cannot contribute a qualifying row
+//     (PruneFiles: the metadata record span or the derived value
+//     interval is disjoint from the residual predicate's interval);
+//   - how many rows a plan subtree yields at most (NodeRows, driving
+//     greedy join ordering and build-side selection);
+//   - how many bytes a mount will really buffer (EstimateBytes,
+//     scaling the file size by surviving records so admission stops
+//     charging worst case).
+//
+// Soundness contract: pruning only ever drops a record when *no* row of
+// it can satisfy the residual predicate, and NodeRows returns upper
+// bounds that are exact for ResultScan — so a zero means provably
+// empty. Both properties are what lets core keep the differential
+// guarantee (byte-identical results with planning on or off).
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/derived"
+	"repro/internal/expr"
+	"repro/internal/plan"
+	"repro/internal/vector"
+)
+
+// RecordStats is one record's metadata-result row: exact row count and
+// coverage span, straight out of the frozen Qf result.
+type RecordStats struct {
+	RecordID int64
+	Rows     int64
+	SpanLo   int64 // nanoseconds, inclusive
+	SpanHi   int64 // nanoseconds, inclusive
+}
+
+// FileStats aggregates the Qf rows of one file.
+type FileStats struct {
+	URI     string
+	Bytes   int64 // on-disk size from metadata, 0 if unknown
+	Records []RecordStats
+}
+
+// IntInterval is a closed integer interval; used for time/int residual
+// bounds (Lo > Hi means empty).
+type IntInterval struct {
+	Lo, Hi int64
+}
+
+// FloatInterval is a float interval with independently open/closed
+// endpoints, for residual bounds on float columns where the +1/-1
+// closing trick doesn't apply.
+type FloatInterval struct {
+	Lo, Hi             float64
+	LoStrict, HiStrict bool // true: endpoint excluded
+}
+
+// contains reports whether v satisfies the interval.
+func (iv FloatInterval) contains(v float64) bool {
+	if iv.LoStrict {
+		if !(v > iv.Lo) {
+			return false
+		}
+	} else if !(v >= iv.Lo) {
+		return false
+	}
+	if iv.HiStrict {
+		return v < iv.Hi
+	}
+	return v <= iv.Hi
+}
+
+// disjoint reports whether the closed interval [lo, hi] has no point in
+// common with iv. NaN summary bounds never prove disjointness.
+func (iv FloatInterval) disjoint(lo, hi float64) bool {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return false
+	}
+	if iv.LoStrict && hi <= iv.Lo {
+		return true
+	}
+	if !iv.LoStrict && hi < iv.Lo {
+		return true
+	}
+	if iv.HiStrict && lo >= iv.Hi {
+		return true
+	}
+	return !iv.HiStrict && lo > iv.Hi
+}
+
+// PruneReport summarizes one PruneFiles pass.
+type PruneReport struct {
+	PrunedFiles     int
+	PrunedRecords   int   // records belonging to dropped files
+	BytesNotMounted int64 // on-disk bytes of dropped files
+}
+
+// Oracle serves exact Stage-2 planning facts for one prepared query. It
+// is built once between Stage 1 and Stage 2 and read-only afterwards,
+// so it is safe to share across parallel Stage-2 workers.
+type Oracle struct {
+	resultName string
+	qfRows     int64
+	derived    *derived.Store
+	files      map[string]*FileStats
+
+	// Residual predicate bounds over the actual-data scan, extracted
+	// from the top-level AND conjuncts of the Qs residual.
+	spanName string // qualified span column, e.g. "D.sample_time"
+	spanInt  IntInterval
+	hasSpan  bool
+	valName  string // qualified value column, e.g. "D.sample_value"
+	valInt   FloatInterval
+	hasVal   bool
+}
+
+// New creates an Oracle for the named frozen Qf result with qfRows rows.
+// The derived store may be nil (value-interval pruning then stays off).
+func New(resultName string, qfRows int64, d *derived.Store) *Oracle {
+	return &Oracle{
+		resultName: resultName,
+		qfRows:     qfRows,
+		derived:    d,
+		files:      make(map[string]*FileStats),
+	}
+}
+
+// AddRecord registers one Qf result row: record rec of file uri, whose
+// on-disk size is fileBytes (0 if the metadata doesn't carry it).
+// Duplicate (uri, record) rows — possible when Qf joins fan out — are
+// collapsed to one.
+func (o *Oracle) AddRecord(uri string, fileBytes int64, rec RecordStats) {
+	fs := o.files[uri]
+	if fs == nil {
+		fs = &FileStats{URI: uri}
+		o.files[uri] = fs
+	}
+	if fileBytes > fs.Bytes {
+		fs.Bytes = fileBytes
+	}
+	for _, r := range fs.Records {
+		if r.RecordID == rec.RecordID {
+			return
+		}
+	}
+	fs.Records = append(fs.Records, rec)
+}
+
+// File returns the stats collected for uri, or nil when Qf never named
+// it.
+func (o *Oracle) File(uri string) *FileStats {
+	return o.files[uri]
+}
+
+// SetResidual extracts interval bounds from the Qs residual predicate
+// over the actual-data scan. spanName/valName are the qualified span
+// (time) and value (float) column names of the actual binding. Only
+// top-level AND'd Compare(col, const) conjuncts contribute — OR, NOT
+// and arithmetic are skipped, which weakens the interval and therefore
+// stays sound (pruning only gets less aggressive).
+func (o *Oracle) SetResidual(pred expr.Expr, spanName, valName string) {
+	o.spanName, o.valName = spanName, valName
+	if pred == nil {
+		return
+	}
+	for _, c := range expr.SplitAnd(pred) {
+		cmp, ok := c.(*expr.Compare)
+		if !ok {
+			continue
+		}
+		col, val, op, ok := normalizeCompare(cmp)
+		if !ok || op == expr.Ne {
+			continue
+		}
+		switch {
+		case matchesColumn(col.Name, spanName) &&
+			(val.Kind == vector.KindInt64 || val.Kind == vector.KindTime):
+			o.narrowSpan(op, val.I)
+		case matchesColumn(col.Name, valName) && val.IsNumeric():
+			o.narrowVal(op, val.AsFloat())
+		}
+	}
+}
+
+// normalizeCompare puts a Compare into col-OP-const form, flipping the
+// operator when the constant is on the left.
+func normalizeCompare(cmp *expr.Compare) (*expr.Col, vector.Value, expr.CmpOp, bool) {
+	if col, ok := cmp.L.(*expr.Col); ok {
+		if c, ok := cmp.R.(*expr.Const); ok {
+			return col, c.Val, cmp.Op, true
+		}
+	}
+	if col, ok := cmp.R.(*expr.Col); ok {
+		if c, ok := cmp.L.(*expr.Const); ok {
+			return col, c.Val, flipOp(cmp.Op), true
+		}
+	}
+	return nil, vector.Value{}, 0, false
+}
+
+func flipOp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	}
+	return op
+}
+
+// matchesColumn accepts the qualified name or its bare suffix — plans
+// carry "D.sample_time" in some places and "sample_time" in others.
+func matchesColumn(name, qualified string) bool {
+	if name == qualified || qualified == "" {
+		return name == qualified
+	}
+	for i := len(qualified) - 1; i >= 0; i-- {
+		if qualified[i] == '.' {
+			return name == qualified[i+1:]
+		}
+	}
+	return false
+}
+
+func (o *Oracle) narrowSpan(op expr.CmpOp, v int64) {
+	if !o.hasSpan {
+		o.spanInt = IntInterval{Lo: math.MinInt64, Hi: math.MaxInt64}
+		o.hasSpan = true
+	}
+	switch op {
+	case expr.Eq:
+		if v > o.spanInt.Lo {
+			o.spanInt.Lo = v
+		}
+		if v < o.spanInt.Hi {
+			o.spanInt.Hi = v
+		}
+	case expr.Gt:
+		if v+1 > o.spanInt.Lo {
+			o.spanInt.Lo = v + 1
+		}
+	case expr.Ge:
+		if v > o.spanInt.Lo {
+			o.spanInt.Lo = v
+		}
+	case expr.Lt:
+		if v-1 < o.spanInt.Hi {
+			o.spanInt.Hi = v - 1
+		}
+	case expr.Le:
+		if v < o.spanInt.Hi {
+			o.spanInt.Hi = v
+		}
+	}
+}
+
+func (o *Oracle) narrowVal(op expr.CmpOp, v float64) {
+	if !o.hasVal {
+		o.valInt = FloatInterval{Lo: math.Inf(-1), Hi: math.Inf(1)}
+		o.hasVal = true
+	}
+	switch op {
+	case expr.Eq:
+		if v > o.valInt.Lo || (v == o.valInt.Lo && !o.valInt.LoStrict) {
+			o.valInt.Lo, o.valInt.LoStrict = v, false
+		}
+		if v < o.valInt.Hi || (v == o.valInt.Hi && !o.valInt.HiStrict) {
+			o.valInt.Hi, o.valInt.HiStrict = v, false
+		}
+	case expr.Gt:
+		if v >= o.valInt.Lo {
+			o.valInt.Lo, o.valInt.LoStrict = v, true
+		}
+	case expr.Ge:
+		if v > o.valInt.Lo {
+			o.valInt.Lo, o.valInt.LoStrict = v, false
+		}
+	case expr.Lt:
+		if v <= o.valInt.Hi {
+			o.valInt.Hi, o.valInt.HiStrict = v, true
+		}
+	case expr.Le:
+		if v < o.valInt.Hi {
+			o.valInt.Hi, o.valInt.HiStrict = v, false
+		}
+	}
+}
+
+// SpanInterval exposes the extracted span bounds (for tests and
+// explain output). ok is false when the residual constrains nothing.
+func (o *Oracle) SpanInterval() (IntInterval, bool) { return o.spanInt, o.hasSpan }
+
+// ValueInterval exposes the extracted value bounds.
+func (o *Oracle) ValueInterval() (FloatInterval, bool) { return o.valInt, o.hasVal }
+
+// PrunableRecord reports whether the record provably contributes no
+// qualifying row: its metadata span misses the span interval entirely,
+// or a derived summary proves every value in it misses the value
+// interval. Exported so property tests can drive it directly.
+func (o *Oracle) PrunableRecord(uri string, rec RecordStats) bool {
+	if o.hasSpan && (rec.SpanHi < o.spanInt.Lo || rec.SpanLo > o.spanInt.Hi) {
+		return true
+	}
+	if o.hasVal && o.derived != nil {
+		if s, ok := o.derived.Lookup(uri, rec.RecordID); ok && s.Count > 0 &&
+			o.valInt.disjoint(s.Min, s.Max) {
+			return true
+		}
+	}
+	return false
+}
+
+// survivingRows returns how many rows of the file survive span pruning
+// alone (the bytes a mount must still buffer: value-pruned records are
+// decoded into the replay buffer regardless), and whether any record at
+// all — after both prune rules — can contribute.
+func (o *Oracle) survivors(fs *FileStats) (spanRows, totalRows int64, any bool) {
+	for _, rec := range fs.Records {
+		totalRows += rec.Rows
+		spanPruned := o.hasSpan && (rec.SpanHi < o.spanInt.Lo || rec.SpanLo > o.spanInt.Hi)
+		if !spanPruned {
+			spanRows += rec.Rows
+		}
+		if !o.PrunableRecord(fs.URI, rec) {
+			any = true
+		}
+	}
+	return spanRows, totalRows, any
+}
+
+// PruneFiles drops the mount specs whose every record is provably
+// non-contributing. Files Qf never described are kept — unknown means
+// unprunable. The input slice is not modified.
+func (o *Oracle) PruneFiles(files []plan.MountSpec) ([]plan.MountSpec, PruneReport) {
+	var rep PruneReport
+	kept := make([]plan.MountSpec, 0, len(files))
+	for _, f := range files {
+		fs := o.files[f.URI]
+		if fs == nil || len(fs.Records) == 0 {
+			kept = append(kept, f)
+			continue
+		}
+		if _, _, any := o.survivors(fs); any {
+			kept = append(kept, f)
+			continue
+		}
+		rep.PrunedFiles++
+		rep.PrunedRecords += len(fs.Records)
+		rep.BytesNotMounted += fs.Bytes
+	}
+	return kept, rep
+}
+
+// EstimateBytes predicts how many bytes mounting uri will buffer: the
+// file size scaled by the fraction of rows in span-surviving records.
+// Value-pruned records still get decoded into the replay buffer, so
+// only span pruning (which mountsvc skips at extraction time) shrinks
+// the estimate. Returns 0 (unknown) when the file or its size is
+// unknown or nothing is restricted, and never less than 1 for a known
+// non-empty file.
+func (o *Oracle) EstimateBytes(uri string) int64 {
+	fs := o.files[uri]
+	if fs == nil || fs.Bytes == 0 || !o.hasSpan {
+		return 0
+	}
+	spanRows, totalRows, _ := o.survivors(fs)
+	if totalRows == 0 {
+		return 0
+	}
+	if spanRows >= totalRows {
+		return 0 // nothing saved; let mountsvc use the stat size
+	}
+	est := int64(math.Ceil(float64(fs.Bytes) * float64(spanRows) / float64(totalRows)))
+	if est < 1 {
+		est = 1
+	}
+	if est > fs.Bytes {
+		est = fs.Bytes
+	}
+	return est
+}
+
+// NodeRows returns the number of rows the plan subtree yields. The
+// bound is exact for ResultScan of the frozen Qf result and an exact
+// upper bound elsewhere — in particular, 0 means provably empty, which
+// is what licenses early join termination. ok is false for shapes the
+// oracle doesn't model.
+func (o *Oracle) NodeRows(n plan.Node) (int64, bool) {
+	switch t := n.(type) {
+	case *plan.ResultScan:
+		if t.Name == o.resultName {
+			return o.qfRows, true
+		}
+		return 0, false
+	case *plan.Mount:
+		return o.scanRows(t.URI)
+	case *plan.CacheScan:
+		return o.scanRows(t.URI)
+	case *plan.Select:
+		return o.NodeRows(t.Child)
+	case *plan.Project:
+		return o.NodeRows(t.Child)
+	case *plan.UnionAll:
+		var sum int64
+		for _, in := range t.Inputs {
+			r, ok := o.NodeRows(in)
+			if !ok {
+				return 0, false
+			}
+			sum += r
+		}
+		return sum, true
+	}
+	return 0, false
+}
+
+func (o *Oracle) scanRows(uri string) (int64, bool) {
+	fs := o.files[uri]
+	if fs == nil || len(fs.Records) == 0 {
+		return 0, false
+	}
+	var rows int64
+	for _, rec := range fs.Records {
+		if !o.PrunableRecord(uri, rec) {
+			rows += rec.Rows
+		}
+	}
+	return rows, true
+}
+
+// URIs returns the known file URIs in deterministic order.
+func (o *Oracle) URIs() []string {
+	out := make([]string, 0, len(o.files))
+	for u := range o.files {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
