@@ -7,7 +7,7 @@
 // Usage:
 //
 //	bench [-scale tiny|small|medium]
-//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness|subsume|prune]
+//	      [-exp all|table1|figure3|ingest|sweep|cache|strategy|derived|parallel|concurrent|cow|resultcache|fairness|subsume|prune|spill]
 //	      [-runs 3] [-parallelism N] [-clients 8] [-sessions 3] [-quota 0.5]
 //	      [-zoom 4] [-json DIR]
 //
@@ -40,7 +40,14 @@
 // statistics-free planner (the frozen Qf result as a cardinality
 // oracle) and errors unless files are pruned before mounting, mounts
 // drop strictly below the planning-off baseline, and every answer stays
-// byte-identical to the unpruned execution.
+// byte-identical to the unpruned execution. The "spill" experiment runs
+// a full sweep under a mount budget far smaller than one decoded file
+// and errors unless the over-budget mounts complete by spilling their
+// replay buffers to disk (resident peak strictly below one flight's
+// decoded bytes), answers stay byte-identical to an unlimited in-memory
+// baseline at serial and parallel scheduling, and a simulated restart
+// over the same spill directory serves the repeat query from the
+// disk-persisted result cache with zero executions.
 //
 // An unrecognized -exp name is an error listing the valid experiments;
 // -sessions below 1, -quota outside (0, 1] and -zoom below 2 are
@@ -139,6 +146,7 @@ func main() {
 			return benchutil.ExperimentSubsume(base, sc, *zoom)
 		}},
 		{"prune", func() (fmt.Stringer, error) { return benchutil.ExperimentPrune(base, sc) }},
+		{"spill", func() (fmt.Stringer, error) { return benchutil.ExperimentSpill(base, sc) }},
 	}
 
 	// An unrecognized experiment name must be an error, not a silent

@@ -7,10 +7,17 @@
 //
 //	explorer -repo /tmp/repo [-db /tmp/db] [-mode ali|ei] [-cache file|tuple|off]
 //	         [-resultcache MB] [-subsume] [-session name] [-nostats]
+//	         [-spilldir DIR] [-spillthreshold MB]
 //
 // -subsume turns on semantic result caching: a query whose predicate is
 // provably narrower than a cached one is answered by re-filtering the
 // frozen entry in memory, mounting nothing. It requires -resultcache.
+//
+// -spilldir turns on out-of-core execution: flight replay buffers
+// larger than -spillthreshold MiB spill to temp files under DIR, and
+// (with -resultcache) the result cache persists under DIR across
+// restarts — reopening the same -db and -spilldir serves repeat queries
+// without executing anything. -spillthreshold requires -spilldir.
 //
 // -nostats disables statistics-free Stage-2 planning (file pruning from
 // the frozen Qf result, join ordering, honest admission sizing) — the
@@ -23,8 +30,9 @@
 //	\multi <sql>  multi-stage execution: ingest file-by-file, show partials
 //	\tables       list catalog tables
 //	\stats        session statistics plus the engine's mount-service
-//	              (admission gate, per-session), ingestion-cache,
-//	              result-cache and statistics-free-planner counters
+//	              (admission gate, per-session, spilling), ingestion-cache,
+//	              result-cache (including its disk tier) and
+//	              statistics-free-planner counters
 //	\quit         exit
 //
 // Any other input is executed as SQL.
@@ -63,6 +71,8 @@ func main() {
 		subsume  = flag.Bool("subsume", false, "answer narrower queries by re-filtering wider cached results (requires -resultcache)")
 		sessFlag = flag.String("session", "explorer", "session identity for admission quotas and per-session stats")
 		nostats  = flag.Bool("nostats", false, "disable statistics-free Stage-2 planning (pruning, join ordering, honest admission)")
+		spillDir = flag.String("spilldir", "", "directory for out-of-core spill files and the persistent result cache")
+		spillMB  = flag.Int64("spillthreshold", 0, "spill a flight's replay buffer past this many MiB (requires -spilldir)")
 	)
 	flag.Parse()
 	sessionName = *sessFlag
@@ -114,6 +124,14 @@ func main() {
 	}
 	if *nostats {
 		opts.StatsPlanning = core.StatsPlanningOff
+	}
+	if *spillMB != 0 && *spillDir == "" {
+		fmt.Fprintln(os.Stderr, "explorer: -spillthreshold requires -spilldir")
+		os.Exit(2)
+	}
+	if *spillDir != "" {
+		opts.SpillDir = *spillDir
+		opts.SpillThresholdBytes = *spillMB << 20
 	}
 
 	fmt.Printf("opening %s repository (%s mode)...\n", *repoDir, opts.Mode)
@@ -178,6 +196,8 @@ func printEngineStats(eng *core.Engine) {
 		ms.FlightsStarted, ms.SingleFlightHits, ms.CacheServes, ms.FlightsCancelled,
 		unit.FormatBytes(ms.InFlightBytes), unit.FormatBytes(ms.PeakInFlightBytes),
 		unit.FormatBytes(ms.ReplayBytes), unit.FormatBytes(ms.PeakReplayBytes))
+	fmt.Printf("spilling: %d flights spilled %s to disk, %d replay reads served from spill files\n",
+		ms.SpilledFlights, unit.FormatBytes(ms.SpilledBytes), ms.SpillReplayReads)
 	fmt.Printf("admission gate: queue depth %d, %d waits, %d cancelled, %d starvation-avoided\n",
 		ms.QueueDepth, ms.BudgetWaits, ms.BudgetCancelled, ms.StarvationAvoided)
 	printPerSession("  session", ms.PerSession)
@@ -192,6 +212,9 @@ func printEngineStats(eng *core.Engine) {
 		fmt.Printf("  subsumption: %d probes, %d hits, %s re-execution avoided, %v re-filtering\n",
 			rs.SubsumptionProbes, rs.SubsumptionHits,
 			unit.FormatBytes(rs.SubsumptionBytesSaved), rs.RefilterWall.Round(time.Microsecond))
+		fmt.Printf("  disk tier: %d entries (%s) on disk, %d demotions, %d promotions, %d disk evictions, %d warmed from a previous run\n",
+			rs.DiskEntries, unit.FormatBytes(rs.BytesOnDisk),
+			rs.Demotions, rs.Promotions, rs.DiskEvictions, rs.WarmedFromDisk)
 	} else {
 		fmt.Println("result cache: disabled (run with -resultcache to enable)")
 	}

@@ -1,0 +1,235 @@
+package benchutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SpillExperiment reports the out-of-core layer: flights whose decoded
+// replay buffers exceed the mount budget complete by spilling to disk,
+// answers stay byte-identical to an unlimited in-memory baseline at
+// serial and parallel mount scheduling, and a simulated restart serves
+// the repeat query from the disk-persisted result cache with zero
+// executions.
+type SpillExperiment struct {
+	Scale  Scale
+	Files  int
+	Budget int64 // mount budget, far below one file
+
+	// Unlimited in-memory baseline.
+	BaselineWall   time.Duration
+	BaselineMounts int
+
+	// Budget-only engine, spilling off: the mount completes (a lone
+	// oversized admission is allowed through), but the resident replay
+	// peak blows through the budget — RAM is the ceiling.
+	OverBudgetPeak int64
+
+	// Spilling engines (parallelism 1 and 8).
+	SpillWall        time.Duration
+	Mounts           int
+	SpilledFlights   int64
+	SpilledBytes     int64
+	SpillReplayReads int64
+	SpillPeak        int64 // parallelism-1 resident replay peak
+	PerFlightBytes   int64 // decoded bytes one flight streamed
+
+	// Simulated restart over the same DB + spill directory.
+	WarmedFromDisk int64
+	RestartServed  bool // repeat query: zero executions, zero mounts
+
+	Identical bool
+}
+
+// String renders the experiment.
+func (s *SpillExperiment) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Out-of-core spilling (scale %s, %d files, mount budget %s)\n",
+		s.Scale.Name, s.Files, FormatBytes(s.Budget))
+	fmt.Fprintf(&sb, "  in-memory baseline:  %4d file-mounts in %12s\n",
+		s.BaselineMounts, s.BaselineWall.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  budget, no spilling: replay peak %s — %s over the budget\n",
+		FormatBytes(s.OverBudgetPeak), FormatBytes(s.OverBudgetPeak-s.Budget))
+	fmt.Fprintf(&sb, "  with spilling:       %4d file-mounts in %12s; %d flights spilled %s, %d replay reads\n",
+		s.Mounts, s.SpillWall.Round(time.Microsecond),
+		s.SpilledFlights, FormatBytes(s.SpilledBytes), s.SpillReplayReads)
+	fmt.Fprintf(&sb, "  resident replay peak %s vs %s decoded per flight\n",
+		FormatBytes(s.SpillPeak), FormatBytes(s.PerFlightBytes))
+	fmt.Fprintf(&sb, "  restart: %d entries warmed from disk, repeat served with zero executions: %v\n",
+		s.WarmedFromDisk, s.RestartServed)
+	fmt.Fprintf(&sb, "  answers identical across baseline, spilling and restart: %v\n", s.Identical)
+	return sb.String()
+}
+
+// BenchCounters reports the three cold executions (baseline, budget-only
+// and the two spilling runs); the restart repeat adds none.
+func (s *SpillExperiment) BenchCounters() (mounts, executions int) {
+	return s.BaselineMounts + s.Mounts, 4
+}
+
+// BenchExtra reports the out-of-core trajectory counters.
+func (s *SpillExperiment) BenchExtra() map[string]int64 {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return map[string]int64{
+		"spilled_flights":    s.SpilledFlights,
+		"spilled_bytes":      s.SpilledBytes,
+		"spill_replay_reads": s.SpillReplayReads,
+		"spill_peak_bytes":   s.SpillPeak,
+		"warmed_from_disk":   s.WarmedFromDisk,
+		"restart_served":     b2i(s.RestartServed),
+	}
+}
+
+// ExperimentSpill measures the out-of-core layer against an unlimited
+// in-memory baseline and a budget-only (spill-off) engine, then
+// simulates a restart over the same DB and spill directories.
+func ExperimentSpill(baseDir string, sc Scale) (*SpillExperiment, error) {
+	m, err := BuildRepo(baseDir, sc)
+	if err != nil {
+		return nil, err
+	}
+	q := SweepQueryForDays(sc.Days)
+	out := &SpillExperiment{Scale: sc, Files: sc.Files(), Budget: 512, Identical: true}
+
+	// Batches far smaller than one record keep flights record-aligned
+	// and multi-batch, so the replay gauge can distinguish "whole file
+	// resident" from "one batch resident, rest on disk".
+	const batchRows = 256
+
+	// Unlimited in-memory baseline.
+	base, err := OpenEngine(m, baseDir, core.Options{Mode: core.ModeALi})
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	res, err := base.Query(q)
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	out.BaselineWall = time.Since(t0)
+	out.BaselineMounts = res.Stats.Mounts.FilesMounted
+	want := res.Format(0)
+	base.Close()
+
+	// Budget only, spilling off: every mounted file's decoded replay is
+	// bigger than the budget; the lone oversized admission completes, but
+	// the resident peak proves the budget could not actually hold it.
+	mem, err := OpenEngine(m, baseDir, core.Options{
+		Mode: core.ModeALi, Parallelism: 1,
+		MountBudgetBytes: out.Budget, BatchSize: batchRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err = mem.Query(q)
+	if err != nil {
+		mem.Close()
+		return nil, err
+	}
+	if res.Format(0) != want {
+		out.Identical = false
+	}
+	out.OverBudgetPeak = mem.MountService().Stats().PeakReplayBytes
+	mem.Close()
+	if out.OverBudgetPeak <= out.Budget {
+		return nil, fmt.Errorf("benchutil: spill-off replay peak %d fits the %d budget; the scale exercises nothing",
+			out.OverBudgetPeak, out.Budget)
+	}
+
+	// Spilling on, at serial and parallel mount scheduling.
+	root := filepath.Join(baseDir, "spill-"+sc.Name)
+	if err := os.RemoveAll(root); err != nil {
+		return nil, err
+	}
+	for _, par := range []int{1, 8} {
+		opts := core.Options{
+			Mode: core.ModeALi, Parallelism: par,
+			RepoDir:          m.Dir,
+			DBDir:            filepath.Join(root, fmt.Sprintf("db-par%d", par)),
+			SpillDir:         filepath.Join(root, fmt.Sprintf("spill-par%d", par)),
+			MountBudgetBytes: out.Budget, BatchSize: batchRows,
+			SpillThresholdBytes: 1,
+			ResultCacheBytes:    -1,
+		}
+		eng, err := core.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, err := eng.Query(q)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		out.SpillWall += time.Since(t0)
+		if res.Format(0) != want {
+			out.Identical = false
+		}
+		st := eng.MountService().Stats()
+		out.Mounts += res.Stats.Mounts.FilesMounted
+		out.SpilledFlights += st.SpilledFlights
+		out.SpilledBytes += st.SpilledBytes
+		out.SpillReplayReads += st.SpillReplayReads
+		if st.SpilledFlights == 0 || st.SpilledBytes == 0 {
+			eng.Close()
+			return nil, fmt.Errorf("benchutil: parallelism %d: over-budget mounts never spilled: %+v", par, st)
+		}
+		if par != 1 {
+			eng.Close()
+			continue
+		}
+		// Serial scheduling makes the peak deterministic: with the
+		// threshold at one byte every append is flushed, so the resident
+		// replay peak must sit strictly below what one flight decoded.
+		out.SpillPeak = st.PeakReplayBytes
+		out.PerFlightBytes = st.SpilledBytes / st.SpilledFlights
+		if out.SpillPeak >= out.PerFlightBytes {
+			eng.Close()
+			return nil, fmt.Errorf("benchutil: spilling did not bound resident replay: peak %d vs %d decoded per flight",
+				out.SpillPeak, out.PerFlightBytes)
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		// Simulated restart: the same DB + spill directories must warm
+		// the result cache, and the repeat query must serve with zero
+		// executions — no files mounted at all.
+		eng2, err := core.Open(opts)
+		if err != nil {
+			return nil, err
+		}
+		out.WarmedFromDisk = eng2.ResultCache().Stats().WarmedFromDisk
+		rep, err := eng2.Query(q)
+		if err != nil {
+			eng2.Close()
+			return nil, err
+		}
+		out.RestartServed = rep.Stats.ServedFromResultCache && rep.Stats.Mounts.FilesMounted == 0
+		if rep.Format(0) != want {
+			out.Identical = false
+		}
+		eng2.Close()
+		if out.WarmedFromDisk == 0 {
+			return nil, fmt.Errorf("benchutil: restart warmed nothing from the spill directory")
+		}
+		if !out.RestartServed {
+			return nil, fmt.Errorf("benchutil: post-restart repeat re-executed (served=%v mounts=%d)",
+				rep.Stats.ServedFromResultCache, rep.Stats.Mounts.FilesMounted)
+		}
+	}
+	if !out.Identical {
+		return nil, fmt.Errorf("benchutil: spilling changed an answer")
+	}
+	return out, nil
+}

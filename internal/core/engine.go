@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -145,6 +146,23 @@ type Options struct {
 	// bounds over passthrough output columns participate. Requires
 	// ResultCacheBytes != 0.
 	ResultCacheSubsumption bool
+	// SpillDir enables out-of-core execution: mount-flight replay buffers
+	// over SpillThresholdBytes stream to temp spill files under
+	// SpillDir/flights (so a file whose decoded size exceeds
+	// MountBudgetBytes completes, handing admission bytes back as batches
+	// land on disk), and the result cache demotes cold entries to
+	// SpillDir/results instead of evicting them — the same directory a
+	// later Open warms the result cache from (repeat queries after a
+	// restart serve with zero executions). Empty disables both.
+	SpillDir string
+	// SpillThresholdBytes is the resident replay-buffer size above which
+	// a mount flight spills. <= 0 disables flight spilling even with
+	// SpillDir set (the result-cache disk tier still runs).
+	SpillThresholdBytes int64
+	// ResultCacheDiskBytes bounds the result cache's disk tier (its own
+	// LRU, counted separately from ResultCacheBytes which covers resident
+	// bytes only); <= 0 means unlimited. Ignored without SpillDir.
+	ResultCacheDiskBytes int64
 	// EnableDerived turns on derived-metadata collection and answering.
 	EnableDerived bool
 	// Strategy selects the second-stage merge strategy.
@@ -239,16 +257,32 @@ func Open(opts Options) (*Engine, error) {
 	if opts.EnableDerived {
 		e.derived = derived.NewStore()
 	}
+	if opts.SpillDir != "" {
+		// Two spill namespaces, so the flight sweep-and-replay logic and
+		// the result manifest never see each other's files.
+		for _, sub := range []string{"flights", "results"} {
+			if err := os.MkdirAll(filepath.Join(opts.SpillDir, sub), 0o755); err != nil {
+				return nil, fmt.Errorf("core: create spill dir: %w", err)
+			}
+		}
+	}
 	if opts.ResultCacheBytes != 0 {
 		budget := opts.ResultCacheBytes
 		if budget < 0 {
 			budget = 0 // unlimited
 		}
-		e.results = resultcache.New(resultcache.Config{
+		rcCfg := resultcache.Config{
 			MaxBytes:        budget,
 			MinCost:         opts.ResultCacheMinCost,
 			MaxSessionShare: opts.ResultCacheMaxSessionShare,
-		})
+		}
+		if opts.SpillDir != "" {
+			rcCfg.SpillDir = filepath.Join(opts.SpillDir, "results")
+			rcCfg.DiskMaxBytes = opts.ResultCacheDiskBytes
+			rcCfg.Disk = disk
+			rcCfg.Clock = clock
+		}
+		e.results = resultcache.New(rcCfg)
 		// Invalidation wiring: any ingestion-cache Drop/Clear signals the
 		// underlying repository data may have changed, so every retained
 		// result becomes unservable at once.
@@ -267,6 +301,10 @@ func Open(opts Options) (*Engine, error) {
 		BudgetBytes:       opts.MountBudgetBytes,
 		SessionQuotaBytes: opts.MountSessionQuotaBytes,
 		MaxSessionShare:   opts.MountMaxSessionShare,
+	}
+	if opts.SpillDir != "" && opts.SpillThresholdBytes > 0 {
+		svcCfg.SpillDir = filepath.Join(opts.SpillDir, "flights")
+		svcCfg.SpillThresholdBytes = opts.SpillThresholdBytes
 	}
 	if e.derived != nil && e.dataValCol >= 0 && e.dataRIDCol >= 0 && e.dataSpanCol >= 0 {
 		rid, span, val := e.dataRIDCol, e.dataSpanCol, e.dataValCol
@@ -337,12 +375,19 @@ func (e *Engine) locateDataColumns() error {
 	return nil
 }
 
-// Close releases storage handles and indexes.
+// Close releases storage handles and indexes. With a spill directory
+// configured it also persists the result cache (entries plus manifest),
+// so the next Open over the same directories starts warm.
 func (e *Engine) Close() error {
 	for _, ix := range e.indexes {
 		ix.Index.Close()
 	}
-	return e.store.Close()
+	cacheErr := e.results.Close() // nil-safe; no-op without a spill dir
+	storeErr := e.store.Close()
+	if storeErr != nil {
+		return storeErr
+	}
+	return cacheErr
 }
 
 // Report returns the up-front ingestion report.

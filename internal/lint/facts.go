@@ -134,6 +134,20 @@ func methodOn(obj types.Object, pkgSuffix, typeName, name string) bool {
 	return pkgPathHasSuffix(named.Obj().Pkg(), pkgSuffix)
 }
 
+// funcIn reports whether obj is the package-level function with the
+// given name declared in a package whose path ends with pkgSuffix.
+func funcIn(obj types.Object, pkgSuffix, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	return pkgPathHasSuffix(fn.Pkg(), pkgSuffix)
+}
+
 // calleeOf resolves the called function or method object of a call.
 func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
 	switch fun := ast.Unparen(call.Fun).(type) {

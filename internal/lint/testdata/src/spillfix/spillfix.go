@@ -1,0 +1,135 @@
+// Package spillfix seeds releasecheck's spill-file pairing violations:
+// storage.CreateSpillFile handles leaked on some path or discarded
+// outright, plus the allowed patterns (settling on every path, defers,
+// escapes that transfer the obligation, wrappers and //lint:allow).
+package spillfix
+
+import (
+	"errors"
+
+	"repro/internal/storage"
+)
+
+func work() {}
+
+func leakNoSettle(dir string) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill") // want `storage.CreateSpillFile is not released on every path`
+	if err != nil {
+		return err
+	}
+	_ = sf.File()
+	return nil
+}
+
+func leakEarlyReturn(dir string, fail bool) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill") // want `storage.CreateSpillFile is not released on every path`
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("early exit skips the settle")
+	}
+	sf.Remove()
+	return nil
+}
+
+func leakOnPanic(dir string, n int) {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill") // want `storage.CreateSpillFile is not released on every path`
+	if err != nil {
+		return
+	}
+	if n > 1<<20 {
+		panic("absurd request")
+	}
+	sf.Remove()
+}
+
+func leakDiscarded(dir string) {
+	storage.CreateSpillFile(dir, "x-*.spill") // want `result of storage.CreateSpillFile is discarded`
+}
+
+func leakBlankHandle(dir string) error {
+	_, err := storage.CreateSpillFile(dir, "x-*.spill") // want `result of storage.CreateSpillFile is discarded`
+	return err
+}
+
+// --- allowed patterns ---
+
+func okBothPaths(dir string, keep bool) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return err
+	}
+	if keep {
+		_, err := sf.Adopt()
+		return err
+	}
+	sf.Remove()
+	return nil
+}
+
+func okDeferred(dir string) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return err
+	}
+	defer sf.Remove()
+	work()
+	return nil
+}
+
+func okDeferredClosure(dir string) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		work()
+		sf.Remove()
+	}()
+	work()
+	return nil
+}
+
+func okWrapper(dir string) (*storage.SpillFile, error) {
+	return storage.CreateSpillFile(dir, "wrapped-*.spill") // the caller owns the settle
+}
+
+type holder struct{ sf *storage.SpillFile }
+
+func okEscapesToField(dir string, h *holder) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return err
+	}
+	h.sf = sf // the holder owns the settle
+	return nil
+}
+
+func settle(sf *storage.SpillFile) { sf.Remove() }
+
+func okEscapesAsArgument(dir string) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return err
+	}
+	settle(sf)
+	return nil
+}
+
+func okEscapesToClosure(dir string) (func(), error) {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill")
+	if err != nil {
+		return nil, err
+	}
+	return func() { sf.Remove() }, nil // the closure owns the settle
+}
+
+func okAllowed(dir string) error {
+	sf, err := storage.CreateSpillFile(dir, "x-*.spill") //lint:allow releasecheck a teardown elsewhere settles this file (fixture)
+	if err != nil {
+		return err
+	}
+	_ = sf.File()
+	return nil
+}

@@ -75,6 +75,18 @@ type Config struct {
 	// MaxSessionShare caps one session's holdings as a fraction of
 	// BudgetBytes; <= 0 means no cap. The smaller of the two caps wins.
 	MaxSessionShare float64
+	// SpillDir, together with SpillThresholdBytes > 0, enables
+	// out-of-core replay buffers: once a flight's resident replay buffer
+	// exceeds the threshold, its batches are flushed to a temp spill
+	// file under SpillDir (removed at flight teardown on every path),
+	// admission bytes are given back as batches land on disk, and
+	// cursors replay the flushed prefix through streaming spill reads —
+	// so a mount larger than the whole budget completes within it.
+	SpillDir string
+	// SpillThresholdBytes is the resident replay-buffer size (decoded
+	// vector.Batch.Bytes) above which a flight spills; <= 0 disables
+	// spilling even when SpillDir is set.
+	SpillThresholdBytes int64
 }
 
 // Delta attributes one request's outcome to the requesting query's
@@ -163,9 +175,19 @@ type Stats struct {
 	PeakInFlightBytes int64
 	// ReplayBytes / PeakReplayBytes track the decoded replay buffers of
 	// live flights, measured with vector.Batch.Bytes rather than any
-	// ad-hoc estimate.
+	// ad-hoc estimate. The peak is the true high-water mark, updated at
+	// every buffer append — spilling drains the gauge mid-flight, so a
+	// completion-time sample would under-report the pressure that
+	// triggered the spill.
 	ReplayBytes     int64
 	PeakReplayBytes int64
+	// Out-of-core counters: SpilledFlights counts flights that spilled
+	// their replay buffer to disk, SpilledBytes the decoded bytes
+	// flushed (the memory the spill released), SpillReplayReads the
+	// batches cursors replayed from spill files instead of memory.
+	SpilledFlights   int64
+	SpilledBytes     int64
+	SpillReplayReads int64
 	// AdmissionBytesSaved totals the budget bytes honest (estimate-
 	// sized) admissions left free versus whole-file admission.
 	AdmissionBytesSaved int64
@@ -196,10 +218,13 @@ type Service struct {
 	// extraction bytes across all queries and sessions.
 	gate *admission.Gate
 
-	// replay-buffer accounting
-	rmu        sync.Mutex
-	replay     int64
-	replayPeak int64
+	// replay-buffer and spill accounting
+	rmu            sync.Mutex
+	replay         int64
+	replayPeak     int64
+	spilledFlights int64
+	spilledBytes   int64
+	spillReads     int64
 
 	// single-flight table
 	fmu            sync.Mutex
@@ -246,8 +271,24 @@ func (s *Service) Stats() Stats {
 	st.PerSession = gs.PerSession
 	s.rmu.Lock()
 	st.ReplayBytes, st.PeakReplayBytes = s.replay, s.replayPeak
+	st.SpilledFlights, st.SpilledBytes = s.spilledFlights, s.spilledBytes
+	st.SpillReplayReads = s.spillReads
 	s.rmu.Unlock()
 	return st
+}
+
+// spillEnabled reports whether flights may spill their replay buffers.
+func (s *Service) spillEnabled() bool {
+	return s.cfg.SpillDir != "" && s.cfg.SpillThresholdBytes > 0
+}
+
+// diskModel returns the modeled disk spill I/O is charged to: the
+// buffer pool's when one is configured, a free disk otherwise.
+func (s *Service) diskModel() (storage.DiskModel, *storage.Clock) {
+	if s.cfg.Pool != nil {
+		return s.cfg.Pool.Model(), s.cfg.Pool.Clock()
+	}
+	return storage.NoCost(), nil
 }
 
 // Gate exposes the admission gate (benchmarks sample per-session waits).
@@ -465,11 +506,12 @@ func (s *Service) admit(f *flight) error {
 		case <-actx.Done():
 		}
 	}()
-	if err := s.gate.Acquire(actx, f.session, f.admitBytes); err != nil { //lint:allow releasecheck the flight record owns this admission; releaseFlight pairs it exactly once at flight teardown, gated by f.released
+	if err := s.gate.Acquire(actx, f.session, f.admitBytes); err != nil { //lint:allow releasecheck the flight record owns this admission; spill flushes and releaseFlight give it back exactly once in total, gated by f.released
 		return err
 	}
 	f.mu.Lock()
 	f.admitted = true
+	f.admitHeld = f.admitBytes
 	f.mu.Unlock()
 	return nil
 }
@@ -488,13 +530,38 @@ func (s *Service) releaseFlight(session string, admitted, buffered int64) {
 	s.rmu.Unlock()
 }
 
-// addReplay charges one appended batch to the replay-buffer gauge.
+// addReplay charges one appended batch to the replay-buffer gauge. The
+// peak is sampled here, at every append — before any spill flush drains
+// the gauge — so it is the true high-water mark of resident replay
+// memory, not a completion-time reading.
 func (s *Service) addReplay(n int64) {
 	s.rmu.Lock()
 	s.replay += n
 	if s.replay > s.replayPeak {
 		s.replayPeak = s.replay
 	}
+	s.rmu.Unlock()
+}
+
+// noteSpill retires flushed bytes from the replay gauge and counts them
+// as spilled; first marks the flight's first successful flush.
+func (s *Service) noteSpill(first bool, n int64) {
+	if n == 0 && !first {
+		return
+	}
+	s.rmu.Lock()
+	if first {
+		s.spilledFlights++
+	}
+	s.spilledBytes += n
+	s.replay -= n
+	s.rmu.Unlock()
+}
+
+// noteSpillRead counts one batch replayed from a spill file.
+func (s *Service) noteSpillRead() {
+	s.rmu.Lock()
+	s.spillReads++
 	s.rmu.Unlock()
 }
 
@@ -551,9 +618,9 @@ func (s *Service) removeLocked(f *flight) {
 // so releasing at decode-end alone would let K queries over K distinct
 // files keep K whole decoded files live with the budget showing zero.
 type flight struct {
-	uri     string
-	span    cache.Span
-	size    int64
+	uri  string
+	span cache.Span
+	size int64
 	// admitBytes is what the admission gate is charged for this flight:
 	// the file size by default, or the planner's smaller honest
 	// estimate. Set before the flight goroutine starts, immutable after.
@@ -567,15 +634,25 @@ type flight struct {
 
 	mu            sync.Mutex
 	cond          *sync.Cond
-	batches       []*vector.Batch
-	buffered      int64 // replay-buffer bytes (vector.Batch.Bytes)
+	batches       []*vector.Batch // resident replay tail: global indices [spilled, spilled+len)
+	buffered      int64           // resident replay-buffer bytes (vector.Batch.Bytes)
 	done          bool
 	err           error
-	refs          int  // attached cursors still replaying
-	extracted     bool // the flight goroutine is finished
-	admitted      bool // the gate granted the flight's bytes
-	released      bool // budget bytes given back
-	abandonMarked bool // counted as cancelled; abandonCh closed
+	refs          int   // attached cursors still replaying
+	extracted     bool  // the flight goroutine is finished
+	admitted      bool  // the gate granted the flight's bytes
+	admitHeld     int64 // admission bytes still held (spilling gives some back early)
+	released      bool  // budget bytes given back
+	abandonMarked bool  // counted as cancelled; abandonCh closed
+
+	// Out-of-core state. Batches with global index < spilled live only
+	// in the spill file; spilled grows monotonically and only the flight
+	// goroutine writes the file, so a cursor that saw index i < spilled
+	// under mu may read frame i outside it.
+	spill       *storage.SpillFile
+	spillW      *storage.BatchWriter
+	spilled     int  // batch frames durable in the spill file
+	spillFailed bool // a spill write failed: stay in-memory for good
 }
 
 func newFlight(uri string, span cache.Span, size int64, session string, svc *Service) *flight {
@@ -625,11 +702,17 @@ func (f *flight) extractionFinished() {
 func (f *flight) maybeReleaseLocked() {
 	if f.extracted && f.refs <= 0 && !f.released {
 		f.released = true
-		admitted := int64(0)
+		held := int64(0)
 		if f.admitted {
-			admitted = f.admitBytes
+			held = f.admitHeld
 		}
-		f.svc.releaseFlight(f.session, admitted, f.buffered)
+		f.svc.releaseFlight(f.session, held, f.buffered)
+		if f.spill != nil {
+			// Temp spill files never outlive their flight: normal drain,
+			// error and abandonment all come through here exactly once.
+			f.spill.Remove()
+			f.spill, f.spillW = nil, nil
+		}
 	}
 }
 
@@ -647,6 +730,85 @@ func (f *flight) append(b *vector.Batch) {
 	f.mu.Unlock()
 	f.svc.addReplay(n)
 	f.cond.Broadcast()
+	f.maybeSpill()
+}
+
+// maybeSpill flushes the resident replay buffer to the flight's spill
+// file once it exceeds the configured threshold. Only the flight
+// goroutine calls this (from append, between adapter emits), so it is
+// the sole writer of the spill file and the sole mutator of batches —
+// it may read the slice it last published without holding mu. Flushed
+// batches leave the replay gauge and give back a matching share of the
+// flight's admission bytes: data on disk no longer occupies the
+// memory budget, which is what lets a file bigger than the whole
+// budget stream through it.
+func (f *flight) maybeSpill() {
+	svc := f.svc
+	if !svc.spillEnabled() {
+		return
+	}
+	f.mu.Lock()
+	over := f.buffered > svc.cfg.SpillThresholdBytes && !f.spillFailed
+	toFlush := f.batches
+	f.mu.Unlock()
+	if !over || len(toFlush) == 0 {
+		return
+	}
+	first := f.spillW == nil
+	if first {
+		sf, err := storage.CreateSpillFile(svc.cfg.SpillDir, "flight-*.spill")
+		if err != nil {
+			// Out-of-core unavailable (dir gone, disk full): degrade to
+			// the in-memory behaviour rather than failing the flight.
+			f.mu.Lock()
+			f.spillFailed = true
+			f.mu.Unlock()
+			return
+		}
+		kinds := make([]vector.Kind, toFlush[0].NumCols())
+		for i, c := range toFlush[0].Cols {
+			kinds[i] = c.Kind()
+		}
+		model, clock := svc.diskModel()
+		w := storage.NewBatchWriter(sf.File(), kinds, model, clock)
+		f.mu.Lock()
+		f.spill, f.spillW = sf, w
+		f.mu.Unlock()
+	}
+	var flushed int64
+	for i, b := range toFlush {
+		if err := f.spillW.Append(b); err != nil {
+			// A torn tail may be in the file; spilled was never advanced
+			// past it, so no cursor will read it. Keep everything resident
+			// from here on.
+			f.mu.Lock()
+			f.spillFailed = true
+			f.spilled += i
+			f.batches = f.batches[i:]
+			f.buffered -= flushed
+			f.mu.Unlock()
+			svc.noteSpill(first && i > 0, flushed)
+			return
+		}
+		flushed += b.Bytes()
+	}
+	f.mu.Lock()
+	f.spilled += len(toFlush)
+	f.batches = f.batches[len(toFlush):]
+	f.buffered -= flushed
+	rel := int64(0)
+	if f.admitted {
+		rel = f.admitHeld
+		if rel > flushed {
+			rel = flushed
+		}
+		f.admitHeld -= rel
+	}
+	f.mu.Unlock()
+	if rel > 0 {
+		svc.gate.Release(f.session, rel)
+	}
+	svc.noteSpill(first, flushed)
 }
 
 func (f *flight) finish(err error) {
@@ -675,6 +837,13 @@ type flightCursor struct {
 	stop     func() bool     // releases the ctx watcher
 	i        int
 	detached bool
+
+	// Spill replay state: r reads the flight's spill file sequentially;
+	// rpos is the next frame it will decode. Frames this cursor already
+	// consumed from memory before they were flushed are decoded and
+	// discarded on the way past (their dictionary deltas are needed).
+	r    *storage.BatchReader
+	rpos int
 }
 
 // Next implements Cursor.
@@ -703,10 +872,24 @@ func (c *flightCursor) Next() (*vector.Batch, error) {
 				return nil, err
 			}
 		}
-		if c.i < len(f.batches) {
+		if c.i < f.spilled {
+			// The batch lives only in the spill file now. Frames below
+			// spilled are durable and the file outlives every ref'd
+			// cursor, so the read happens outside mu.
+			path := f.spill.Path()
+			f.mu.Unlock()
+			b, err := c.nextSpilled(path)
+			if err != nil {
+				c.detach()
+				return nil, err
+			}
+			c.f.svc.noteSpillRead()
+			return b, nil
+		}
+		if idx := c.i - f.spilled; idx < len(f.batches) {
 			// Fan out a copy-on-write share: every waiter gets its own
 			// handle over the replay buffer's storage in O(1).
-			b := f.batches[c.i].Share()
+			b := f.batches[idx].Share()
 			c.i++
 			f.mu.Unlock()
 			return b, nil
@@ -721,8 +904,36 @@ func (c *flightCursor) Next() (*vector.Batch, error) {
 	}
 }
 
+// nextSpilled advances the cursor's spill reader to frame c.i and
+// returns that batch (exclusively owned: decoded fresh from disk, no
+// share bookkeeping needed).
+func (c *flightCursor) nextSpilled(path string) (*vector.Batch, error) {
+	if c.r == nil {
+		model, clock := c.f.svc.diskModel()
+		r, err := storage.OpenBatchReader(path, model, clock)
+		if err != nil {
+			return nil, err
+		}
+		c.r = r
+	}
+	var b *vector.Batch
+	for c.rpos <= c.i {
+		var err error
+		b, err = c.r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, fmt.Errorf("%w: spill file ended before frame %d", storage.ErrCorruptSpill, c.i)
+		}
+		c.rpos++
+	}
+	c.i++
+	return b, nil
+}
+
 // detach ends the cursor's attachment exactly once and releases its
-// context watcher.
+// context watcher and spill reader.
 func (c *flightCursor) detach() {
 	if c.detached {
 		return
@@ -731,6 +942,10 @@ func (c *flightCursor) detach() {
 	if c.stop != nil {
 		c.stop()
 		c.stop = nil
+	}
+	if c.r != nil {
+		c.r.Close()
+		c.r = nil
 	}
 	c.f.unref()
 }

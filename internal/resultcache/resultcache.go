@@ -53,12 +53,14 @@ package resultcache
 import (
 	"container/list"
 	"errors"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/admission"
 	"repro/internal/exec"
 	"repro/internal/plan"
+	"repro/internal/storage"
 )
 
 // Config parameterizes a Cache.
@@ -74,6 +76,17 @@ type Config struct {
 	// oldest entries first. <= 0 disables the per-session preference
 	// (eviction is plain global LRU).
 	MaxSessionShare float64
+	// SpillDir enables the disk tier (see spill.go): cold entries are
+	// demoted to spill files here instead of evicted, and the directory
+	// doubles as the restart-persistence store. Empty disables the tier.
+	SpillDir string
+	// DiskMaxBytes bounds the disk tier; <= 0 means unlimited.
+	DiskMaxBytes int64
+	// Disk and Clock charge demotion writes and promotion reads to the
+	// engine's modeled I/O accounting. The zero-value Disk charges
+	// nothing.
+	Disk  storage.DiskModel
+	Clock *storage.Clock
 }
 
 // Stats is a snapshot of cache counters.
@@ -96,10 +109,18 @@ type Stats struct {
 	SubsumptionProbes, SubsumptionHits int64
 	SubsumptionBytesSaved              int64
 	RefilterWall                       time.Duration
-	// BytesResident / Entries describe current occupancy; Epoch is the
-	// current invalidation epoch.
+	// Disk-tier counters: entries demoted to spill files instead of
+	// evicted, spilled entries promoted back on a hit, entries dropped by
+	// the disk tier's own LRU, and entries warmed from a previous
+	// process's manifest at open.
+	Demotions, Promotions, DiskEvictions, WarmedFromDisk int64
+	// BytesResident / Entries describe current occupancy; BytesOnDisk /
+	// DiskEntries the disk tier's; Epoch is the current invalidation
+	// epoch.
 	BytesResident int64
 	Entries       int
+	BytesOnDisk   int64
+	DiskEntries   int
 	Epoch         uint64
 	// PerSession breaks resident bytes and stores down by the session
 	// that stored each entry (see admission.SessionStats; Acquires
@@ -137,6 +158,12 @@ type Cache struct {
 	flights map[plan.Fingerprint]*flight
 	bytes   int64
 
+	// Disk tier (spill.go): spilled entries keep their c.entries slot but
+	// their element lives in diskOrder (front = most recently demoted)
+	// and their bytes count against diskBytes, not bytes or the gate.
+	diskOrder *list.List
+	diskBytes int64
+
 	// subindex is the secondary semantic index: subsumption bucket →
 	// fingerprints of resident entries carrying that key. Only entries
 	// stored with a non-nil summary appear.
@@ -150,16 +177,20 @@ type Cache struct {
 	subProbes, subHits int64
 	subBytesSaved      int64
 	refilterWall       time.Duration
+
+	demotions, promotions, diskEvictions, warmed int64
 }
 
 type entry struct {
 	fp      plan.Fingerprint
 	session string
-	mat     *exec.Materialized
+	mat     *exec.Materialized // nil while spilled to disk
 	bytes   int64
 	epoch   uint64
 	cost    time.Duration         // recompute-cost signal it was admitted with
 	sub     *plan.SubsumptionInfo // nil: not semantically indexed
+	path    string                // spill file; non-empty marks the entry spilled
+	schema  []plan.ColInfo        // result schema, kept for promotion
 }
 
 // flight is one in-progress execution other identical queries wait on.
@@ -172,19 +203,27 @@ type flight struct {
 	epoch uint64
 }
 
-// New returns a cache over the configuration.
+// New returns a cache over the configuration. With a spill directory
+// configured it is also the warm-restart path: a manifest left by a
+// previous Close is loaded and its entries served from disk.
 func New(cfg Config) *Cache {
-	return &Cache{
+	c := &Cache{
 		cfg: cfg,
 		gate: admission.New(admission.Config{
 			BudgetBytes:     cfg.MaxBytes,
 			MaxSessionShare: cfg.MaxSessionShare,
 		}),
-		entries:  make(map[plan.Fingerprint]*list.Element),
-		order:    list.New(),
-		flights:  make(map[plan.Fingerprint]*flight),
-		subindex: make(map[plan.SubsumptionKey]map[plan.Fingerprint]struct{}),
+		entries:   make(map[plan.Fingerprint]*list.Element),
+		order:     list.New(),
+		flights:   make(map[plan.Fingerprint]*flight),
+		subindex:  make(map[plan.SubsumptionKey]map[plan.Fingerprint]struct{}),
+		diskOrder: list.New(),
 	}
+	if c.spillEnabled() {
+		os.MkdirAll(cfg.SpillDir, 0o755)
+		c.loadManifest()
+	}
+	return c
 }
 
 // Epoch returns the current invalidation epoch.
@@ -213,10 +252,17 @@ func (c *Cache) BumpEpoch() {
 		e := el.Value.(*entry)
 		c.gate.Release(e.session, e.bytes)
 	}
+	// The disk tier invalidates with everything else: pre-change results
+	// must not survive to warm a post-change process either.
+	for el := c.diskOrder.Front(); el != nil; el = el.Next() {
+		os.Remove(el.Value.(*entry).path)
+	}
 	c.entries = make(map[plan.Fingerprint]*list.Element)
 	c.order = list.New()
+	c.diskOrder = list.New()
 	c.subindex = make(map[plan.SubsumptionKey]map[plan.Fingerprint]struct{})
 	c.bytes = 0
+	c.diskBytes = 0
 }
 
 // Get returns the frozen entry for a fingerprint at the current epoch.
@@ -242,6 +288,11 @@ func (c *Cache) getLocked(fp plan.Fingerprint) (*exec.Materialized, bool) {
 	el, ok := c.entries[fp]
 	if !ok || el.Value.(*entry).epoch != c.epoch {
 		return nil, false
+	}
+	if el.Value.(*entry).path != "" {
+		// Spilled: a hit promotes the entry back to the resident tier (a
+		// corrupt spill file drops it and the probe is a miss).
+		return c.promoteLocked(el)
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*entry).mat, true
@@ -278,27 +329,39 @@ func (c *Cache) GetSubsuming(fp plan.Fingerprint, sub *plan.SubsumptionInfo) (Su
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.subProbes++
-	var best *list.Element
-	for cand := range c.subindex[sub.Key] {
-		el, ok := c.entries[cand]
-		if !ok {
-			continue
+	// A spilled candidate can lose to promotion (corrupt file) and drop
+	// out; re-select until a candidate survives or none remain.
+	for {
+		var best *list.Element
+		for cand := range c.subindex[sub.Key] {
+			el, ok := c.entries[cand]
+			if !ok {
+				continue
+			}
+			e := el.Value.(*entry)
+			if e.epoch != c.epoch || e.fp == fp || !plan.Subsumes(e.sub, sub) {
+				continue
+			}
+			if best == nil || e.bytes < best.Value.(*entry).bytes {
+				best = el
+			}
 		}
-		e := el.Value.(*entry)
-		if e.epoch != c.epoch || e.fp == fp || !plan.Subsumes(e.sub, sub) {
-			continue
+		if best == nil {
+			return SubsumeHit{}, false
 		}
-		if best == nil || e.bytes < best.Value.(*entry).bytes {
-			best = el
+		e := best.Value.(*entry)
+		if e.path != "" {
+			mat, ok := c.promoteLocked(best)
+			if !ok {
+				continue
+			}
+			c.subHits++
+			return SubsumeHit{Fp: e.fp, Mat: mat, Bytes: e.bytes, Cost: e.cost}, true
 		}
+		c.order.MoveToFront(best)
+		c.subHits++
+		return SubsumeHit{Fp: e.fp, Mat: e.mat, Bytes: e.bytes, Cost: e.cost}, true
 	}
-	if best == nil {
-		return SubsumeHit{}, false
-	}
-	c.order.MoveToFront(best)
-	c.subHits++
-	e := best.Value.(*entry)
-	return SubsumeHit{Fp: e.fp, Mat: e.mat, Bytes: e.bytes, Cost: e.cost}, true
 }
 
 // NoteRefilter accounts one subsumption serve: the wall time spent
@@ -361,7 +424,7 @@ func (c *Cache) putLocked(fp plan.Fingerprint, session string, mat *exec.Materia
 	if el, ok := c.entries[fp]; ok {
 		c.removeLocked(el)
 	}
-	e := &entry{fp: fp, session: session, mat: mat, bytes: matBytes(mat), epoch: epoch, cost: cost, sub: sub}
+	e := &entry{fp: fp, session: session, mat: mat, bytes: matBytes(mat), epoch: epoch, cost: cost, sub: sub, schema: mat.Schema}
 	c.entries[fp] = c.order.PushFront(e)
 	c.bytes += e.bytes
 	if sub != nil && !sub.Key.IsZero() {
@@ -376,10 +439,19 @@ func (c *Cache) putLocked(fp plan.Fingerprint, session string, mat *exec.Materia
 	c.evictLocked(session)
 }
 
-// removeLocked drops one entry and returns its bytes to the gate.
+// removeLocked drops one entry — resident (bytes go back to the gate)
+// or spilled (the spill file is deleted).
 func (c *Cache) removeLocked(el *list.Element) {
 	e := el.Value.(*entry)
-	c.order.Remove(el)
+	if e.path != "" {
+		c.diskOrder.Remove(el)
+		c.diskBytes -= e.bytes
+		os.Remove(e.path)
+	} else {
+		c.order.Remove(el)
+		c.bytes -= e.bytes
+		c.gate.Release(e.session, e.bytes)
+	}
 	delete(c.entries, e.fp)
 	if e.sub != nil {
 		if bucket, ok := c.subindex[e.sub.Key]; ok {
@@ -389,8 +461,6 @@ func (c *Cache) removeLocked(el *list.Element) {
 			}
 		}
 	}
-	c.bytes -= e.bytes
-	c.gate.Release(e.session, e.bytes)
 }
 
 // evictLocked enforces the byte budget after a store by `storing`;
@@ -398,7 +468,9 @@ func (c *Cache) removeLocked(el *list.Element) {
 // share, its own least-recently-served entry goes first — the session
 // whose fat results created the pressure pays for it — then eviction
 // falls back to global LRU. Like the ingestion cache, a single
-// over-budget entry is allowed to remain alone.
+// over-budget entry is allowed to remain alone. With the disk tier
+// configured the victim is demoted to a spill file instead of dropped
+// (falling back to a real eviction if the disk write fails).
 func (c *Cache) evictLocked(storing string) {
 	if c.cfg.MaxBytes <= 0 {
 		return
@@ -416,6 +488,9 @@ func (c *Cache) evictLocked(storing string) {
 					break
 				}
 			}
+		}
+		if c.spillEnabled() && c.demoteLocked(victim) {
+			continue
 		}
 		c.removeLocked(victim)
 		c.evictions++
@@ -520,10 +595,14 @@ func (c *Cache) Stats() Stats {
 		Hits: c.hits, Misses: c.misses, Riders: c.riders,
 		Stores: c.stores, RejectedStores: c.rejected,
 		Evictions: c.evictions, SelfEvictions: c.selfEvictions,
-		Invalidations: c.invalidated,
+		Invalidations:     c.invalidated,
 		SubsumptionProbes: c.subProbes, SubsumptionHits: c.subHits,
 		SubsumptionBytesSaved: c.subBytesSaved, RefilterWall: c.refilterWall,
-		BytesResident: c.bytes, Entries: len(c.entries), Epoch: c.epoch,
+		Demotions: c.demotions, Promotions: c.promotions,
+		DiskEvictions: c.diskEvictions, WarmedFromDisk: c.warmed,
+		BytesResident: c.bytes, Entries: c.order.Len(),
+		BytesOnDisk: c.diskBytes, DiskEntries: c.diskOrder.Len(),
+		Epoch:      c.epoch,
 		PerSession: c.gate.Stats().PerSession,
 	}
 }

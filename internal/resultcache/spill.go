@@ -1,0 +1,316 @@
+// Disk tier of the result cache: instead of evicting a cold entry under
+// byte pressure, the cache demotes it — the frozen materialization is
+// serialized to a spill file (internal/storage batch spill format) and
+// only the entry's metadata stays resident. A later hit promotes it back
+// through the ordinary result-scan share path. The tier has its own byte
+// budget and LRU (demotion recency), and persists across restarts: Close
+// demotes everything still resident and writes a manifest
+// (fingerprint, subsumption summary, invalidation epoch per entry), and
+// New over the same spill directory warms the cache from it, so repeat
+// queries after a restart are served with zero executions. Corrupt or
+// truncated spill files and manifests are ignored, never fatal: a bad
+// manifest means a cold start, a bad entry file means a miss.
+
+package resultcache
+
+import (
+	"container/list"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/vector"
+)
+
+// spillEnabled reports whether the disk tier is configured.
+func (c *Cache) spillEnabled() bool { return c.cfg.SpillDir != "" }
+
+func (c *Cache) diskModel() (storage.DiskModel, *storage.Clock) {
+	return c.cfg.Disk, c.cfg.Clock
+}
+
+// demoteLocked moves one resident entry (an element of c.order) to the
+// disk tier. On any I/O failure it reports false and leaves the entry
+// resident — the caller falls back to plain eviction, so a full or
+// broken disk degrades to the spill-off behavior instead of erroring.
+func (c *Cache) demoteLocked(el *list.Element) bool {
+	e := el.Value.(*entry)
+	sf, err := storage.CreateSpillFile(c.cfg.SpillDir, "result-*.spill")
+	if err != nil {
+		return false
+	}
+	kinds := make([]vector.Kind, len(e.schema))
+	for i, ci := range e.schema {
+		kinds[i] = ci.Kind
+	}
+	model, clock := c.diskModel()
+	w := storage.NewBatchWriter(sf.File(), kinds, model, clock)
+	for _, b := range e.mat.Batches {
+		if err := w.Append(b); err != nil {
+			sf.Remove()
+			return false
+		}
+	}
+	if err := w.Finish(); err != nil {
+		sf.Remove()
+		return false
+	}
+	path, err := sf.Adopt()
+	if err != nil {
+		return false
+	}
+	c.order.Remove(el)
+	c.bytes -= e.bytes
+	c.gate.Release(e.session, e.bytes)
+	e.mat = nil
+	e.path = path
+	c.entries[e.fp] = c.diskOrder.PushFront(e)
+	c.diskBytes += e.bytes
+	c.demotions++
+	c.evictDiskLocked()
+	return true
+}
+
+// promoteLocked loads a spilled entry (an element of c.diskOrder) back
+// into the resident tier and returns its materialization. A corrupt or
+// missing spill file drops the entry silently — the probe becomes a
+// miss, never an error.
+func (c *Cache) promoteLocked(el *list.Element) (*exec.Materialized, bool) {
+	e := el.Value.(*entry)
+	model, clock := c.diskModel()
+	r, err := storage.OpenBatchReader(e.path, model, clock)
+	if err != nil {
+		c.removeLocked(el)
+		return nil, false
+	}
+	var batches []*vector.Batch
+	for {
+		b, err := r.Next()
+		if err != nil {
+			r.Close()
+			c.removeLocked(el)
+			return nil, false
+		}
+		if b == nil {
+			break
+		}
+		batches = append(batches, b)
+	}
+	r.Close()
+	mat := &exec.Materialized{Schema: e.schema, Batches: batches}
+	mat.Freeze()
+	c.diskOrder.Remove(el)
+	c.diskBytes -= e.bytes
+	os.Remove(e.path)
+	e.path = ""
+	e.mat = mat
+	e.bytes = matBytes(mat)
+	c.entries[e.fp] = c.order.PushFront(e)
+	c.bytes += e.bytes
+	c.gate.Charge(e.session, e.bytes)
+	c.promotions++
+	c.evictLocked(e.session)
+	return mat, true
+}
+
+// evictDiskLocked enforces the disk-tier byte budget, oldest demotion
+// first. Like the resident tier, a single over-budget entry may remain
+// alone.
+func (c *Cache) evictDiskLocked() {
+	if c.cfg.DiskMaxBytes <= 0 {
+		return
+	}
+	for c.diskBytes > c.cfg.DiskMaxBytes && c.diskOrder.Len() > 1 {
+		c.removeLocked(c.diskOrder.Back())
+		c.diskEvictions++
+	}
+}
+
+// Close demotes every resident entry to the disk tier and writes the
+// manifest, so a cache reopened over the same spill directory serves
+// repeat queries without re-executing them. Without a spill directory it
+// is a no-op. Close does not render the cache unusable, but it is meant
+// as the last call before process exit.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.spillEnabled() {
+		return nil
+	}
+	// Demote LRU-first: each demotion pushes to the disk tier's front, so
+	// the resident recency order is preserved on top of what had already
+	// been demoted.
+	for el := c.order.Back(); el != nil; el = c.order.Back() {
+		if !c.demoteLocked(el) {
+			c.removeLocked(el) // cannot persist — drop rather than leak
+		}
+	}
+	return c.writeManifestLocked()
+}
+
+// manifest is the on-disk index of the spill directory. Entries are
+// ordered most recently used first.
+type manifest struct {
+	Epoch   uint64          `json:"epoch"`
+	Entries []manifestEntry `json:"entries"`
+}
+
+type manifestEntry struct {
+	Fingerprint string        `json:"fingerprint"`
+	Session     string        `json:"session,omitempty"`
+	File        string        `json:"file"`
+	Bytes       int64         `json:"bytes"`
+	CostNs      int64         `json:"cost_ns"`
+	Schema      []manifestCol `json:"schema"`
+	Sub         *manifestSub  `json:"sub,omitempty"`
+}
+
+type manifestCol struct {
+	Table string `json:"table,omitempty"`
+	Name  string `json:"name"`
+	Kind  int    `json:"kind"`
+}
+
+// manifestSub carries the subsumption summary minus the re-filter
+// closure (not serializable). A warmed entry keeps answering semantic
+// probes — Subsumes uses only the key and intervals, and the narrow
+// query re-filters with its own expression.
+type manifestSub struct {
+	Key       string                   `json:"key"`
+	Intervals map[string]plan.Interval `json:"intervals"`
+}
+
+func (c *Cache) writeManifestLocked() error {
+	m := manifest{Epoch: c.epoch}
+	for el := c.diskOrder.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		me := manifestEntry{
+			Fingerprint: e.fp.String(),
+			Session:     e.session,
+			File:        filepath.Base(e.path),
+			Bytes:       e.bytes,
+			CostNs:      int64(e.cost),
+		}
+		for _, ci := range e.schema {
+			me.Schema = append(me.Schema, manifestCol{Table: ci.Table, Name: ci.Name, Kind: int(ci.Kind)})
+		}
+		if e.sub != nil && !e.sub.Key.IsZero() {
+			ms := &manifestSub{Key: e.sub.Key.String(), Intervals: e.sub.Intervals}
+			// Interval bounds hold vector.Values; a non-finite double
+			// cannot be marshaled — drop the summary, keep the entry.
+			if _, err := json.Marshal(ms); err == nil {
+				me.Sub = ms
+			}
+		}
+		m.Entries = append(m.Entries, me)
+	}
+	data, err := json.MarshalIndent(&m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.cfg.SpillDir, "manifest.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.cfg.SpillDir, "manifest.json"))
+}
+
+// loadManifest warms the disk tier from a previous process's manifest.
+// Every failure mode — missing or corrupt manifest, missing files, bad
+// fingerprints or schemas — skips quietly: the worst restart outcome is
+// a cold cache. Spill files the manifest does not reference are removed.
+func (c *Cache) loadManifest() {
+	data, err := os.ReadFile(filepath.Join(c.cfg.SpillDir, "manifest.json"))
+	if err != nil {
+		c.sweepSpillDir(nil)
+		return
+	}
+	var m manifest
+	if json.Unmarshal(data, &m) != nil {
+		c.sweepSpillDir(nil)
+		return
+	}
+	c.epoch = m.Epoch
+	referenced := make(map[string]bool)
+	for _, me := range m.Entries {
+		fpB, err := hex.DecodeString(me.Fingerprint)
+		if err != nil || len(fpB) != len(plan.Fingerprint{}) || me.Bytes < 0 {
+			continue
+		}
+		var f plan.Fingerprint
+		copy(f[:], fpB)
+		if _, dup := c.entries[f]; dup {
+			continue
+		}
+		path := filepath.Join(c.cfg.SpillDir, filepath.Base(me.File))
+		if fi, err := os.Stat(path); err != nil || fi.IsDir() {
+			continue
+		}
+		schema := make([]plan.ColInfo, 0, len(me.Schema))
+		ok := true
+		for _, mc := range me.Schema {
+			k := vector.Kind(mc.Kind)
+			if k <= vector.KindInvalid || k > vector.KindTime {
+				ok = false
+				break
+			}
+			schema = append(schema, plan.ColInfo{Table: mc.Table, Name: mc.Name, Kind: k})
+		}
+		if !ok {
+			continue
+		}
+		e := &entry{
+			fp: f, session: me.Session, bytes: me.Bytes,
+			epoch: c.epoch, cost: time.Duration(me.CostNs),
+			path: path, schema: schema,
+		}
+		if me.Sub != nil {
+			if kb, err := hex.DecodeString(me.Sub.Key); err == nil && len(kb) == len(plan.SubsumptionKey{}) {
+				var key plan.SubsumptionKey
+				copy(key[:], kb)
+				e.sub = &plan.SubsumptionInfo{Key: key, Intervals: me.Sub.Intervals}
+			}
+		}
+		c.entries[f] = c.diskOrder.PushBack(e) // manifest order is MRU-first
+		c.diskBytes += e.bytes
+		if e.sub != nil && !e.sub.Key.IsZero() {
+			bucket := c.subindex[e.sub.Key]
+			if bucket == nil {
+				bucket = make(map[plan.Fingerprint]struct{})
+				c.subindex[e.sub.Key] = bucket
+			}
+			bucket[f] = struct{}{}
+		}
+		referenced[filepath.Base(path)] = true
+		c.warmed++
+	}
+	c.sweepSpillDir(referenced)
+	c.evictDiskLocked()
+}
+
+// sweepSpillDir removes result spill files not referenced by the loaded
+// manifest (leftovers of a crash between demotion and manifest write).
+// Only files matching this package's naming pattern are touched.
+func (c *Cache) sweepSpillDir(keep map[string]bool) {
+	ents, err := os.ReadDir(c.cfg.SpillDir)
+	if err != nil {
+		return
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() || keep[name] {
+			continue
+		}
+		if ok, _ := filepath.Match("result-*.spill", name); ok {
+			os.Remove(filepath.Join(c.cfg.SpillDir, name))
+		}
+	}
+}
