@@ -1,23 +1,33 @@
 // Command repolint runs the engine's static-analysis suite
-// (internal/lint: cowcheck, releasecheck, ctxcheck) over the
-// repository, in the spirit of a go/analysis multichecker. It is a CI
-// gate: any diagnostic fails the build.
+// (internal/lint: cowcheck, releasecheck, ctxcheck, lockcheck,
+// statcheck) over the repository, in the spirit of a go/analysis
+// multichecker. It is a CI gate: any diagnostic fails the build.
 //
 // Usage:
 //
-//	repolint [-list] [packages]
+//	repolint [-list] [-json] [-checkallows] [packages]
 //
 // Packages default to ./... resolved against the current directory,
 // which must be inside the module. Diagnostics print one per line as
 //
 //	path/file.go:line:col: [analyzer] message
 //
+// or, with -json, as one JSON object per line:
+//
+//	{"analyzer":"ctxcheck","file":"path/file.go","line":12,"col":9,"message":"..."}
+//
 // and are silenced only by fixing the violation or annotating the line
 // (or the line above) with `//lint:allow <analyzer> <reason>` — the
-// reason is required.
+// reason is required. -checkallows audits those annotations instead:
+// a directive that no longer suppresses anything (the violation was
+// fixed, or the analyzer name is wrong) is itself reported, so
+// suppressions cannot outlive what they silence.
+//
+// Exit status: 0 clean, 1 on findings, 2 on a load error.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,8 +35,19 @@ import (
 	"repro/internal/lint"
 )
 
+// jsonDiagnostic is the -json wire shape, one object per line.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit diagnostics as one JSON object per line")
+	checkAllows := flag.Bool("checkallows", false, "report stale //lint:allow directives instead of violations")
 	flag.Parse()
 	if *list {
 		for _, az := range lint.Analyzers() {
@@ -43,8 +64,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "repolint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(u, lint.Analyzers())
+	var diags []lint.Diagnostic
+	if *checkAllows {
+		diags = lint.CheckAllows(u, lint.Analyzers())
+	} else {
+		diags = lint.Run(u, lint.Analyzers())
+	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
+		if *asJSON {
+			enc.Encode(jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+			continue
+		}
 		fmt.Println(d)
 	}
 	if len(diags) > 0 {

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// buildRepolint compiles the command once into a temp dir and returns
+// the binary path.
+func buildRepolint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "repolint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building repolint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeModule lays out a throwaway module the binary can lint: the
+// violation (and any allow directive) lives in an internal/ package so
+// ctxcheck applies.
+func writeModule(t *testing.T, demoSrc string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":                 "module tmpmod\n\ngo 1.24\n",
+		"internal/demo/demo.go":  demoSrc,
+		"internal/demo/clean.go": "package demo\n\nfunc ok() int { return 1 }\n",
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runIn(t *testing.T, dir, bin string, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running repolint: %v", err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+const violatingSrc = `package demo
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}
+`
+
+// TestJSONOutput pins the -json contract: exit 1 on findings, one
+// parseable JSON object per stdout line carrying analyzer, position,
+// and message.
+func TestJSONOutput(t *testing.T) {
+	bin := buildRepolint(t)
+	dir := writeModule(t, violatingSrc)
+	stdout, _, code := runIn(t, dir, bin, "-json", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	var found bool
+	sc := bufio.NewScanner(bytes.NewReader([]byte(stdout)))
+	for sc.Scan() {
+		var d struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("line %q is not a JSON object: %v", sc.Text(), err)
+		}
+		if d.Analyzer == "" || d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if d.Analyzer == "ctxcheck" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no ctxcheck diagnostic in output:\n%s", stdout)
+	}
+}
+
+// TestCheckAllows pins the stale-suppression audit: a directive
+// covering a live violation passes, one covering nothing (or naming a
+// nonexistent analyzer) fails.
+func TestCheckAllows(t *testing.T) {
+	bin := buildRepolint(t)
+
+	genuine := writeModule(t, `package demo
+
+import "context"
+
+func Root() context.Context {
+	return context.Background() //lint:allow ctxcheck this throwaway module stands in for a process entry point
+}
+`)
+	if stdout, stderr, code := runIn(t, genuine, bin, "-checkallows", "./..."); code != 0 {
+		t.Errorf("genuine allow: exit code = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	stale := writeModule(t, `package demo
+
+//lint:allow ctxcheck nothing on this line violates anything
+func Fine() int { return 2 }
+`)
+	if stdout, _, code := runIn(t, stale, bin, "-checkallows", "./..."); code != 1 {
+		t.Errorf("stale allow: exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	} else if !bytes.Contains([]byte(stdout), []byte("stale //lint:allow ctxcheck")) {
+		t.Errorf("stale allow not reported:\n%s", stdout)
+	}
+
+	unknown := writeModule(t, `package demo
+
+//lint:allow nosuchcheck the analyzer name is wrong
+func Fine() int { return 3 }
+`)
+	if stdout, _, code := runIn(t, unknown, bin, "-checkallows", "./..."); code != 1 {
+		t.Errorf("unknown analyzer: exit code = %d, want 1\nstdout:\n%s", code, stdout)
+	} else if !bytes.Contains([]byte(stdout), []byte("unknown analyzer")) {
+		t.Errorf("unknown analyzer not reported:\n%s", stdout)
+	}
+}

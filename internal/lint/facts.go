@@ -20,19 +20,22 @@ func (u *Universe) collectFacts() {
 	}
 }
 
-// collectFactsFor records, per function declared in pkg, which
-// parameters the body writes through (index assignment, copy
-// destination, or append) — the signature a caller passing a read-only
-// view must be warned about.
+// collectFactsFor records the per-function facts for one package:
+// which slice parameters each body writes through (cowcheck), the
+// direct blocking operations, mutex acquisitions, and module callees
+// behind the mayblock and lock-set facts (lockcheck), and every write
+// to a Stats-struct field (statcheck's dead-counter rule).
 func (u *Universe) collectFactsFor(pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if ok && fd.Body != nil {
 				u.paramWriteFact(pkg, fd)
+				u.funcFactFor(pkg, fd)
 			}
 		}
 	}
+	u.statsWriteFacts(pkg)
 }
 
 func (u *Universe) paramWriteFact(pkg *Package, fd *ast.FuncDecl) {
@@ -149,8 +152,17 @@ func funcIn(obj types.Object, pkgSuffix, name string) bool {
 }
 
 // calleeOf resolves the called function or method object of a call.
+// Explicit generic instantiations (f[T](...)) resolve to the generic
+// declaration's object.
 func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		return info.Uses[fun]
 	case *ast.SelectorExpr:

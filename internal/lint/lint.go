@@ -1,6 +1,6 @@
 // Package lint is the engine's static-analysis suite: custom analyzers
 // that machine-enforce the invariants the engine's performance story is
-// built on, which previously lived only in doc comments. Three
+// built on, which previously lived only in doc comments. Five
 // analyzers ship today:
 //
 //   - cowcheck: the raw vector accessors (Bools, Int64s, Float64s,
@@ -17,6 +17,14 @@
 //     flight abandonment); queries must thread the caller's context.
 //     Operators in internal/exec must thread Env.Ctx into goroutines
 //     and mount-service requests.
+//   - lockcheck: no mutex is held across a blocking operation (built
+//     on the module-wide transitive mayblock fact, see mayblock.go),
+//     re-acquired while held, or acquired in an order that inverts an
+//     acquisition order established elsewhere in the module.
+//   - statcheck: fields of mutex-guarded *Stats structs are written
+//     only under a lock or via sync/atomic, Stats() accessors return
+//     by-value snapshots (no receiver-aliased maps/slices escape the
+//     lock), and every declared counter is actually updated somewhere.
 //
 // A violation the author has considered and accepted is silenced with
 //
@@ -73,6 +81,7 @@ func (d Diagnostic) String() string {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Universe.Fset.Position(pos)
 	if d, ok := p.Universe.allowAt(position, p.Analyzer.Name); ok {
+		p.Universe.usedAllows[allowKey{position.Filename, d.line, d.analyzer}] = true
 		if strings.TrimSpace(d.reason) == "" {
 			*p.diags = append(*p.diags, Diagnostic{
 				Pos:      position,
@@ -91,7 +100,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CowCheck, ReleaseCheck, CtxCheck}
+	return []*Analyzer{CowCheck, ReleaseCheck, CtxCheck, LockCheck, StatCheck}
 }
 
 // Run applies the analyzers to every non-stdlib package in the
@@ -134,6 +143,59 @@ type allowDirective struct {
 	line     int
 	analyzer string
 	reason   string
+}
+
+// allowKey identifies one directive for used-allow tracking.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// CheckAllows audits the module's //lint:allow directives for
+// staleness: it runs the full suite (marking every directive that
+// suppresses a diagnostic as used) and returns one diagnostic per
+// module-file directive that suppressed nothing — either the violation
+// it silenced has been fixed (delete the directive) or it names an
+// analyzer that does not exist. Fixture directives under testdata are
+// exercised by their own tests and are out of scope.
+func CheckAllows(u *Universe, analyzers []*Analyzer) []Diagnostic {
+	Run(u, analyzers)
+	known := make(map[string]bool)
+	for _, az := range analyzers {
+		known[az.Name] = true
+	}
+	moduleFile := make(map[string]bool)
+	for _, pkg := range u.Module {
+		for _, f := range pkg.Files {
+			moduleFile[u.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	var diags []Diagnostic
+	for file, ds := range u.allows {
+		if !moduleFile[file] {
+			continue
+		}
+		for _, d := range ds {
+			pos := token.Position{Filename: file, Line: d.line, Column: 1}
+			switch {
+			case !known[d.analyzer]:
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "allowcheck",
+					Message:  fmt.Sprintf("//lint:allow names unknown analyzer %q", d.analyzer),
+				})
+			case !u.usedAllows[allowKey{file, d.line, d.analyzer}]:
+				diags = append(diags, Diagnostic{
+					Pos:      pos,
+					Analyzer: "allowcheck",
+					Message:  fmt.Sprintf("stale //lint:allow %s: the analyzer no longer fires here; delete the directive", d.analyzer),
+				})
+			}
+		}
+	}
+	sortDiagnostics(diags)
+	return diags
 }
 
 // collectAllows indexes every //lint:allow directive in the files.

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"fmt"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -170,6 +171,74 @@ func TestCtxCheckExecFixture(t *testing.T) {
 	// The synthetic path ends internal/exec, switching on the
 	// operator-package rules (goroutine and Request-literal threading).
 	runFixture(t, CtxCheck, "execfix", "fixture/internal/exec")
+}
+
+func TestLockCheckFixture(t *testing.T) {
+	runFixture(t, LockCheck, "lockcheckfix", "fixture/internal/lockcheckfix")
+}
+
+func TestStatCheckFixture(t *testing.T) {
+	runFixture(t, StatCheck, "statcheckfix", "fixture/internal/statcheckfix")
+}
+
+// TestLockFixtureClean* / TestStatFixtureClean* pin the concurrency
+// analyzers' false-positive rate on the engine's own idioms (ticket
+// handoff, cond.Wait loops, double-checked promotion, spill settle,
+// callback-guarded stats, per-entry snapshot copies): the fixtures
+// carry no want comments, so any diagnostic at all fails.
+func TestLockFixtureCleanLock(t *testing.T) {
+	runFixture(t, LockCheck, "lockfix", "fixture/internal/lockfix")
+}
+
+func TestLockFixtureCleanStat(t *testing.T) {
+	runFixture(t, StatCheck, "lockfix", "fixture/internal/lockfix-stat")
+}
+
+func TestStatFixtureCleanStat(t *testing.T) {
+	runFixture(t, StatCheck, "statfix", "fixture/internal/statfix")
+}
+
+func TestStatFixtureCleanLock(t *testing.T) {
+	runFixture(t, LockCheck, "statfix", "fixture/internal/statfix-lock")
+}
+
+// TestMayBlockPropagatesAcrossPackages pins the transitivity of the
+// module-wide mayblock fact: par.ForEachOrdered blocks directly
+// (range over its results channel), so ingest's parallel loaders —
+// which call it from another package — are classified blocking too,
+// while a pure function stays non-blocking.
+func TestMayBlockPropagatesAcrossPackages(t *testing.T) {
+	u := universe(t)
+	lookup := func(pkgPath, name string) *types.Func {
+		t.Helper()
+		pkg, ok := u.Packages[pkgPath]
+		if !ok {
+			t.Fatalf("package %s not in universe", pkgPath)
+		}
+		fn, ok := pkg.Types.Scope().Lookup(name).(*types.Func)
+		if !ok {
+			t.Fatalf("%s.%s is not a function", pkgPath, name)
+		}
+		return fn
+	}
+	if _, ok := u.MayBlock(lookup("repro/internal/par", "ForEachOrdered")); !ok {
+		t.Errorf("par.ForEachOrdered should be classified as blocking")
+	}
+	if _, ok := u.MayBlock(lookup("repro/internal/ingest", "LoadMetadataParallel")); !ok {
+		t.Errorf("ingest.LoadMetadataParallel should be classified as blocking")
+	}
+	if chain, ok := u.MayBlock(lookup("repro/internal/plan", "Subsumes")); ok {
+		t.Errorf("plan.Subsumes should not block (chain %q)", chain)
+	}
+}
+
+// TestNoStaleAllows is -checkallows in miniature: every //lint:allow
+// in module files must still suppress a live diagnostic.
+func TestNoStaleAllows(t *testing.T) {
+	u := universe(t)
+	for _, d := range CheckAllows(u, Analyzers()) {
+		t.Errorf("%s", d)
+	}
 }
 
 // TestRepositoryIsClean is the CI gate in miniature: the full suite

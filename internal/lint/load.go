@@ -47,6 +47,15 @@ type Universe struct {
 
 	paramWrites map[*types.Func][]bool
 	allows      map[string][]allowDirective // file -> directives
+	usedAllows  map[allowKey]bool           // directives that suppressed a diagnostic
+
+	funcFacts       map[*types.Func]*funcFact      // mayblock + lock-set facts
+	mutexNames      map[types.Object]string        // mutex object -> display name
+	statsWrites     map[*types.Var]map[string]bool // Stats field -> writing package paths
+	statsFieldOwner map[*types.Var]*types.Named    // Stats field -> declaring struct
+	guardedStat     map[*types.Named]bool          // lazily computed; see statcheck.go
+	classifiedPkgs  map[*Package]bool              // packages already classified for guardedStat
+	lockGraph       *lockGraph                     // lazily computed; see lockcheck.go
 }
 
 // listedPackage is the subset of `go list -json` output the loader
@@ -85,6 +94,12 @@ func Load(dir string, patterns ...string) (*Universe, error) {
 		Packages:    make(map[string]*Package),
 		paramWrites: make(map[*types.Func][]bool),
 		allows:      make(map[string][]allowDirective),
+		usedAllows:  make(map[allowKey]bool),
+		funcFacts:   make(map[*types.Func]*funcFact),
+		mutexNames:  make(map[types.Object]string),
+		statsWrites: make(map[*types.Var]map[string]bool),
+
+		statsFieldOwner: make(map[*types.Var]*types.Named),
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {

@@ -1,0 +1,602 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck enforces the module's locking discipline with the same
+// path analysis releasecheck uses for resource pairing:
+//
+//   - No mutex may be held across a blocking operation: a direct
+//     channel send/receive, a range over a channel, a select without a
+//     default clause, or a call that the mayblock fact classifies as
+//     potentially blocking (sync.Cond.Wait, sync.WaitGroup.Wait,
+//     time.Sleep, admission.Gate.Acquire, modeled disk I/O through
+//     storage.DiskModel, mountsvc.Cursor.Next, and every transitive
+//     module caller of one). A holder blocked on a channel or the
+//     admission gate stalls every contender for the mutex — the exact
+//     shape of the PR 3 flight join race and the admission-gate
+//     starvation bug. Exception: sync.Cond.Wait on a condition whose
+//     base is the held mutex's own base (cond and mutex fields of the
+//     same struct) releases that mutex while waiting and is exempt.
+//   - No mutex may be re-acquired while already held (self-deadlock).
+//   - Acquisition order must be consistent module-wide: for every
+//     nested acquisition (mutex B taken — directly or via a callee's
+//     lock set — while A is held) the analyzer records an A→B edge;
+//     any edge whose reverse is reachable in the module-wide graph is
+//     a potential deadlock and is reported at both acquisition sites.
+//
+// The analysis is intraprocedural per lock site (remainder-path walk,
+// defer-aware: a deferred Unlock holds the mutex to function exit) with
+// two module-wide facts stitched across functions: mayblock and the
+// per-function lock set. Deliberate exceptions — e.g. the result
+// cache's disk tier, which serializes spill promotion under the cache
+// lock so an entry's state transition is atomic — carry
+// //lint:allow lockcheck <reason> at the blocking call site.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags mutexes held across blocking operations, self-relocks, and inconsistent acquisition order",
+	Run:  runLockCheck,
+}
+
+// mutexRef identifies one mutex as named at an acquisition site: the
+// selector path gives intraprocedural identity (two sites on "f.mu"
+// are the same instance), the object gives module-wide identity for
+// the acquisition-order graph (the struct field Service.fmu, whichever
+// instance).
+type mutexRef struct {
+	path    string       // receiver chain as written: "s.fmu", "mu"
+	obj     types.Object // the mutex variable (struct field or local)
+	display string       // diagnostic name: "Service.fmu", "mu"
+}
+
+// base returns the path with the final component stripped: the owning
+// value's path ("f" for "f.mu"), used for the cond.Wait exemption.
+func (r mutexRef) base() string {
+	if i := strings.LastIndex(r.path, "."); i >= 0 {
+		return r.path[:i]
+	}
+	return ""
+}
+
+// lockCall matches a call to (*sync.Mutex or *sync.RWMutex)
+// Lock/Unlock/RLock/RUnlock and resolves the mutex it targets. ok is
+// false when the receiver chain is not a trackable selector path.
+func lockCall(info *types.Info, call *ast.CallExpr) (mutexRef, string, bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return mutexRef{}, "", false
+	}
+	obj := calleeOf(info, call)
+	var op string
+	for _, name := range [...]string{"Lock", "Unlock", "RLock", "RUnlock"} {
+		if methodOn(obj, "sync", "Mutex", name) || methodOn(obj, "sync", "RWMutex", name) {
+			op = name
+			break
+		}
+	}
+	if op == "" {
+		return mutexRef{}, "", false
+	}
+	ref, ok := mutexAt(info, sel.X)
+	return ref, op, ok
+}
+
+// mutexAt resolves a pure selector chain (idents and field selections
+// only) to a mutexRef. Chains through calls or index expressions are
+// not trackable.
+func mutexAt(info *types.Info, e ast.Expr) (mutexRef, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		if obj == nil {
+			return mutexRef{}, false
+		}
+		return mutexRef{path: e.Name, obj: obj, display: e.Name}, true
+	case *ast.SelectorExpr:
+		b, ok := mutexAt(info, e.X)
+		if !ok {
+			return mutexRef{}, false
+		}
+		var obj types.Object
+		if sel, ok := info.Selections[e]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[e.Sel]
+		}
+		if obj == nil {
+			return mutexRef{}, false
+		}
+		ref := mutexRef{path: b.path + "." + e.Sel.Name, obj: obj, display: e.Sel.Name}
+		if sel, ok := info.Selections[e]; ok {
+			rt := sel.Recv()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				ref.display = named.Obj().Name() + "." + e.Sel.Name
+			}
+		}
+		return ref, true
+	case *ast.StarExpr:
+		return mutexAt(info, e.X)
+	}
+	return mutexRef{}, false
+}
+
+// --- the module-wide acquisition-order graph ---
+
+type lockEdge struct {
+	pos      token.Pos
+	from, to string // display names, frozen at first sight
+}
+
+type lockGraph struct {
+	edges map[types.Object]map[types.Object]lockEdge
+}
+
+func newLockGraph() *lockGraph {
+	return &lockGraph{edges: make(map[types.Object]map[types.Object]lockEdge)}
+}
+
+func (g *lockGraph) add(from, to types.Object, e lockEdge) {
+	m := g.edges[from]
+	if m == nil {
+		m = make(map[types.Object]lockEdge)
+		g.edges[from] = m
+	}
+	if old, ok := m[to]; !ok || e.pos < old.pos {
+		m[to] = e
+	}
+}
+
+// neighborsSorted returns from's outgoing edges across both graphs in
+// deterministic (position) order.
+func neighborsSorted(a, b *lockGraph, from types.Object) []struct {
+	to types.Object
+	e  lockEdge
+} {
+	var out []struct {
+		to types.Object
+		e  lockEdge
+	}
+	seen := make(map[types.Object]bool)
+	for _, g := range []*lockGraph{a, b} {
+		if g == nil {
+			continue
+		}
+		for to, e := range g.edges[from] {
+			if seen[to] {
+				continue
+			}
+			seen[to] = true
+			out = append(out, struct {
+				to types.Object
+				e  lockEdge
+			}{to, e})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].e.pos < out[j].e.pos })
+	return out
+}
+
+// findPath reports whether to is reachable from `from` over the union
+// of the two graphs, returning the first edge of a deterministic
+// witness path.
+func findPath(a, b *lockGraph, from, to types.Object) (lockEdge, bool) {
+	visited := make(map[types.Object]bool)
+	var dfs func(x types.Object) (lockEdge, bool)
+	dfs = func(x types.Object) (lockEdge, bool) {
+		if visited[x] {
+			return lockEdge{}, false
+		}
+		visited[x] = true
+		for _, n := range neighborsSorted(a, b, x) {
+			if n.to == to {
+				return n.e, true
+			}
+			if e, ok := dfs(n.to); ok {
+				if x == from {
+					return n.e, true
+				}
+				return e, true
+			}
+		}
+		return lockEdge{}, false
+	}
+	return dfs(from)
+}
+
+// moduleLockGraph builds (once) the acquisition-order graph over every
+// module package.
+func (u *Universe) moduleLockGraph() *lockGraph {
+	if u.lockGraph != nil {
+		return u.lockGraph
+	}
+	g := newLockGraph()
+	u.lockGraph = g // set first: the walk below must not recurse into itself
+	for _, pkg := range u.Module {
+		lockWalkPackage(u, nil, pkg, g)
+	}
+	return g
+}
+
+// --- the analyzer ---
+
+func runLockCheck(pass *Pass) {
+	u := pass.Universe
+	module := u.moduleLockGraph()
+	local := newLockGraph()
+	lockWalkPackage(u, pass, pass.Pkg, local)
+	// Order check: a local edge whose reverse is reachable module-wide
+	// (or within this package, for fixtures outside the module) is a
+	// potential deadlock.
+	for from, tos := range local.edges {
+		for to, e := range tos {
+			if from == to {
+				continue // same field on distinct instances; ordering is aliasing-dependent
+			}
+			if w, ok := findPath(module, local, to, from); ok {
+				pass.Reportf(e.pos,
+					"lock order inversion: %s is acquired while %s is held, but the opposite order exists at %s",
+					e.to, e.from, u.Fset.Position(w.pos))
+			}
+		}
+	}
+}
+
+// lockWalkPackage runs the lock-site walk over every analysis unit
+// (function body or function literal) in pkg. With a nil pass it only
+// collects acquisition-order edges into g.
+func lockWalkPackage(u *Universe, pass *Pass, pkg *Package, g *lockGraph) {
+	seen := make(map[string]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lockWalkUnits(u, pass, pkg, fd.Body, g, seen)
+		}
+	}
+}
+
+func lockWalkUnits(u *Universe, pass *Pass, pkg *Package, body *ast.BlockStmt, g *lockGraph, seen map[string]bool) {
+	var nested []*ast.BlockStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, fl.Body)
+			return false
+		}
+		return true
+	})
+	lockWalkUnit(u, pass, pkg, body, g, nil, seen)
+	for _, nb := range nested {
+		lockWalkUnits(u, pass, pkg, nb, g, seen)
+	}
+}
+
+// lockWalkUnit scans every Lock/RLock site directly in the unit. With
+// mark non-nil it instead records which statements execute while some
+// mutex may be held (statcheck's guarded-region query).
+func lockWalkUnit(u *Universe, pass *Pass, pkg *Package, body *ast.BlockStmt, g *lockGraph, mark map[ast.Stmt]bool, seen map[string]bool) {
+	var sites []*ast.CallExpr
+	var refs []mutexRef
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ref, op, ok := lockCall(pkg.Info, call); ok && (op == "Lock" || op == "RLock") {
+			sites = append(sites, call)
+			refs = append(refs, ref)
+		}
+		return true
+	})
+	for i, call := range sites {
+		u.noteMutexName(refs[i])
+		chains, ok := remainders(body.List, call)
+		if !ok {
+			continue
+		}
+		s := &lockScan{u: u, info: pkg.Info, pass: pass, ref: refs[i], g: g, mark: mark, seen: seen}
+		held := true
+		for _, list := range chains {
+			var term bool
+			held, term = s.scanList(list, held)
+			if !held || term {
+				break
+			}
+		}
+	}
+}
+
+// noteMutexName freezes a display name for a mutex object the first
+// time it is seen at an acquisition site, so lock-set-derived edges
+// (where no source expression is at hand) still print readable names.
+func (u *Universe) noteMutexName(ref mutexRef) {
+	if _, ok := u.mutexNames[ref.obj]; !ok {
+		u.mutexNames[ref.obj] = ref.display
+	}
+}
+
+func (u *Universe) mutexName(obj types.Object) string {
+	if s, ok := u.mutexNames[obj]; ok {
+		return s
+	}
+	return obj.Name()
+}
+
+// lockScan walks the continuation of one acquisition site, threading
+// the held state through branches the way releasecheck's scan does.
+type lockScan struct {
+	u    *Universe
+	info *types.Info
+	pass *Pass             // nil: collect-only
+	ref  mutexRef          // the mutex this scan tracks
+	g    *lockGraph        // nil: mark-only
+	mark map[ast.Stmt]bool // non-nil: record held statements
+	seen map[string]bool   // cross-site diagnostic dedup (pos+message)
+}
+
+func (s *lockScan) violate(pos token.Pos, format string, args ...any) {
+	if s.pass == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if s.seen[key] {
+		return
+	}
+	s.seen[key] = true
+	s.pass.Reportf(pos, "mutex %s is held across %s", s.ref.display, msg)
+}
+
+func (s *lockScan) scanList(stmts []ast.Stmt, held bool) (bool, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		held, term = s.scanStmt(stmt, held)
+		if term {
+			return held, true
+		}
+		if !held && s.mark == nil {
+			// Released: nothing further can violate this site. (In mark
+			// mode other sites' regions are merged by the caller, so a
+			// release just stops marking.)
+			return held, false
+		}
+	}
+	return held, false
+}
+
+func (s *lockScan) scanStmt(stmt ast.Stmt, held bool) (bool, bool) {
+	if held && s.mark != nil {
+		s.mark[stmt] = true
+	}
+	switch stmt := stmt.(type) {
+	case *ast.BlockStmt:
+		return s.scanList(stmt.List, held)
+	case *ast.IfStmt:
+		s.markInit(stmt.Init, held)
+		held = s.scanNode(stmt.Init, held)
+		held = s.scanNode(stmt.Cond, held)
+		bHeld, bTerm := s.scanList(stmt.Body.List, held)
+		eHeld, eTerm := held, false
+		if stmt.Else != nil {
+			eHeld, eTerm = s.scanStmt(stmt.Else, held)
+		}
+		switch {
+		case bTerm && eTerm:
+			return held, true
+		case bTerm:
+			return eHeld, false
+		case eTerm:
+			return bHeld, false
+		default:
+			return bHeld || eHeld, false
+		}
+	case *ast.ForStmt:
+		s.markInit(stmt.Init, held)
+		held = s.scanNode(stmt.Init, held)
+		held = s.scanNode(stmt.Cond, held)
+		bHeld, _ := s.scanList(stmt.Body.List, held)
+		s.markInit(stmt.Post, bHeld)
+		s.scanNode(stmt.Post, bHeld)
+		return held || bHeld, false
+	case *ast.RangeStmt:
+		if held && isChanType(s.info.TypeOf(stmt.X)) {
+			s.violate(stmt.Pos(), "a range over a channel")
+		}
+		held = s.scanNode(stmt.X, held)
+		bHeld, _ := s.scanList(stmt.Body.List, held)
+		return held || bHeld, false
+	case *ast.SelectStmt:
+		if held && !hasDefaultClause(stmt.Body) {
+			s.violate(stmt.Pos(), "a select without a default clause")
+		}
+		return s.scanClauses(stmt.Body, held, true)
+	case *ast.SwitchStmt:
+		s.markInit(stmt.Init, held)
+		held = s.scanNode(stmt.Init, held)
+		held = s.scanNode(stmt.Tag, held)
+		return s.scanClauses(stmt.Body, held, hasDefaultClause(stmt.Body))
+	case *ast.TypeSwitchStmt:
+		return s.scanClauses(stmt.Body, held, hasDefaultClause(stmt.Body))
+	case *ast.ReturnStmt:
+		s.scanNode(stmt, held)
+		return held, true
+	case *ast.BranchStmt:
+		return held, true // leaves this list; re-entry is not modeled
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the mutex held to function exit, which
+		// is exactly what the blocking checks must assume; deferred
+		// blocking work runs after the function's own statements and is
+		// out of scope.
+		return held, false
+	case *ast.GoStmt:
+		return held, false // the goroutine does not run under our lock
+	case *ast.LabeledStmt:
+		return s.scanStmt(stmt.Stmt, held)
+	default:
+		return s.scanNode(stmt, held), false
+	}
+}
+
+// markInit records init/post statements of compound statements in the
+// held set (they are statements in their own right but are visited as
+// expressions by scanNode).
+func (s *lockScan) markInit(stmt ast.Stmt, held bool) {
+	if held && s.mark != nil && stmt != nil {
+		s.mark[stmt] = true
+	}
+}
+
+func (s *lockScan) scanClauses(body *ast.BlockStmt, held bool, exhaustive bool) (bool, bool) {
+	anyHeld, allTerm, any := false, true, false
+	for _, list := range clauseLists(body) {
+		any = true
+		h, term := s.scanList(list, held)
+		if !term {
+			allTerm = false
+			anyHeld = anyHeld || h
+		}
+	}
+	if !any {
+		return held, false
+	}
+	if allTerm && exhaustive {
+		return held, true
+	}
+	if !exhaustive {
+		anyHeld = anyHeld || held
+	}
+	return anyHeld, false
+}
+
+// scanNode processes the events inside one simple statement or
+// expression subtree in source order: lock/unlock transitions, nested
+// acquisitions (order edges), and blocking operations while held.
+func (s *lockScan) scanNode(n ast.Node, held bool) bool {
+	if n == nil {
+		return held
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		switch nn := nn.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			if held {
+				s.violate(nn.Pos(), "a channel send")
+			}
+		case *ast.UnaryExpr:
+			if nn.Op == token.ARROW && held {
+				s.violate(nn.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			held = s.callEvent(nn, held)
+		}
+		return true
+	})
+	return held
+}
+
+// callEvent handles one call while scanning: release, nested
+// acquisition, known blocking external, or module call (consulting the
+// mayblock and lock-set facts).
+func (s *lockScan) callEvent(call *ast.CallExpr, held bool) bool {
+	if ref, op, ok := lockCall(s.info, call); ok {
+		switch op {
+		case "Unlock", "RUnlock":
+			if ref.obj == s.ref.obj && ref.path == s.ref.path {
+				return false
+			}
+		case "Lock", "RLock":
+			if !held {
+				return held
+			}
+			if ref.obj == s.ref.obj && ref.path == s.ref.path {
+				if s.pass != nil {
+					s.pass.Reportf(call.Pos(), "mutex %s is re-acquired while already held (self-deadlock)", s.ref.display)
+				}
+				return held
+			}
+			if s.g != nil {
+				s.g.add(s.ref.obj, ref.obj, lockEdge{pos: call.Pos(), from: s.ref.display, to: ref.display})
+			}
+		}
+		return held
+	}
+	callee := calleeOf(s.info, call)
+	if !held {
+		return held
+	}
+	if desc, ok := blockingCall(callee); ok {
+		if s.condWaitOnOwnMutex(call, callee) {
+			return held
+		}
+		s.violate(call.Pos(), "%s", desc)
+		return held
+	}
+	if fn := s.u.moduleCallee(callee); fn != nil {
+		if chain, blocks := s.u.MayBlock(fn); blocks {
+			s.violate(call.Pos(), "a call to %s, which may block (%s)", funcDisplay(fn), chain)
+		}
+		if s.g != nil {
+			for _, lockObj := range sortedObjs(s.u.lockSetOf(fn)) {
+				if lockObj == s.ref.obj {
+					continue // possibly the same instance; relocks are matched by path, not field
+				}
+				s.g.add(s.ref.obj, lockObj, lockEdge{pos: call.Pos(), from: s.ref.display, to: s.u.mutexName(lockObj)})
+			}
+		}
+	}
+	return held
+}
+
+// condWaitOnOwnMutex exempts f.cond.Wait() while f.mu is held: Wait
+// atomically releases the condition's locker, so the paired mutex is
+// not held across the wait. The pairing is recognized structurally —
+// the cond and the mutex hang off the same base path.
+func (s *lockScan) condWaitOnOwnMutex(call *ast.CallExpr, callee types.Object) bool {
+	if !methodOn(callee, "sync", "Cond", "Wait") {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	cond, ok := mutexAt(s.info, sel.X)
+	if !ok {
+		return false
+	}
+	return cond.base() == s.ref.base()
+}
+
+func sortedObjs(set map[types.Object]bool) []types.Object {
+	objs := make([]types.Object, 0, len(set))
+	for o := range set {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	return objs
+}
+
+// heldStmts computes, for one analysis unit, the set of statements
+// that may execute while some mutex is held — the guarded regions
+// statcheck checks stats writes against.
+func heldStmts(u *Universe, pkg *Package, body *ast.BlockStmt) map[ast.Stmt]bool {
+	mark := make(map[ast.Stmt]bool)
+	lockWalkUnit(u, nil, pkg, body, nil, mark, nil)
+	return mark
+}

@@ -374,8 +374,15 @@ func childLists(st ast.Stmt) [][]ast.Stmt {
 
 func hasDefaultClause(body *ast.BlockStmt) bool {
 	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
+		switch c := c.(type) {
+		case *ast.CaseClause: // switch / type switch
+			if c.List == nil {
+				return true
+			}
+		case *ast.CommClause: // select
+			if c.Comm == nil {
+				return true
+			}
 		}
 	}
 	return false

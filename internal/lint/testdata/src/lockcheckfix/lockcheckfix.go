@@ -1,0 +1,185 @@
+// Package lockcheckfix seeds lockcheck violations: every blocking-op
+// class held across a mutex (channel operations, known blocking
+// externals, transitive mayblock callees), self-relock, and
+// acquisition-order inversion — plus the allowed patterns (release
+// before blocking, goroutine spawn under lock, cond.Wait on the held
+// mutex's own struct, and the //lint:allow escape hatch).
+package lockcheckfix
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/par"
+	"repro/internal/storage"
+)
+
+type Service struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func (s *Service) sendHeld(ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want `mutex Service.mu is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *Service) recvDeferred(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock() // the deferred Unlock holds s.mu to function exit
+	return <-ch         // want `mutex Service.mu is held across a channel receive`
+}
+
+func (s *Service) selectHeld(ch, done chan int) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	select { // want `mutex Service.rw is held across a select without a default clause`
+	case <-ch:
+	case <-done:
+	}
+}
+
+func (s *Service) rangeHeld(ch chan int) {
+	s.mu.Lock()
+	for range ch { // want `mutex Service.mu is held across a range over a channel`
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) sleepHeld() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `mutex Service.mu is held across time.Sleep`
+	s.mu.Unlock()
+}
+
+func (s *Service) waitGroupHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `mutex Service.mu is held across sync.WaitGroup.Wait`
+	s.mu.Unlock()
+}
+
+func (s *Service) admitHeld(ctx context.Context, g *admission.Gate) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return g.Acquire(ctx, "fixture", 1) // want `mutex Service.mu is held across admission.Gate.Acquire`
+}
+
+func (s *Service) chargeHeld(m storage.DiskModel, c *storage.Clock) {
+	s.mu.Lock()
+	m.ChargeRead(c, 1, false) // want `mutex Service.mu is held across storage.DiskModel I/O charge`
+	s.mu.Unlock()
+}
+
+// blockHelper is a module-internal function the mayblock fact must
+// classify: calling it under a lock is as bad as receiving directly.
+func blockHelper(ch chan int) int {
+	return <-ch
+}
+
+func (s *Service) transitiveHeld(ch chan int) {
+	s.mu.Lock()
+	blockHelper(ch) // want `mutex Service.mu is held across a call to lockcheckfix.blockHelper, which may block \(channel receive\)`
+	s.mu.Unlock()
+}
+
+// crossPackageHeld pins the mayblock fact's cross-package transitivity:
+// par.ForEachOrdered blocks (it drains its results channel), and this
+// package only learns that through the module-wide fact.
+func (s *Service) crossPackageHeld(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return par.ForEachOrdered(n, 2, // want `mutex Service.mu is held across a call to par.ForEachOrdered, which may block`
+		func(i int) (int, error) { return i, nil },
+		func(i, v int) error { return nil })
+}
+
+func (s *Service) relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `mutex Service.mu is re-acquired while already held \(self-deadlock\)`
+	s.mu.Unlock()
+}
+
+// Pair seeds an acquisition-order inversion: lockAB establishes a→b,
+// lockBA establishes b→a; each nested site is reported.
+type Pair struct {
+	a, b sync.Mutex
+}
+
+func (p *Pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want `lock order inversion: Pair.b is acquired while Pair.a is held, but the opposite order exists at`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *Pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want `lock order inversion: Pair.a is acquired while Pair.b is held, but the opposite order exists at`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Waiter pins the cond.Wait exemption: Wait on a condition hanging off
+// the held mutex's own struct releases that mutex while waiting.
+type Waiter struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func (w *Waiter) waitOwn() { // clean: w.cond pairs with w.mu
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for !w.ready {
+		w.cond.Wait()
+	}
+}
+
+func waitForeign(w *Waiter, s *Service) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.cond.Wait() // want `mutex Service.mu is held across sync.Cond.Wait`
+}
+
+// --- allowed patterns ---
+
+func (s *Service) releaseThenBlock(ch chan int) int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return <-ch // clean: released before blocking
+}
+
+func (s *Service) riderBranch(ch chan int, ride bool) {
+	s.mu.Lock()
+	if ride {
+		s.mu.Unlock()
+		<-ch // clean: this path released first
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) spawnHeld(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { ch <- 1 }() // clean: the goroutine does not run under s.mu
+}
+
+func (s *Service) pollHeld(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // clean: a default clause makes the select non-blocking
+	case <-ch:
+	default:
+	}
+}
+
+func (s *Service) allowedRecv(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockcheck the fixture documents the escape hatch for a considered exception
+	return <-ch
+}

@@ -1,0 +1,122 @@
+// Package lockfix pins lockcheck's false-positive rate on the engine's
+// own concurrency idioms, all deliberately clean: the single-flight
+// ticket handoff (register under the lock, join after the unlock), the
+// cond.Wait consume loop, double-checked RLock→Lock promotion, spill
+// settlement that pays modeled I/O after releasing the lock, and
+// goroutine spawns under a held mutex. Any diagnostic at all fails the
+// fixture's test.
+package lockfix
+
+import (
+	"sync"
+
+	"repro/internal/storage"
+)
+
+type flight struct {
+	done chan struct{}
+}
+
+type Table struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// Join is the ticket handoff: an existing flight is joined strictly
+// after the unlock; a new one is registered under the lock and
+// returned without blocking.
+func (t *Table) Join(key string) *flight {
+	t.mu.Lock()
+	if f, ok := t.flights[key]; ok {
+		t.mu.Unlock()
+		<-f.done
+		return f
+	}
+	f := &flight{done: make(chan struct{})}
+	t.flights[key] = f
+	t.mu.Unlock()
+	return f
+}
+
+// Publish unregisters under the lock and wakes riders after it.
+func (t *Table) Publish(key string) {
+	t.mu.Lock()
+	f := t.flights[key]
+	delete(t.flights, key)
+	t.mu.Unlock()
+	if f != nil {
+		close(f.done)
+	}
+}
+
+// SpawnNotify blocks only inside the spawned goroutine, never the
+// spawning critical section.
+func (t *Table) SpawnNotify(ch chan<- string, key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() { ch <- key }()
+}
+
+type Queue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []int
+}
+
+// Pop waits on the queue's own condition: Wait releases q.mu while
+// blocked, so holding it around the loop is the intended pattern.
+func (q *Queue) Pop() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+type Codes struct {
+	rw    sync.RWMutex
+	codes map[string]int
+	next  int
+}
+
+// Code is double-checked promotion: the read lock is fully released
+// before the write lock is taken (the dict.Code shape).
+func (c *Codes) Code(s string) int {
+	c.rw.RLock()
+	if v, ok := c.codes[s]; ok {
+		c.rw.RUnlock()
+		return v
+	}
+	c.rw.RUnlock()
+	c.rw.Lock()
+	defer c.rw.Unlock()
+	if v, ok := c.codes[s]; ok {
+		return v
+	}
+	v := c.next
+	c.codes[s] = v
+	c.next++
+	return v
+}
+
+type Spiller struct {
+	mu    sync.Mutex
+	dirty int64
+	model storage.DiskModel
+	clock *storage.Clock
+}
+
+// Settle snapshots the dirty ledger under the lock and pays the
+// modeled write cost only after releasing it (the spill-settle shape).
+func (s *Spiller) Settle() {
+	s.mu.Lock()
+	n := s.dirty
+	s.dirty = 0
+	s.mu.Unlock()
+	if n > 0 {
+		s.model.ChargeWrite(s.clock, n)
+	}
+}
