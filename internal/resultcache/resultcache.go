@@ -275,6 +275,7 @@ func (c *Cache) Get(fp plan.Fingerprint) (*exec.Materialized, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow lockcheck spill promotion is serialized under c.mu by design: an entry's tier state must not change between probe and load (see spill.go)
 	mat, ok := c.getLocked(fp)
 	if ok {
 		c.hits++
@@ -351,6 +352,7 @@ func (c *Cache) GetSubsuming(fp plan.Fingerprint, sub *plan.SubsumptionInfo) (Su
 		}
 		e := best.Value.(*entry)
 		if e.path != "" {
+			//lint:allow lockcheck spill promotion is serialized under c.mu by design: an entry's tier state must not change between probe and load (see spill.go)
 			mat, ok := c.promoteLocked(best)
 			if !ok {
 				continue
@@ -387,6 +389,7 @@ func (c *Cache) Put(fp plan.Fingerprint, session string, mat *exec.Materialized,
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow lockcheck demotion-based eviction is serialized under c.mu by design: admission and spill share one byte ledger (see spill.go)
 	return c.admitLocked(fp, session, mat, cost, c.epoch, nil)
 }
 
@@ -400,6 +403,7 @@ func (c *Cache) PutAt(fp plan.Fingerprint, session string, mat *exec.Materialize
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	//lint:allow lockcheck demotion-based eviction is serialized under c.mu by design: admission and spill share one byte ledger (see spill.go)
 	return c.admitLocked(fp, session, mat, cost, startEpoch, sub)
 }
 
@@ -512,6 +516,7 @@ func (c *Cache) Do(fp plan.Fingerprint, session string, sub *plan.SubsumptionInf
 		return mat, Outcome{}, err
 	}
 	c.mu.Lock()
+	//lint:allow lockcheck spill promotion is serialized under c.mu by design: an entry's tier state must not change between probe and load (see spill.go)
 	if mat, ok := c.getLocked(fp); ok {
 		c.hits++
 		c.mu.Unlock()
@@ -559,6 +564,7 @@ func (c *Cache) Do(fp plan.Fingerprint, session string, sub *plan.SubsumptionInf
 			// handle (including the leader's own) copies first.
 			mat.Freeze()
 			f.mat = mat
+			//lint:allow lockcheck demotion-based eviction is serialized under c.mu by design: admission and spill share one byte ledger (see spill.go)
 			stored = c.admitLocked(fp, session, mat, cost, startEpoch, sub)
 		}
 		f.err = err

@@ -149,6 +149,7 @@ func (c *Cache) Close() error {
 	// the resident recency order is preserved on top of what had already
 	// been demoted.
 	for el := c.order.Back(); el != nil; el = c.order.Back() {
+		//lint:allow lockcheck Close persists the whole resident tier under c.mu: shutdown demotion must not race concurrent probes (see spill.go)
 		if !c.demoteLocked(el) {
 			c.removeLocked(el) // cannot persist — drop rather than leak
 		}
